@@ -1,0 +1,50 @@
+// ABL1: Transmission-gate load ablation (paper section II-B: "Gain of
+// active mixer can be tuned by changing the resistance of transmission
+// gate").
+//
+// Sweeps Rtol and measures the active-mode conversion gain with the LPTV
+// engine, comparing against the ideal (2/pi)*gm*Rtol slope. The Cc value is
+// co-scaled so the IF pole stays at 10 MHz (isolating the gain effect).
+#include <cmath>
+#include <iostream>
+
+#include "core/lptv_model.hpp"
+#include "mathx/units.hpp"
+#include "rf/table.hpp"
+
+using namespace rfmix;
+using core::MixerConfig;
+using core::MixerMode;
+
+int main() {
+  std::cout << "=== ABL1: active-mode gain vs transmission-gate load resistance ===\n\n";
+
+  MixerConfig base;
+  base.mode = MixerMode::kActive;
+  const double pole_hz = 1.0 / (mathx::kTwoPi * base.tg_resistance * base.cc_load);
+
+  rf::ConsoleTable table({"Rtol (kohm)", "gain LPTV (dB)", "ideal 2/pi*gm*R (dB)",
+                          "loss vs ideal (dB)"});
+  double prev_gain = 0.0;
+  bool monotone = true;
+  for (const double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    MixerConfig cfg = base;
+    cfg.tg_resistance = base.tg_resistance * scale;
+    cfg.cc_load = 1.0 / (mathx::kTwoPi * cfg.tg_resistance * pole_hz);
+    const double gain = core::lptv_conversion_gain_db(cfg, 5e6);
+    const double ideal = mathx::db_from_voltage_ratio(
+        2.0 / mathx::kPi * cfg.tca_gm * cfg.tg_resistance);
+    table.add_row({rf::ConsoleTable::num(cfg.tg_resistance / 1e3, 2),
+                   rf::ConsoleTable::num(gain, 2), rf::ConsoleTable::num(ideal, 2),
+                   rf::ConsoleTable::num(ideal - gain, 2)});
+    if (scale > 0.25 && gain <= prev_gain) monotone = false;
+    prev_gain = gain;
+  }
+  table.print(std::cout);
+
+  std::cout << "\nChecks: gain rises monotonically with Rtol ("
+            << (monotone ? "yes" : "NO")
+            << "); each doubling adds ~6 dB; the fixed offset from the ideal\n"
+               "slope is the input-network loss (band-shaping + commutation).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// ABL2: TIA feedback-resistor ablation (paper eq. (3): VCG = (2/pi)*gm*ZF,
+// and section II-C: "The gain of the TIA can be tuned by changing the value
+// of RF and it provides another degree of freedom").
+//
+// Sweeps RF and measures the passive-mode conversion gain with the LPTV
+// engine against the analytic formula. CF is co-scaled to keep ZF's pole
+// (the IF bandwidth) fixed, exactly the trade the paper describes.
+#include <cmath>
+#include <iostream>
+
+#include "core/lptv_model.hpp"
+#include "mathx/units.hpp"
+#include "rf/table.hpp"
+
+using namespace rfmix;
+using core::MixerConfig;
+using core::MixerMode;
+
+int main() {
+  std::cout << "=== ABL2: passive-mode gain vs TIA feedback resistor RF ===\n\n";
+
+  MixerConfig base;
+  base.mode = MixerMode::kPassive;
+  const double pole_hz = 1.0 / (mathx::kTwoPi * base.tia_rf * base.tia_cf);
+
+  rf::ConsoleTable table({"RF (kohm)", "gain LPTV (dB)", "VCG=2/pi*gm*ZF (dB)",
+                          "loss vs formula (dB)"});
+  double max_loss = 0.0, min_loss = 1e9;
+  for (const double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    MixerConfig cfg = base;
+    cfg.tia_rf = base.tia_rf * scale;
+    cfg.tia_cf = 1.0 / (mathx::kTwoPi * cfg.tia_rf * pole_hz);
+    const double gain = core::lptv_conversion_gain_db(cfg, 1e6);
+    const double formula =
+        mathx::db_from_voltage_ratio(2.0 / mathx::kPi * cfg.tca_gm * cfg.tia_rf);
+    const double loss = formula - gain;
+    max_loss = std::max(max_loss, loss);
+    min_loss = std::min(min_loss, loss);
+    table.add_row({rf::ConsoleTable::num(cfg.tia_rf / 1e3, 2),
+                   rf::ConsoleTable::num(gain, 2), rf::ConsoleTable::num(formula, 2),
+                   rf::ConsoleTable::num(loss, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nChecks: measured gain tracks the paper's eq. (3) with a roughly constant\n"
+               "implementation loss (spread "
+            << rf::ConsoleTable::num(max_loss - min_loss, 2)
+            << " dB across a 16x RF range) from input-network shaping and\n"
+               "current division in the commutated path.\n";
+  return 0;
+}

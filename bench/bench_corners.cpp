@@ -1,0 +1,57 @@
+// Robustness extension: conversion gain across process corners.
+//
+// The paper reports typical-corner numbers only; a design review would ask
+// how the reconfigurable topology holds up across SS/FF/SF/FS. This bench
+// sweeps the transistor-level mixer through all five corners in both modes.
+#include <iostream>
+
+#include "core/circuits.hpp"
+#include "core/measurements.hpp"
+#include "rf/table.hpp"
+#include "spice/op.hpp"
+
+using namespace rfmix;
+using core::MixerConfig;
+using core::MixerMode;
+using spice::tech65::Corner;
+
+int main() {
+  std::cout << "=== Process-corner sweep: conversion gain and operating point ===\n\n";
+
+  core::TransientMeasureOptions topt;
+  topt.grid_hz = 5e6;
+  topt.grid_periods = 1;
+  topt.settle_periods = 0.4;
+  topt.samples_per_lo = 16;
+
+  for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
+    MixerConfig cfg;
+    cfg.mode = mode;
+    std::cout << "--- " << frontend::mode_name(mode) << " mode ---\n";
+    rf::ConsoleTable table({"corner", "gain (dB)", "V(if_p) (V)", "I(VDD) (mA)"});
+    double g_min = 1e9, g_max = -1e9;
+    for (const Corner corner :
+         {Corner::kTT, Corner::kSS, Corner::kFF, Corner::kSF, Corner::kFS}) {
+      core::DeviceVariation var;
+      var.corner = corner;
+      auto mixer = core::build_transistor_mixer(cfg, var);
+      const spice::Solution op = spice::dc_operating_point(mixer->circuit);
+      const double vif = op.v(mixer->if_p);
+      const double idd = -mixer->vdd->current(op) * 1e3;
+      const double gain = core::measure_conversion_gain_db(*mixer, 5e6, 2e-3, topt);
+      g_min = std::min(g_min, gain);
+      g_max = std::max(g_max, gain);
+      table.add_row({spice::tech65::corner_name(corner), rf::ConsoleTable::num(gain, 2),
+                     rf::ConsoleTable::num(vif, 3), rf::ConsoleTable::num(idd, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "  gain spread across corners: " << rf::ConsoleTable::num(g_max - g_min, 2)
+              << " dB\n\n";
+  }
+
+  std::cout << "Reading: the passive mode's gain is set by resistor/TIA ratios and the\n"
+               "commutation duty cycle, so it moves less across corners than the active\n"
+               "mode, whose gm and load operating point both shift — one more argument\n"
+               "for reconfigurability in an IoT part that cannot be binned.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Engine micro-benchmarks (google-benchmark): the computational kernels
+// behind every reproduction bench — dense/sparse LU, FFT, Newton DC solves,
+// transient stepping and LPTV conversion-matrix assembly/solve.
+#include <benchmark/benchmark.h>
+
+#include "core/circuits.hpp"
+#include "core/lptv_model.hpp"
+#include "mathx/fft.hpp"
+#include "mathx/lu.hpp"
+#include "mathx/rng.hpp"
+#include "mathx/sparse.hpp"
+#include "spice/op.hpp"
+#include "spice/tran.hpp"
+
+namespace {
+
+using namespace rfmix;
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  mathx::Rng rng(1);
+  mathx::MatrixD a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+    a(i, i) += 6.0;
+  }
+  mathx::VectorD b(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mathx::lu_solve(a, b));
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_SparseLuSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  mathx::Rng rng(2);
+  mathx::TripletMatrix<double> t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 6.0 + rng.uniform());
+    for (int k = 0; k < 4; ++k) t.add(i, rng.uniform_index(n), rng.normal() * 0.3);
+  }
+  const mathx::CscMatrix<double> a(t);
+  mathx::VectorD b(n, 1.0);
+  for (auto _ : state) {
+    mathx::SparseLu<double> lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_SparseLuSolve)->Arg(128)->Arg(512)->Arg(1024);
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  mathx::Rng rng(3);
+  std::vector<mathx::Complex> x(n);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    auto y = x;
+    mathx::fft(y);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(16384)->Arg(100000);  // last one hits Bluestein
+
+void BM_MixerOperatingPoint(benchmark::State& state) {
+  for (auto _ : state) {
+    core::MixerConfig cfg;
+    cfg.mode = state.range(0) == 0 ? core::MixerMode::kActive : core::MixerMode::kPassive;
+    auto mixer = core::build_transistor_mixer(cfg);
+    benchmark::DoNotOptimize(spice::dc_operating_point(mixer->circuit));
+  }
+}
+BENCHMARK(BM_MixerOperatingPoint)->Arg(0)->Arg(1);
+
+void BM_MixerTransientSteps(benchmark::State& state) {
+  core::MixerConfig cfg;
+  cfg.mode = core::MixerMode::kActive;
+  auto mixer = core::build_transistor_mixer(cfg);
+  const double dt = 1.0 / (cfg.f_lo_hz * 16);
+  long steps = 0;
+  for (auto _ : state) {
+    auto result = spice::transient(mixer->circuit, 200 * dt, dt,
+                                   {{mixer->if_p, mixer->if_m, "if"}});
+    steps += 200;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_MixerTransientSteps);
+
+void BM_LptvConversionGain(benchmark::State& state) {
+  core::MixerConfig cfg;
+  cfg.mode = core::MixerMode::kPassive;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lptv_conversion_gain_db(cfg, 5e6));
+  }
+}
+BENCHMARK(BM_LptvConversionGain);
+
+void BM_LptvNoise(benchmark::State& state) {
+  core::MixerConfig cfg;
+  cfg.mode = core::MixerMode::kPassive;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lptv_nf_dsb(cfg, 5e6));
+  }
+}
+BENCHMARK(BM_LptvNoise);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Wide-band hazard extension: harmonic mixing response.
+//
+// A square-wave-commutated mixer also converts inputs near the LO
+// harmonics (3 f_lo, 5 f_lo, ...) with gains falling as 1/m — a real
+// problem for the paper's 0.5-7 GHz wide-band front end, where a blocker
+// at 3 x 2.4 GHz = 7.2 GHz lands on the same IF. The conversion-matrix
+// engine measures these responses directly.
+#include <iostream>
+
+#include "core/lptv_model.hpp"
+#include "lptv/lptv.hpp"
+#include "mathx/units.hpp"
+#include "rf/table.hpp"
+
+using namespace rfmix;
+using core::MixerConfig;
+using core::MixerMode;
+
+int main() {
+  std::cout << "=== Harmonic mixing: conversion gain from sideband m*f_lo + f_if ===\n\n";
+
+  for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
+    MixerConfig cfg;
+    cfg.mode = mode;
+    const auto model = core::build_lptv_mixer(cfg);
+    lptv::ConversionAnalysis an(model->circuit, {cfg.f_lo_hz, 8});
+
+    std::cout << "--- " << frontend::mode_name(mode) << " mode (f_lo = 2.4 GHz) ---\n";
+    rf::ConsoleTable table({"input at", "sideband m", "gain (dB)", "rel. fundamental (dB)"});
+    const double g1 = std::abs(an.conversion_transimpedance(
+        5e6, 0, model->in, 1, model->out_p, model->out_m, 0));
+    for (const int m : {1, 2, 3, 4, 5}) {
+      const double g = std::abs(an.conversion_transimpedance(
+          5e6, 0, model->in, m, model->out_p, model->out_m, 0));
+      const double f_in = m * cfg.f_lo_hz + 5e6;
+      table.add_row({rf::ConsoleTable::num(f_in / 1e9, 3) + " GHz", std::to_string(m),
+                     rf::ConsoleTable::num(mathx::db_from_voltage_ratio(g), 1),
+                     rf::ConsoleTable::num(mathx::db_from_voltage_ratio(g / g1), 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: odd harmonics convert at roughly -1/m (minus the input\n"
+               "network's roll-off at m*f_lo); even harmonics are suppressed by the\n"
+               "double-balanced topology. A 7.205 GHz blocker still reaches the IF\n"
+               "~10-15 dB below the wanted channel — the harmonic-rejection cost of a\n"
+               "square-wave-switched wide-band receiver, which the paper's front end\n"
+               "would address with pre-filtering.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// TXT1: IIP2 > 65 dBm in both modes (paper section IV).
+//
+// Behavioral engine reproduces the claim by construction; the transistor
+// engine measures the IM2 product (f2 - f1 = 1 MHz) of the fully balanced
+// circuit, which is limited only by numerical residue and the systematic
+// balance of the topology.
+#include <iostream>
+
+#include "core/behavioral.hpp"
+#include "core/circuits.hpp"
+#include "core/measurements.hpp"
+#include "rf/table.hpp"
+#include "rf/twotone.hpp"
+
+using namespace rfmix;
+using core::MixerConfig;
+using core::MixerMode;
+
+int main() {
+  std::cout << "=== TXT1: IIP2 ('IIP2 > 65 dBm for both cases', section IV) ===\n\n";
+
+  rf::ConsoleTable table({"Mode", "IIP2 behavioral (dBm)", "IIP2 transistor (dBm)",
+                          "paper"});
+
+  core::TransientMeasureOptions topt;
+  topt.grid_hz = 1e6;
+  topt.grid_periods = 2;  // longer record: the IM2 bin sits at 1 MHz
+  topt.settle_periods = 0.5;
+  topt.samples_per_lo = 16;
+
+  for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
+    MixerConfig cfg;
+    cfg.mode = mode;
+    const core::BehavioralMixer beh(cfg);
+
+    std::vector<double> pins{-45, -40, -35, -30};
+    std::vector<rf::ToneLevels> beh_sweep, xtor_sweep;
+    for (const double pin : pins) {
+      beh_sweep.push_back(beh.two_tone(pin));
+      auto mixer = core::build_transistor_mixer(cfg);
+      xtor_sweep.push_back(core::measure_two_tone_point(*mixer, pin, 5e6, 6e6, topt));
+    }
+    const rf::InterceptResult rb = rf::extract_intercepts(beh_sweep);
+    const rf::InterceptResult rx = rf::extract_intercepts(xtor_sweep);
+    table.add_row({frontend::mode_name(mode), rf::ConsoleTable::num(rb.iip2_dbm, 1),
+                   rx.has_iip2 ? rf::ConsoleTable::num(rx.iip2_dbm, 1) : "n/a",
+                   "> 65"});
+  }
+  table.print(std::cout);
+  std::cout << "\nNote: the transistor-level IM2 of a perfectly matched (typical-corner)\n"
+               "differential circuit reflects systematic balance only; silicon IIP2 is\n"
+               "mismatch-limited, which simulation without Monte-Carlo mismatch cannot\n"
+               "capture (same limitation as the paper's simulated > 65 dBm claim).\n";
+  return 0;
+}

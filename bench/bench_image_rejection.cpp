@@ -1,0 +1,45 @@
+// Extension: I/Q image rejection of the reconfigurable mixer (the
+// quadrature demodulator the Fig. 2 front end needs — cf. reference [4],
+// a quadrature demodulator, in Table I).
+//
+// Sweeps LO phase error and I/Q gain error and compares the LPTV-measured
+// image-rejection ratio against the textbook bound.
+#include <iostream>
+
+#include "core/image_reject.hpp"
+#include "rf/table.hpp"
+
+using namespace rfmix;
+using core::MixerConfig;
+using core::MixerMode;
+
+int main() {
+  std::cout << "=== Extension: I/Q image rejection vs quadrature error ===\n\n";
+
+  for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
+    MixerConfig cfg;
+    cfg.mode = mode;
+    std::cout << "--- " << frontend::mode_name(mode) << " mode ---\n";
+    rf::ConsoleTable table({"phase err (deg)", "gain err (dB)", "IRR LPTV (dB)",
+                            "IRR analytic (dB)", "wanted gain (dB)"});
+    for (const auto& [ph, g] : std::vector<std::pair<double, double>>{
+             {0.0, 0.0}, {0.5, 0.0}, {1.0, 0.0}, {3.0, 0.0}, {5.0, 0.0},
+             {0.0, 0.1}, {0.0, 0.5}, {1.0, 0.1}, {3.0, 0.5}}) {
+      const auto r = core::lptv_image_rejection(cfg, 5e6, ph, g);
+      const double bound = core::analytic_irr_db(g, ph);
+      table.add_row({rf::ConsoleTable::num(ph, 1), rf::ConsoleTable::num(g, 1),
+                     rf::ConsoleTable::num(r.irr_db, 1),
+                     rf::ConsoleTable::num(bound, 1),
+                     rf::ConsoleTable::num(r.wanted_gain_db, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: with matched paths the IRR is limited only by the engine's\n"
+               "numerical floor; with realistic 1 degree / 0.1 dB quadrature error it\n"
+               "lands near the ~40 dB textbook bound. Both modes of the reconfigurable\n"
+               "mixer support I/Q operation because the LO phase enters only through\n"
+               "the switching waveforms.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// TXT3: "it is required to design high input impedance gm stage to avoid
+// loading effect" (paper section II).
+//
+// Measures the transistor-level mixer's differential RF input impedance
+// across the band with the AC engine: |Zin| must stay far above the
+// 50-ohm system impedance so the gm stage doesn't load the balun/LNA.
+#include <cmath>
+#include <iostream>
+
+#include "core/circuits.hpp"
+#include "mathx/units.hpp"
+#include "rf/table.hpp"
+#include "spice/ac.hpp"
+#include "spice/op.hpp"
+
+using namespace rfmix;
+using core::MixerConfig;
+using core::MixerMode;
+
+int main() {
+  std::cout << "=== TXT3: RF input impedance of the gm stage across the band ===\n\n";
+
+  rf::ConsoleTable table({"f (GHz)", "|Zin| active (ohm)", "|Zin| passive (ohm)"});
+  bool high_z = true;
+  std::vector<double> freqs{0.5e9, 1e9, 2.45e9, 5e9, 7e9};
+  std::vector<std::vector<double>> zin(2);
+
+  for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
+    MixerConfig cfg;
+    cfg.mode = mode;
+    auto mixer = core::build_transistor_mixer(cfg);
+    // Differential AC drive at the RF gates; input current from the source
+    // branch currents.
+    mixer->vrf_p->set_ac(0.5);
+    mixer->vrf_m->set_ac(-0.5);
+    const spice::Solution op = spice::dc_operating_point(mixer->circuit);
+    const spice::AcResult res = spice::ac_sweep(mixer->circuit, op, freqs);
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+      const int ub = res.layout.branch_unknown(mixer->vrf_p->branch_base());
+      const std::complex<double> ip = res.solutions[i][static_cast<std::size_t>(ub)];
+      // Differential impedance: v_diff / i = 1 V / |i|.
+      const double z = 1.0 / std::abs(ip);
+      zin[mode == MixerMode::kActive ? 0 : 1].push_back(z);
+      if (z < 500.0) high_z = false;
+    }
+  }
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    table.add_row({rf::ConsoleTable::num(freqs[i] / 1e9, 2),
+                   rf::ConsoleTable::num(zin[0][i], 0),
+                   rf::ConsoleTable::num(zin[1][i], 0)});
+  }
+  table.print(std::cout);
+
+  // S11 the gate would present to a 100-ohm differential system, from the
+  // measured |Zin| (capacitive, so |S11| = |(Z - Z0)/(Z + Z0)| with Z ~ -jX).
+  std::cout << "\n|S11| of the differential RF port vs 100 ohm (active mode):\n";
+  rf::ConsoleTable s11({"f (GHz)", "|S11| (dB)"});
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const std::complex<double> z(0.0, -zin[0][i]);  // capacitive reactance
+    const double mag = std::abs((z - 100.0) / (z + 100.0));
+    s11.add_row({rf::ConsoleTable::num(freqs[i] / 1e9, 2),
+                 rf::ConsoleTable::num(mathx::db_from_voltage_ratio(mag), 2)});
+  }
+  s11.print(std::cout);
+  std::cout << "  (near 0 dB: the capacitive gate reflects almost everything — by\n"
+                 "   design, since the paper's LNA provides the 50-ohm match.)\n";
+
+  std::cout << "\nCheck: |Zin| >> 50 ohm (>10x) across 0.5-7 GHz in both modes: "
+            << (high_z ? "yes" : "NO")
+            << "\nThe input is the gm-stage gate (capacitive), so the preceding\n"
+               "balun/LNA sees a negligible load — the paper's section II argument.\n";
+  return 0;
+}

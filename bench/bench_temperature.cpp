@@ -1,0 +1,54 @@
+// Robustness extension: conversion gain and DSB NF across the industrial
+// temperature range, both modes, LPTV engine.
+//
+// Device noise scales with 4kT and the achievable gm falls with mobility
+// (kp ~ T^-1.5); NF stays referenced to the IEEE 290 K source.
+#include <iostream>
+
+#include "core/lptv_model.hpp"
+#include "rf/table.hpp"
+
+using namespace rfmix;
+using core::MixerConfig;
+using core::MixerMode;
+
+int main() {
+  std::cout << "=== Temperature sweep: gain and DSB NF @ 5 MHz IF (LPTV engine) ===\n\n";
+
+  rf::ConsoleTable table({"T (C)", "act gain (dB)", "act NF (dB)", "pas gain (dB)",
+                          "pas NF (dB)"});
+  struct Point { double t_c, ga, nfa, gp, nfp; };
+  std::vector<Point> pts;
+  for (const double t_c : {-40.0, 0.0, 27.0, 85.0, 125.0}) {
+    MixerConfig a;
+    a.mode = MixerMode::kActive;
+    a.temperature_k = 273.15 + t_c;
+    MixerConfig p = a;
+    p.mode = MixerMode::kPassive;
+    Point pt{};
+    pt.t_c = t_c;
+    pt.ga = core::lptv_conversion_gain_db(a, 5e6);
+    pt.nfa = core::lptv_nf_dsb(a, 5e6).nf_dsb_db;
+    pt.gp = core::lptv_conversion_gain_db(p, 5e6);
+    pt.nfp = core::lptv_nf_dsb(p, 5e6).nf_dsb_db;
+    pts.push_back(pt);
+    table.add_row({rf::ConsoleTable::num(t_c, 0), rf::ConsoleTable::num(pt.ga, 2),
+                   rf::ConsoleTable::num(pt.nfa, 2), rf::ConsoleTable::num(pt.gp, 2),
+                   rf::ConsoleTable::num(pt.nfp, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nChecks: gain falls and NF rises monotonically with temperature in both\n"
+               "modes (gm ~ T^-0.75, noise ~ kT); the active-vs-passive orderings of\n"
+               "Table I hold across the full -40..125 C industrial range:\n";
+  bool order_ok = true, mono_ok = true;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (!(pts[i].ga > pts[i].gp && pts[i].nfa < pts[i].nfp)) order_ok = false;
+    if (i > 0 && !(pts[i].ga < pts[i - 1].ga && pts[i].nfa > pts[i - 1].nfa))
+      mono_ok = false;
+  }
+  std::cout << "  orderings hold at every temperature: " << (order_ok ? "yes" : "NO")
+            << "\n  monotone trend with temperature:    " << (mono_ok ? "yes" : "NO")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Curve tracer: the DC-sweep analysis used as an instrument. Traces the
+// tech65 NMOS output characteristics (ID vs VDS at stepped VGS) and the
+// transfer characteristic (ID vs VGS), printing gnuplot-ready CSV — the
+// data behind every gm/Ron figure the mixer design relies on.
+#include <iostream>
+
+#include "rf/table.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dcsweep.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/tech65.hpp"
+
+using namespace rfmix;
+using namespace rfmix::spice;
+
+int main() {
+  std::cout << "tech65 NMOS curve tracer (W = 10 um, L = 65 nm)\n\n";
+
+  // Output characteristics: ID vs VDS for VGS in 0.4..1.2 V.
+  std::cout << "Output characteristics ID(VDS) [mA]:\n";
+  rf::ConsoleTable out_table(
+      {"VDS (V)", "VGS=0.4", "VGS=0.6", "VGS=0.8", "VGS=1.0", "VGS=1.2"});
+  const std::vector<double> vgs_steps{0.4, 0.6, 0.8, 1.0, 1.2};
+  std::vector<std::vector<double>> id_curves;
+  for (const double vgs : vgs_steps) {
+    Circuit ckt;
+    const NodeId d = ckt.node("d");
+    const NodeId g = ckt.node("g");
+    auto& vd = ckt.add<VoltageSource>("vd", d, kGround, Waveform::dc(0.0));
+    ckt.add<VoltageSource>("vg", g, kGround, Waveform::dc(vgs));
+    ckt.add<Mosfet>("m1", d, g, kGround, kGround, tech65::nmos(10e-6));
+    const DcSweepResult sweep = dc_sweep(ckt, vd, 0.0, 1.2, 13);
+    std::vector<double> ids;
+    for (const auto& sol : sweep.solutions) ids.push_back(-vd.current(sol) * 1e3);
+    id_curves.push_back(ids);
+  }
+  for (int i = 0; i < 13; ++i) {
+    const double vds = 1.2 * i / 12.0;
+    out_table.add_row({rf::ConsoleTable::num(vds, 1),
+                       rf::ConsoleTable::num(id_curves[0][static_cast<std::size_t>(i)], 3),
+                       rf::ConsoleTable::num(id_curves[1][static_cast<std::size_t>(i)], 3),
+                       rf::ConsoleTable::num(id_curves[2][static_cast<std::size_t>(i)], 3),
+                       rf::ConsoleTable::num(id_curves[3][static_cast<std::size_t>(i)], 3),
+                       rf::ConsoleTable::num(id_curves[4][static_cast<std::size_t>(i)], 3)});
+  }
+  out_table.print(std::cout);
+
+  // Transfer characteristic and gm extraction at VDS = 1.0 V.
+  std::cout << "\nTransfer characteristic at VDS = 1.0 V:\n";
+  Circuit ckt;
+  const NodeId d = ckt.node("d");
+  const NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("vd", d, kGround, Waveform::dc(1.0));
+  auto& vg = ckt.add<VoltageSource>("vg", g, kGround, Waveform::dc(0.0));
+  Mosfet& m = ckt.add<Mosfet>("m1", d, g, kGround, kGround, tech65::nmos(10e-6));
+  const DcSweepResult sweep = dc_sweep(ckt, vg, 0.2, 1.2, 11);
+  rf::ConsoleTable tr_table({"VGS (V)", "ID (mA)", "gm (mS)", "gm/ID (1/V)"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const MosOperatingPoint op = m.evaluate(sweep.solutions[i]);
+    tr_table.add_row({rf::ConsoleTable::num(sweep.values[i], 2),
+                      rf::ConsoleTable::num(op.ids * 1e3, 3),
+                      rf::ConsoleTable::num(op.gm * 1e3, 2),
+                      rf::ConsoleTable::num(op.ids > 0 ? op.gm / op.ids : 0.0, 1)});
+  }
+  tr_table.print(std::cout);
+  std::cout << "\nNote the gm/ID decay from ~20+/V (weak inversion) toward a few /V\n"
+               "(strong inversion) — the efficiency curve that sets the TCA's bias\n"
+               "point in the mixer design.\n";
+  return 0;
+}

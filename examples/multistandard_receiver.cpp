@@ -1,0 +1,53 @@
+// Multi-standard IoT receiver planning — the paper's motivating scenario:
+// one reconfigurable radio covering Zigbee, BLE, Wi-Fi, UWB and cognitive
+// bands by switching the mixer between active and passive mode per
+// standard, instead of stacking five dedicated radios.
+//
+// For each catalog standard this example runs the mode planner, prints the
+// chosen mode with the full front-end budget (Friis NF / IIP3 cascade), and
+// compares achieved sensitivity against the standard's requirement.
+#include <iostream>
+
+#include "core/behavioral.hpp"
+#include "frontend/cascade.hpp"
+#include "frontend/planner.hpp"
+#include "frontend/standards.hpp"
+#include "rf/table.hpp"
+
+using namespace rfmix;
+
+int main() {
+  std::cout << "Multi-standard receiver planning with the reconfigurable mixer\n\n";
+
+  core::MixerConfig cfg;
+  cfg.mode = core::MixerMode::kActive;
+  const core::BehavioralMixer active(cfg);
+  cfg.mode = core::MixerMode::kPassive;
+  const core::BehavioralMixer passive(cfg);
+
+  rf::ConsoleTable table({"Standard", "Mode", "Chain NF (dB)", "Chain IIP3 (dBm)",
+                          "Sensitivity (dBm)", "Required (dBm)", "Meets?"});
+
+  int total = 0, feasible = 0;
+  for (const auto& std_spec : frontend::standard_catalog()) {
+    const frontend::ModeDecision d = frontend::choose_mixer_mode(
+        std_spec, frontend::FrontEndSpec{}, active.perf(), passive.perf());
+    const double sens = frontend::sensitivity_dbm(d.chain.nf_db, std_spec.channel_bw_hz,
+                                                  std_spec.snr_required_db);
+    const bool ok = d.feasible && sens <= std_spec.sensitivity_dbm;
+    ++total;
+    if (ok) ++feasible;
+    table.add_row({std_spec.name, frontend::mode_name(d.mode),
+                   rf::ConsoleTable::num(d.chain.nf_db, 1),
+                   rf::ConsoleTable::num(d.chain.iip3_dbm, 1),
+                   rf::ConsoleTable::num(sens, 1),
+                   rf::ConsoleTable::num(std_spec.sensitivity_dbm, 0), ok ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n" << feasible << "/" << total
+            << " standards covered by a single reconfigurable front end.\n";
+  std::cout << "The linearity-hungry standards select the passive mode; the\n"
+               "sensitivity-hungry ones select the active mode — Fig. 1's trade-off.\n";
+  return 0;
+}

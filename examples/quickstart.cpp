@@ -1,0 +1,62 @@
+// Quickstart: build the reconfigurable mixer in both modes, query the
+// calibrated behavioral model and the LPTV conversion-matrix engine, and
+// let the planner pick a mode for a Zigbee receiver.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/behavioral.hpp"
+#include "core/lptv_model.hpp"
+#include "frontend/planner.hpp"
+#include "frontend/standards.hpp"
+#include "rf/table.hpp"
+
+using namespace rfmix;
+
+int main() {
+  std::cout << "rfmix quickstart: 1.2 V wide-band reconfigurable mixer (65 nm)\n\n";
+
+  // 1) Configure the mixer. MixerConfig holds every element value the three
+  //    analysis engines share; defaults reproduce the paper's design point.
+  core::MixerConfig cfg;
+  cfg.f_lo_hz = 2.4e9;
+
+  // 2) Ask the calibrated behavioral model for the headline numbers.
+  rf::ConsoleTable summary({"Metric", "Active", "Passive"});
+  cfg.mode = core::MixerMode::kActive;
+  const core::BehavioralMixer active(cfg);
+  cfg.mode = core::MixerMode::kPassive;
+  const core::BehavioralMixer passive(cfg);
+
+  summary.add_row({"Conversion gain @2.45 GHz (dB)",
+                   rf::ConsoleTable::num(active.conversion_gain_db(2.45e9), 1),
+                   rf::ConsoleTable::num(passive.conversion_gain_db(2.45e9), 1)});
+  summary.add_row({"DSB NF @5 MHz IF (dB)",
+                   rf::ConsoleTable::num(active.nf_dsb_db(5e6), 1),
+                   rf::ConsoleTable::num(passive.nf_dsb_db(5e6), 1)});
+  summary.add_row({"IIP3 (dBm)", rf::ConsoleTable::num(active.spec().iip3_dbm, 1),
+                   rf::ConsoleTable::num(passive.spec().iip3_dbm, 2)});
+  summary.add_row({"Power (mW)", rf::ConsoleTable::num(active.power_mw(), 2),
+                   rf::ConsoleTable::num(passive.power_mw(), 2)});
+  summary.print(std::cout);
+
+  // 3) Cross-check one number with the physics-based LPTV engine (the
+  //    conversion-matrix method behind commercial PAC analyses).
+  cfg.mode = core::MixerMode::kActive;
+  std::cout << "\nLPTV engine cross-check (active): gain = "
+            << rf::ConsoleTable::num(core::lptv_conversion_gain_db(cfg), 2)
+            << " dB, NF = "
+            << rf::ConsoleTable::num(core::lptv_nf_dsb(cfg, 5e6).nf_dsb_db, 2)
+            << " dB\n";
+
+  // 4) Let the planner choose the mode for a standard (the paper's Fig. 1
+  //    trade-off, automated).
+  const auto catalog = frontend::standard_catalog();
+  const auto& zigbee = frontend::find_standard(catalog, "zigbee-2450");
+  const frontend::ModeDecision d = frontend::choose_mixer_mode(
+      zigbee, frontend::FrontEndSpec{}, active.perf(), passive.perf());
+  std::cout << "\nPlanner decision for " << zigbee.name << ": "
+            << frontend::mode_name(d.mode) << " mode\n  " << d.rationale << "\n";
+  return 0;
+}

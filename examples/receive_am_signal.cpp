@@ -1,0 +1,77 @@
+// End-to-end reception demo: an amplitude-modulated 2.405 GHz carrier is
+// applied to the transistor-level reconfigurable mixer, downconverted to a
+// 5 MHz IF, and the modulation is recovered from the IF spectrum — the
+// whole Fig. 2 story (minus the antenna) running through the repo's own
+// circuit simulator.
+#include <iostream>
+
+#include "core/circuits.hpp"
+#include "mathx/units.hpp"
+#include "rf/spectrum.hpp"
+#include "rf/table.hpp"
+#include "spice/tran.hpp"
+
+using namespace rfmix;
+
+int main() {
+  std::cout << "AM reception demo: carrier 2.405 GHz, modulation 1 MHz, m = 0.5\n\n";
+
+  core::MixerConfig cfg;
+  cfg.mode = core::MixerMode::kPassive;  // the linear mode for faithful envelopes
+
+  auto mixer = core::build_transistor_mixer(cfg);
+
+  // AM stimulus: carrier A*(1 + m*cos(2*pi*fm*t))*cos(2*pi*fc*t)
+  //            = A*cos(wc t) + (A*m/2)*[cos((wc+wm)t) + cos((wc-wm)t)].
+  const double a_carrier = 3e-3;
+  const double m_index = 0.5;
+  const double f_c = cfg.f_lo_hz + 5e6;
+  const double f_m = 1e6;
+  core::RfStimulus stim;
+  spice::MultiToneWave p, n;
+  p.offset = 0.55;
+  n.offset = 0.55;
+  for (const auto& [amp, f] : std::vector<std::pair<double, double>>{
+           {a_carrier, f_c}, {a_carrier * m_index / 2.0, f_c + f_m},
+           {a_carrier * m_index / 2.0, f_c - f_m}}) {
+    p.tones.push_back({amp / 2.0, f, 0.0});
+    n.tones.push_back({-amp / 2.0, f, 0.0});
+  }
+  mixer->vrf_p->set_waveform(spice::Waveform(p));
+  mixer->vrf_m->set_waveform(spice::Waveform(n));
+
+  // Simulate 2 us (two full modulation periods) after 0.4 us settling.
+  const double dt = 1.0 / (cfg.f_lo_hz * 16);
+  const spice::TranResult res = spice::transient(
+      mixer->circuit, 2.4e-6, dt, {{mixer->if_p, mixer->if_m, "if"}});
+  rf::SampledWaveform w;
+  w.sample_rate_hz = 1.0 / dt;
+  w.samples = res.waveform(0);
+  const std::size_t keep = static_cast<std::size_t>(std::llround(2e-6 / dt));
+  w.samples.erase(w.samples.begin(), w.samples.end() - static_cast<std::ptrdiff_t>(keep));
+
+  // Recover the modulation from the IF spectrum: carrier at 5 MHz,
+  // sidebands at 4 and 6 MHz; m = (A4 + A6) / A5.
+  const double a5 = rf::tone_amplitude(w, 5e6);
+  const double a4 = rf::tone_amplitude(w, 4e6);
+  const double a6 = rf::tone_amplitude(w, 6e6);
+  const double m_recovered = (a4 + a6) / a5;
+
+  rf::ConsoleTable table({"IF tone", "amplitude (mV)"});
+  table.add_row({"4 MHz (lower sideband)", rf::ConsoleTable::num(a4 * 1e3, 3)});
+  table.add_row({"5 MHz (carrier)", rf::ConsoleTable::num(a5 * 1e3, 3)});
+  table.add_row({"6 MHz (upper sideband)", rf::ConsoleTable::num(a6 * 1e3, 3)});
+  table.print(std::cout);
+
+  std::cout << "\nConversion gain on the carrier: "
+            << rf::ConsoleTable::num(
+                   mathx::db_from_voltage_ratio(a5 / a_carrier), 1)
+            << " dB\n";
+  std::cout << "Transmitted modulation index: " << m_index
+            << ", recovered: " << rf::ConsoleTable::num(m_recovered, 3) << "\n";
+  std::cout << "In-band SFDR of the IF record: "
+            << rf::ConsoleTable::num(rf::sfdr_db(w, 5e6, 2.5e6), 1) << " dB\n";
+  std::cout << "\nThe sidebands ride through the commutation with the carrier and the\n"
+               "envelope survives — the linear passive mode is doing its job.\n";
+  return 0;
+}

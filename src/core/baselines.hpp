@@ -1,0 +1,33 @@
+// Table I comparison rows: the published numbers of the designs the paper
+// compares against ([2], [3], [5], [6], [4], [10], [11], [12]), plus
+// helpers to render "this work" rows from our own measurements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfmix::core {
+
+/// One column of the paper's Table I. Ranges are kept as printed strings
+/// (several references report min-max spans); numeric mid-band values are
+/// provided where the benches need them for ordering checks.
+struct BaselineDesign {
+  std::string label;          // e.g. "[2]"
+  std::string gain_db;        // as printed in Table I
+  std::string nf_db;
+  std::string iip3_dbm;
+  std::string p1db_dbm;
+  std::string power_mw;
+  std::string bandwidth_ghz;
+  std::string technology;
+  std::string supply_v;
+
+  double gain_mid_db = 0.0;   // representative numeric values
+  double nf_mid_db = 0.0;
+  double iip3_mid_dbm = 0.0;
+};
+
+/// The eight published comparison columns of Table I.
+std::vector<BaselineDesign> table1_baselines();
+
+}  // namespace rfmix::core

@@ -1,0 +1,205 @@
+#include "core/behavioral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::core {
+
+using mathx::dbm_from_sine_amplitude;
+using mathx::sine_amplitude_from_dbm;
+
+BehavioralModeSpec paper_active_spec() {
+  BehavioralModeSpec s;
+  s.gain_db = 29.2;
+  s.f_low_3db_hz = 1.0e9;
+  s.f_high_3db_hz = 5.5e9;
+  s.if_3db_hz = 12e6;
+  s.nf_db_at_5mhz = 7.6;
+  // Active Gilbert cells commutate a DC bias current, so the switching pair
+  // contributes 1/f at the output; the paper's Fig. 9 shows the active curve
+  // rising earlier than the passive one.
+  s.flicker_corner_hz = 900e3;
+  s.iip3_dbm = -11.9;
+  s.iip2_dbm = 66.0;  // "IIP2 > 65 for both cases" (section IV)
+  s.p1db_dbm = -24.5;
+  return s;
+}
+
+BehavioralModeSpec paper_passive_spec() {
+  BehavioralModeSpec s;
+  s.gain_db = 25.5;
+  s.f_low_3db_hz = 0.5e9;
+  s.f_high_3db_hz = 5.1e9;
+  s.if_3db_hz = 12e6;
+  s.nf_db_at_5mhz = 10.2;
+  s.flicker_corner_hz = 80e3;  // "corner frequency is less than 100 kHz"
+  s.iip3_dbm = 6.57;
+  s.iip2_dbm = 67.0;
+  s.p1db_dbm = -14.0;
+  return s;
+}
+
+namespace {
+
+constexpr double kRefRf = 2.45e9;  // Fig. 9's RF anchor frequency
+constexpr double kRefIf = 5e6;     // the paper quotes everything at 5 MHz IF
+
+/// Second-order band-pass magnitude: two cascaded first-order sections per
+/// edge, matching the LPTV model's input network.
+double band_mag(double f, double f_hp_pole, double f_lp_pole) {
+  const double x = f / f_hp_pole;
+  const double y = f / f_lp_pole;
+  const double hp = (x * x) / (1.0 + x * x);  // |H|^2 of one section
+  const double lp = 1.0 / (1.0 + y * y);
+  return hp * hp * lp * lp;  // |H|^2 of the two-section-per-edge cascade
+}
+
+/// Solve for pole frequencies such that the response *relative to kRefRf*
+/// is exactly -3 dB at the spec's band edges (the Table I bandwidths are
+/// relative figures). Alternating bisection; converges in a few rounds
+/// because the two edges couple weakly.
+void solve_band_poles(double f_low_edge, double f_high_edge, double& f_hp,
+                      double& f_lp) {
+  f_hp = f_low_edge;
+  f_lp = f_high_edge;
+  const double target = std::pow(10.0, -3.0 / 10.0);  // -3 dB in |H|^2
+  for (int round = 0; round < 60; ++round) {
+    // Adjust the high-pass pole for the low edge.
+    double lo = f_low_edge / 20.0, hi = f_low_edge * 20.0;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = std::sqrt(lo * hi);
+      const double rel = band_mag(f_low_edge, mid, f_lp) / band_mag(kRefRf, mid, f_lp);
+      (rel > target ? lo : hi) = mid;
+    }
+    f_hp = std::sqrt(lo * hi);
+    // Adjust the low-pass pole for the high edge.
+    lo = f_high_edge / 20.0;
+    hi = f_high_edge * 20.0;
+    for (int it = 0; it < 60; ++it) {
+      const double mid = std::sqrt(lo * hi);
+      const double rel = band_mag(f_high_edge, f_hp, mid) / band_mag(kRefRf, f_hp, mid);
+      (rel > target ? hi : lo) = mid;
+    }
+    f_lp = std::sqrt(lo * hi);
+  }
+}
+
+double if_pole_mag(double f, double f_pole) {
+  return 1.0 / std::sqrt(1.0 + (f / f_pole) * (f / f_pole));
+}
+
+}  // namespace
+
+BehavioralMixer::BehavioralMixer(const MixerConfig& config)
+    : BehavioralMixer(config, config.mode == MixerMode::kActive ? paper_active_spec()
+                                                                : paper_passive_spec()) {}
+
+BehavioralMixer::BehavioralMixer(const MixerConfig& config, BehavioralModeSpec spec)
+    : config_(config), spec_(spec) {
+  if (spec_.f_low_3db_hz <= 0.0 || spec_.f_high_3db_hz <= spec_.f_low_3db_hz)
+    throw std::invalid_argument("BehavioralMixer: bad band edges");
+  if (spec_.if_3db_hz <= 0.0 || spec_.flicker_corner_hz <= 0.0)
+    throw std::invalid_argument("BehavioralMixer: bad IF/flicker parameters");
+  solve_band_poles(spec_.f_low_3db_hz, spec_.f_high_3db_hz, f_hp_pole_, f_lp_pole_);
+}
+
+double BehavioralMixer::a1() const {
+  return mathx::voltage_ratio_from_db(spec_.gain_db);
+}
+
+double BehavioralMixer::a3() const {
+  // A_IIP3^2 = (4/3)|a1/a3|  ->  |a3| = (4/3) a1 / A_IIP3^2, compressive sign.
+  const double a_iip3 = sine_amplitude_from_dbm(spec_.iip3_dbm);
+  return -(4.0 / 3.0) * a1() / (a_iip3 * a_iip3);
+}
+
+double BehavioralMixer::a2() const {
+  // A_IIP2 = a1/a2.
+  const double a_iip2 = sine_amplitude_from_dbm(spec_.iip2_dbm);
+  return a1() / a_iip2;
+}
+
+double BehavioralMixer::conversion_gain_db(double f_rf_hz, double f_if_hz) const {
+  if (f_rf_hz <= 0.0) throw std::invalid_argument("conversion_gain_db: f_rf must be > 0");
+  // band_mag returns |H|^2, so the band term is a power ratio.
+  const double band = band_mag(f_rf_hz, f_hp_pole_, f_lp_pole_) /
+                      band_mag(kRefRf, f_hp_pole_, f_lp_pole_);
+  const double ifr = if_pole_mag(f_if_hz, spec_.if_3db_hz) /
+                     if_pole_mag(kRefIf, spec_.if_3db_hz);
+  return spec_.gain_db + mathx::db_from_power_ratio(band) +
+         mathx::db_from_voltage_ratio(ifr);
+}
+
+double BehavioralMixer::gain_vs_if_db(double f_if_hz) const {
+  return conversion_gain_db(kRefRf, f_if_hz);
+}
+
+double BehavioralMixer::nf_dsb_db(double f_if_hz) const {
+  if (f_if_hz <= 0.0) throw std::invalid_argument("nf_dsb_db: f_if must be > 0");
+  // White floor calibrated so the 5 MHz anchor lands exactly on the spec.
+  const double f_anchor = mathx::nf_factor_from_db(spec_.nf_db_at_5mhz);
+  const double white = f_anchor / (1.0 + spec_.flicker_corner_hz / kRefIf);
+  return mathx::nf_db_from_factor(white * (1.0 + spec_.flicker_corner_hz / f_if_hz));
+}
+
+namespace {
+
+/// Output swing soft-clamp: amplitude-domain saturation with a sharp knee,
+/// modeling the op-amp/TG output compression the paper blames for the
+/// 1 dB point ("the output compression point of the OPAMP limits the input
+/// referred linearity", section III).
+double soft_clamp(double amp, double vmax) {
+  const double r = amp / vmax;
+  return amp / std::pow(1.0 + r * r * r * r, 0.25);
+}
+
+}  // namespace
+
+double BehavioralMixer::single_tone_pout_dbm(double pin_dbm) const {
+  const double a = sine_amplitude_from_dbm(pin_dbm);
+  const double g1 = a1(), g3 = a3();
+  // Single-tone cubic compression of the fundamental.
+  double fund = g1 * a + 0.75 * g3 * a * a * a;
+  fund = std::max(fund, 1e-12);
+  // Output swing limit calibrated so P1dB matches the spec: solve for the
+  // clamp level that produces exactly 1 dB of total compression at the
+  // reported P1dB input. Bisection on vmax (monotone).
+  const double a_1db = sine_amplitude_from_dbm(spec_.p1db_dbm);
+  double ideal_1db = g1 * a_1db + 0.75 * g3 * a_1db * a_1db * a_1db;
+  ideal_1db = std::max(ideal_1db, 1e-12);
+  const double target = g1 * a_1db * mathx::voltage_ratio_from_db(-1.0);
+  double lo = 1e-4, hi = 100.0;
+  for (int it = 0; it < 80; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (soft_clamp(ideal_1db, mid) < target ? lo : hi) = mid;
+  }
+  const double vmax = 0.5 * (lo + hi);
+  return dbm_from_sine_amplitude(soft_clamp(fund, vmax));
+}
+
+rf::ToneLevels BehavioralMixer::two_tone(double pin_dbm) const {
+  const double a = sine_amplitude_from_dbm(pin_dbm);
+  const double g1 = a1(), g2 = a2(), g3 = a3();
+  rf::ToneLevels t;
+  t.pin_dbm = pin_dbm;
+  // Two-tone fundamental including the 9/4 cross-compression term.
+  const double fund = std::max(g1 * a + 2.25 * g3 * a * a * a, 1e-12);
+  t.fund_dbm = dbm_from_sine_amplitude(fund);
+  t.im3_dbm = dbm_from_sine_amplitude(0.75 * std::abs(g3) * a * a * a);
+  t.im2_dbm = dbm_from_sine_amplitude(g2 * a * a);
+  return t;
+}
+
+frontend::MixerModePerf BehavioralMixer::perf() const {
+  frontend::MixerModePerf p;
+  p.gain_db = spec_.gain_db;
+  p.nf_db = spec_.nf_db_at_5mhz;
+  p.iip3_dbm = spec_.iip3_dbm;
+  p.power_mw = power_mw();
+  return p;
+}
+
+}  // namespace rfmix::core

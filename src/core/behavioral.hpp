@@ -1,0 +1,90 @@
+// Calibrated behavioral model of the reconfigurable mixer.
+//
+// This is the engine that regenerates the paper's reported numbers exactly
+// (Table I anchor points), with physically-shaped interpolation between
+// them:
+//   * conversion gain vs RF frequency: first-order band edges fitted to the
+//     reported -3 dB band (1-5.5 GHz active, 0.5-5.1 GHz passive);
+//   * gain and DSB NF vs IF frequency: single-pole IF roll-off plus a 1/f
+//     noise corner (< 100 kHz in passive mode, per section III);
+//   * a memoryless weakly-nonlinear polynomial whose a3/a1 ratio reproduces
+//     the reported IIP3 (and a2 term for the reported IIP2 > 65 dBm), which
+//     the two-tone and P1dB benches exercise end to end.
+//
+// The transistor-level and LPTV engines (circuits.hpp / lptv_model.hpp)
+// independently verify the *shape* claims; see DESIGN.md's three-engine
+// strategy.
+#pragma once
+
+#include "core/mixer_config.hpp"
+#include "frontend/planner.hpp"
+#include "rf/twotone.hpp"
+
+namespace rfmix::core {
+
+/// Anchor numbers for one mode, defaulting to the paper's Table I /
+/// section III values.
+struct BehavioralModeSpec {
+  double gain_db = 0.0;        // mid-band conversion gain at 5 MHz IF
+  double f_low_3db_hz = 0.0;   // RF band lower -3 dB edge
+  double f_high_3db_hz = 0.0;  // RF band upper -3 dB edge
+  double if_3db_hz = 0.0;      // IF bandwidth (gain vs IF pole)
+  double nf_db_at_5mhz = 0.0;  // DSB NF at 5 MHz IF
+  double flicker_corner_hz = 0.0;
+  double iip3_dbm = 0.0;
+  double iip2_dbm = 0.0;
+  double p1db_dbm = 0.0;       // input-referred 1 dB compression at 5 MHz
+};
+
+/// Paper values for each mode.
+BehavioralModeSpec paper_active_spec();
+BehavioralModeSpec paper_passive_spec();
+
+class BehavioralMixer {
+ public:
+  /// Build from a config: mode selects the paper anchor set; the spec can
+  /// then be customized for ablations.
+  explicit BehavioralMixer(const MixerConfig& config);
+  BehavioralMixer(const MixerConfig& config, BehavioralModeSpec spec);
+
+  const BehavioralModeSpec& spec() const { return spec_; }
+  const MixerConfig& config() const { return config_; }
+
+  /// Conversion gain [dB] at RF frequency f_rf, IF fixed at `f_if`.
+  double conversion_gain_db(double f_rf_hz, double f_if_hz = 5e6) const;
+
+  /// Conversion gain [dB] vs IF frequency at fixed RF (Fig. 9 companion).
+  double gain_vs_if_db(double f_if_hz) const;
+
+  /// DSB noise figure [dB] at IF frequency f_if (RF at 2.45 GHz, Fig. 9).
+  double nf_dsb_db(double f_if_hz) const;
+
+  /// Output fundamental/IM3/IM2 for a two-tone test at per-tone input
+  /// power `pin_dbm` (tones near mid-band, IF in-band). Exercised by the
+  /// Fig. 10 bench through the same rf:: extraction path a lab would use.
+  rf::ToneLevels two_tone(double pin_dbm) const;
+
+  /// Output power [dBm] of a single tone at `pin_dbm` (compression bench).
+  double single_tone_pout_dbm(double pin_dbm) const;
+
+  /// Total power drawn from the 1.2 V supply [mW].
+  double power_mw() const { return config_.power_mw(); }
+
+  /// Summary for the front-end planner.
+  frontend::MixerModePerf perf() const;
+
+ private:
+  /// Polynomial coefficients derived from the anchors.
+  double a1() const;  // linear voltage gain (mid-band)
+  double a3() const;  // from IIP3
+  double a2() const;  // from IIP2
+
+  MixerConfig config_;
+  BehavioralModeSpec spec_;
+  // Pole frequencies of the two-section band shape, solved so the response
+  // relative to 2.45 GHz crosses -3 dB exactly at the spec's band edges.
+  double f_hp_pole_ = 0.0;
+  double f_lp_pole_ = 0.0;
+};
+
+}  // namespace rfmix::core

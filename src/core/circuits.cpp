@@ -1,0 +1,288 @@
+#include "core/circuits.hpp"
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/tech65.hpp"
+#include "spice/waveform.hpp"
+
+namespace rfmix::core {
+
+using spice::Capacitor;
+using spice::Circuit;
+using spice::CurrentSource;
+using spice::kGround;
+using spice::Mosfet;
+using spice::NodeId;
+using spice::Resistor;
+using spice::Vccs;
+using spice::VoltageSource;
+using spice::Waveform;
+namespace tech = spice::tech65;
+
+namespace {
+
+/// Shared front: supply, LO sources, RF sources, and the fully differential
+/// transconductance amplifier of Fig. 3 (diff pair, resistive loads sized
+/// for a 0.6 V output common mode = VDD/2, per section II-A).
+struct TcaStage {
+  NodeId out_p, out_m;
+};
+
+TcaStage add_tca(TransistorMixer& m, const MixerConfig& cfg,
+                 const DeviceVariation& var) {
+  Circuit& c = m.circuit;
+  const NodeId vdd = c.node("vdd");
+
+  m.rf_p = c.node("rf_p");
+  m.rf_m = c.node("rf_m");
+  if (cfg.rf_series_r > 0.0) {
+    const NodeId bias_p = c.node("rf_bias_p");
+    const NodeId bias_m = c.node("rf_bias_m");
+    m.vrf_p = &c.add<VoltageSource>("vrf_p", bias_p, kGround, Waveform::dc(0.55));
+    m.vrf_m = &c.add<VoltageSource>("vrf_m", bias_m, kGround, Waveform::dc(0.55));
+    c.add<Resistor>("rf_rs_p", bias_p, m.rf_p, cfg.rf_series_r);
+    c.add<Resistor>("rf_rs_m", bias_m, m.rf_m, cfg.rf_series_r);
+  } else {
+    m.vrf_p = &c.add<VoltageSource>("vrf_p", m.rf_p, kGround, Waveform::dc(0.55));
+    m.vrf_m = &c.add<VoltageSource>("vrf_m", m.rf_m, kGround, Waveform::dc(0.55));
+  }
+
+  const NodeId t = c.node("tca_tail");
+  const NodeId out_p = c.node("tca_out_p");
+  const NodeId out_m = c.node("tca_out_m");
+  // Tail current: 4 mA total, split 2 mA per side at a healthy overdrive for
+  // linearity; loads sized so the DC drop puts the output common mode at
+  // VDD/2 (paper: "common mode voltage is designed at VDD/2").
+  c.add<CurrentSource>("tca_itail", t, kGround, Waveform::dc(4.0e-3));
+  c.add<Mosfet>("tca_m1", out_m, m.rf_p, t, kGround, var.apply(tech::nmos(25e-6)));
+  c.add<Mosfet>("tca_m2", out_p, m.rf_m, t, kGround, var.apply(tech::nmos(25e-6)));
+  c.add<Resistor>("tca_rl_p", vdd, out_p, 300.0);
+  c.add<Resistor>("tca_rl_m", vdd, out_m, 300.0);
+  // CPAR at the transconductor output (section II: minimized by design).
+  c.add<Capacitor>("tca_cp_p", out_p, kGround, cfg.tca_cpar);
+  c.add<Capacitor>("tca_cp_m", out_m, kGround, cfg.tca_cpar);
+  return {out_p, out_m};
+}
+
+void add_supply_and_lo(TransistorMixer& m, const MixerConfig& cfg) {
+  Circuit& c = m.circuit;
+  const NodeId vdd = c.node("vdd");
+  m.vdd = &c.add<VoltageSource>("vdd_src", vdd, kGround, Waveform::dc(cfg.vdd));
+
+  m.lo_p = c.node("lo_p");
+  m.lo_m = c.node("lo_m");
+  m.vlo_p = &c.add<VoltageSource>(
+      "vlo_p", m.lo_p, kGround,
+      Waveform::sine(cfg.lo_amplitude, cfg.f_lo_hz, cfg.lo_common_mode));
+  m.vlo_m = &c.add<VoltageSource>(
+      "vlo_m", m.lo_m, kGround,
+      Waveform::sine(-cfg.lo_amplitude, cfg.f_lo_hz, cfg.lo_common_mode));
+}
+
+/// The 4-NMOS switching quad (Fig. 4): sources at (src_p, src_m), drains
+/// cross-coupled into (out_p, out_m).
+void add_quad(Circuit& c, const MixerConfig& cfg, const DeviceVariation& var,
+              const std::string& prefix,
+              NodeId src_p, NodeId src_m, NodeId lo_p, NodeId lo_m, NodeId out_p,
+              NodeId out_m) {
+  const auto nominal = tech::nmos(cfg.quad_w, cfg.quad_l);
+  c.add<Mosfet>(prefix + "_m3", out_p, lo_p, src_p, kGround, var.apply(nominal));
+  c.add<Mosfet>(prefix + "_m4", out_m, lo_m, src_p, kGround, var.apply(nominal));
+  c.add<Mosfet>(prefix + "_m5", out_p, lo_m, src_m, kGround, var.apply(nominal));
+  c.add<Mosfet>(prefix + "_m6", out_m, lo_p, src_m, kGround, var.apply(nominal));
+}
+
+/// TIA opamp macromodel (one side): inverting transimpedance stage around a
+/// single-pole OTA referenced to the mid-rail common mode.
+void add_tia_side(Circuit& c, const MixerConfig& cfg, const std::string& side,
+                  NodeId vcm, NodeId b, NodeId o) {
+  // OTA: i(o -> gnd) = gm * (v(b) - v(vcm)): output pulls down when the
+  // virtual ground rises, i.e. inverting.
+  c.add<Vccs>("tia_ota_" + side, o, kGround, b, vcm, cfg.tia_ota_gm);
+  c.add<Resistor>("tia_ro_" + side, o, vcm, cfg.tia_ota_rout);
+  const double c_out = cfg.tia_ota_gm / (mathx::kTwoPi * cfg.tia_ota_gbw_hz);
+  c.add<Capacitor>("tia_co_" + side, o, kGround, c_out);
+  c.add<Resistor>("tia_rf_" + side, b, o, cfg.tia_rf);
+  c.add<Capacitor>("tia_cf_" + side, b, o, cfg.tia_cf);
+}
+
+}  // namespace
+
+std::unique_ptr<TransistorMixer> build_transistor_mixer(const MixerConfig& cfg,
+                                                         const DeviceVariation& var) {
+  auto m = std::make_unique<TransistorMixer>();
+  m->config = cfg;
+  Circuit& c = m->circuit;
+  add_supply_and_lo(*m, cfg);
+  const TcaStage tca = add_tca(*m, cfg, var);
+  const NodeId vdd = c.node("vdd");
+  m->if_p = c.node("if_p");
+  m->if_m = c.node("if_m");
+
+  if (cfg.mode == MixerMode::kActive) {
+    // Path 2 (Fig. 4): TCA output drives the common-source Gm MOS Mn1/Mn2
+    // (Sw5-6 closed), tail current via the Sw7 current source, quad on top,
+    // transmission-gate loads to VDD with the Cc low-pass (Fig. 5b).
+    const NodeId gt = c.node("gm_tail");
+    const NodeId c_p = c.node("core_p");
+    const NodeId c_m = c.node("core_m");
+    c.add<CurrentSource>("sw7_itail", gt, kGround, Waveform::dc(0.5e-3));
+    c.add<Mosfet>("mn1", c_p, tca.out_p, gt, kGround, var.apply(tech::nmos(60e-6)));
+    c.add<Mosfet>("mn2", c_m, tca.out_m, gt, kGround, var.apply(tech::nmos(60e-6)));
+    add_quad(c, cfg, var, "quad", c_p, c_m, m->lo_p, m->lo_m, m->if_p, m->if_m);
+
+    // Transmission gates (Fig. 5b): PMOS gate at 0, NMOS gate at VDD, sized
+    // long so Rtol = Rp || Rn preserves headroom at the 0.6 mA core bias
+    // (the IF common mode must stay well above mid-rail).
+    const auto pm_nom = tech::pmos(1.8e-6, 260e-9);
+    const auto nm_nom = tech::nmos(0.9e-6, 260e-9);
+    c.add<Mosfet>("tg_p_p", m->if_p, kGround, vdd, vdd, var.apply(pm_nom));
+    c.add<Mosfet>("tg_n_p", vdd, vdd, m->if_p, kGround, var.apply(nm_nom));
+    c.add<Mosfet>("tg_p_m", m->if_m, kGround, vdd, vdd, var.apply(pm_nom));
+    c.add<Mosfet>("tg_n_m", vdd, vdd, m->if_m, kGround, var.apply(nm_nom));
+    c.add<Capacitor>("cc_p", m->if_p, kGround, cfg.cc_load);
+    c.add<Capacitor>("cc_m", m->if_m, kGround, cfg.cc_load);
+    return m;
+  }
+
+  // Passive mode — path 1: TCA output current, DC-decoupled, routed through
+  // the PMOS switches Sw1-2 (on, in triode: degeneration resistance Rdeg)
+  // into the quad sources; the quad commutates into the TIA virtual grounds.
+  const NodeId vcm = c.node("vcm");
+  c.add<VoltageSource>("vcm_src", vcm, kGround, Waveform::dc(cfg.vdd / 2.0));
+
+  const NodeId x_p = c.node("x_p");  // after coupling capacitors
+  const NodeId x_m = c.node("x_m");
+  c.add<Capacitor>("cc1_p", tca.out_p, x_p, 10e-12);
+  c.add<Capacitor>("cc1_m", tca.out_m, x_m, 10e-12);
+  // DC bias for the floating coupled nodes.
+  c.add<Resistor>("rb_p", x_p, vcm, 20e3);
+  c.add<Resistor>("rb_m", x_m, vcm, 20e3);
+
+  // PMOS Sw1-2: gates at 0 (Vlogic low), fully on, triode.
+  const NodeId a_p = c.node("a_p");
+  const NodeId a_m = c.node("a_m");
+  const auto psw_nom = tech::pmos(cfg.sw12_w);
+  if (cfg.rdeg_ideal_extra > 0.0) {
+    const NodeId ai_p = c.node("ai_p");
+    const NodeId ai_m = c.node("ai_m");
+    c.add<Mosfet>("mp1", ai_p, kGround, x_p, vdd, var.apply(psw_nom));
+    c.add<Mosfet>("mp2", ai_m, kGround, x_m, vdd, var.apply(psw_nom));
+    c.add<Resistor>("rdeg_x_p", ai_p, a_p, cfg.rdeg_ideal_extra);
+    c.add<Resistor>("rdeg_x_m", ai_m, a_m, cfg.rdeg_ideal_extra);
+  } else {
+    c.add<Mosfet>("mp1", a_p, kGround, x_p, vdd, var.apply(psw_nom));
+    c.add<Mosfet>("mp2", a_m, kGround, x_m, vdd, var.apply(psw_nom));
+  }
+
+  add_quad(c, cfg, var, "quad", a_p, a_m, m->lo_p, m->lo_m, m->if_p, m->if_m);
+
+  add_tia_side(c, cfg, "p", vcm, m->if_p, c.node("tia_out_p"));
+  add_tia_side(c, cfg, "m", vcm, m->if_m, c.node("tia_out_m"));
+  // The harness reads the TIA outputs as the IF port in passive mode.
+  m->if_p = c.find_node("tia_out_p");
+  m->if_m = c.find_node("tia_out_m");
+  return m;
+}
+
+void set_rf_stimulus(TransistorMixer& mixer, const RfStimulus& stim) {
+  spice::MultiToneWave p, n;
+  p.offset = 0.55;
+  n.offset = 0.55;
+  for (const double f : stim.freqs_hz) {
+    p.tones.push_back({stim.amplitude / 2.0, f, 0.0});
+    n.tones.push_back({-stim.amplitude / 2.0, f, 0.0});
+  }
+  mixer.vrf_p->set_waveform(Waveform(p));
+  mixer.vrf_m->set_waveform(Waveform(n));
+}
+
+std::unique_ptr<TransistorMixer> build_gilbert_baseline(const MixerConfig& cfg) {
+  MixerConfig active = cfg;
+  active.mode = MixerMode::kActive;
+  return build_transistor_mixer(active);
+}
+
+std::unique_ptr<TransistorMixer> build_passive_baseline(const MixerConfig& cfg) {
+  // No TCA: the 50-ohm source drives the degenerated quad directly into the
+  // TIA — the classic low-gain, high-linearity passive mixer of refs [5][6].
+  auto m = std::make_unique<TransistorMixer>();
+  m->config = cfg;
+  m->config.mode = MixerMode::kPassive;
+  Circuit& c = m->circuit;
+  add_supply_and_lo(*m, m->config);
+  const NodeId vdd = c.node("vdd");
+
+  const NodeId vcm = c.node("vcm");
+  c.add<VoltageSource>("vcm_src", vcm, kGround, Waveform::dc(cfg.vdd / 2.0));
+
+  m->rf_p = c.node("rf_p");
+  m->rf_m = c.node("rf_m");
+  m->vrf_p = &c.add<VoltageSource>("vrf_p", m->rf_p, kGround, Waveform::dc(0.55));
+  m->vrf_m = &c.add<VoltageSource>("vrf_m", m->rf_m, kGround, Waveform::dc(0.55));
+
+  const NodeId s_p = c.node("s_p");
+  const NodeId s_m = c.node("s_m");
+  c.add<Resistor>("rs_p", m->rf_p, s_p, 25.0);  // 50-ohm differential source
+  c.add<Resistor>("rs_m", m->rf_m, s_m, 25.0);
+  const NodeId a_p = c.node("a_p");
+  const NodeId a_m = c.node("a_m");
+  c.add<Resistor>("rdeg_p", s_p, a_p, cfg.rdeg);
+  c.add<Resistor>("rdeg_m", s_m, a_m, cfg.rdeg);
+
+  m->if_p = c.node("b_p");
+  m->if_m = c.node("b_m");
+  add_quad(c, m->config, DeviceVariation{}, "quad", a_p, a_m, m->lo_p, m->lo_m, m->if_p, m->if_m);
+  (void)vdd;
+
+  add_tia_side(c, m->config, "p", vcm, m->if_p, c.node("tia_out_p"));
+  add_tia_side(c, m->config, "m", vcm, m->if_m, c.node("tia_out_m"));
+  m->if_p = c.find_node("tia_out_p");
+  m->if_m = c.find_node("tia_out_m");
+  return m;
+}
+
+std::unique_ptr<OtaCircuit> build_two_stage_ota(double vdd_v, bool unity_feedback) {
+  auto o = std::make_unique<OtaCircuit>();
+  Circuit& c = o->circuit;
+  const NodeId vdd = c.node("vdd");
+  c.add<VoltageSource>("vdd_src", vdd, kGround, Waveform::dc(vdd_v));
+
+  o->in_p = c.node("in_p");
+  o->out = c.node("out");
+  o->in_m = unity_feedback ? o->out : c.node("in_m");
+  o->vin_p = &c.add<VoltageSource>("vin_p", o->in_p, kGround, Waveform::dc(0.6));
+  if (!unity_feedback) {
+    o->vin_m = &c.add<VoltageSource>("vin_m", o->in_m, kGround, Waveform::dc(0.6));
+  }
+
+  // First stage: NMOS input pair, PMOS mirror load, ideal tail sink
+  // (high gain, per Fig. 7b's description).
+  const NodeId tail = c.node("tail");
+  const NodeId d1 = c.node("d1");   // mirror side
+  const NodeId d2 = c.node("d2");   // first-stage output
+  c.add<CurrentSource>("itail", tail, kGround, Waveform::dc(200e-6));
+  // Signal-path polarity: raising m2's gate lowers d2 and raises the
+  // output, so m2's gate is the non-inverting input (in_p); m1's gate is
+  // the inverting input that takes the feedback.
+  c.add<Mosfet>("m1", d1, o->in_m, tail, kGround, tech::nmos(20e-6, 130e-9));
+  c.add<Mosfet>("m2", d2, o->in_p, tail, kGround, tech::nmos(20e-6, 130e-9));
+  c.add<Mosfet>("m3", d1, d1, vdd, vdd, tech::pmos(10e-6, 130e-9));
+  c.add<Mosfet>("m4", d2, d1, vdd, vdd, tech::pmos(10e-6, 130e-9));
+
+  // Second stage: common-source NMOS with a current-source load (high
+  // swing), Miller compensated with a zero-nulling resistor. Sized so the
+  // 400 uA load bias corresponds to the ~0.7 V first-stage output level.
+  c.add<Mosfet>("m6", o->out, d2, kGround, kGround, tech::nmos(3e-6, 130e-9));
+  c.add<CurrentSource>("iload2", vdd, o->out, Waveform::dc(400e-6));
+  const NodeId z = c.node("zc");
+  c.add<Resistor>("rz", d2, z, 1e3);
+  c.add<Capacitor>("cm", z, o->out, 1e-12);
+  c.add<Capacitor>("cl", o->out, kGround, 2e-12);
+  return o;
+}
+
+}  // namespace rfmix::core

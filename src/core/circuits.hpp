@@ -1,0 +1,98 @@
+// Transistor-level builders for the paper's circuits on the spice:: engine:
+//
+//  * the reconfigurable mixer (Fig. 4/6): fully differential Gm stage,
+//    4-NMOS switching quad, PMOS reconfiguration switches Sw1-2 (triode
+//    degeneration in passive mode), transmission-gate load + Cc (active
+//    mode), TIA with an OTA macromodel and RF || CF feedback (passive mode);
+//  * a plain double-balanced Gilbert mixer and a current-commutating
+//    resistively-degenerated passive mixer as circuit-level baselines
+//    (refs [5]/[6] style) for the comparison benches;
+//  * the two-stage Miller-compensated OTA of Fig. 7(b) at transistor level.
+//
+// These circuits verify the topology's behaviour (commutation, compression,
+// mode ordering) with genuine device physics; the LPTV and behavioral
+// engines regenerate the paper's exact figures. See DESIGN.md.
+#pragma once
+
+#include <memory>
+
+#include "core/mixer_config.hpp"
+#include "mathx/rng.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices_sources.hpp"
+#include "spice/montecarlo.hpp"
+
+namespace rfmix::core {
+
+/// Device-level variation applied to every MOSFET a builder instantiates:
+/// a (correlated) process corner and, when `mismatch_rng` is set, an
+/// independent Pelgrom mismatch draw per device.
+struct DeviceVariation {
+  spice::tech65::Corner corner = spice::tech65::Corner::kTT;
+  mathx::Rng* mismatch_rng = nullptr;
+  spice::tech65::MismatchSpec mismatch;
+
+  spice::MosParams apply(const spice::MosParams& nominal) const {
+    spice::MosParams p = spice::tech65::at_corner(nominal, corner);
+    if (mismatch_rng != nullptr)
+      p = spice::tech65::with_mismatch(p, *mismatch_rng, mismatch);
+    return p;
+  }
+};
+
+/// Handles into a constructed transistor-level mixer.
+struct TransistorMixer {
+  spice::Circuit circuit;
+
+  spice::NodeId rf_p{}, rf_m{};   // RF gate nodes
+  spice::NodeId lo_p{}, lo_m{};   // LO nodes
+  spice::NodeId if_p{}, if_m{};   // IF output nodes
+  spice::VoltageSource* vrf_p = nullptr;  // drive these for stimulus
+  spice::VoltageSource* vrf_m = nullptr;
+  spice::VoltageSource* vlo_p = nullptr;
+  spice::VoltageSource* vlo_m = nullptr;
+  spice::VoltageSource* vdd = nullptr;
+
+  MixerConfig config;
+};
+
+/// RF stimulus description for the mixer harness.
+struct RfStimulus {
+  /// Tone frequencies [Hz] and per-tone amplitude [V] of the differential
+  /// RF input (each single-ended source gets half the amplitude).
+  std::vector<double> freqs_hz;
+  double amplitude = 1e-3;
+};
+
+/// Build the reconfigurable mixer in the mode chosen by `config`, with the
+/// LO running at config.f_lo_hz and the RF sources initially silent.
+/// `variation` selects the process corner and (optionally) per-device
+/// mismatch for Monte-Carlo studies.
+std::unique_ptr<TransistorMixer> build_transistor_mixer(
+    const MixerConfig& config, const DeviceVariation& variation = {});
+
+/// Apply an RF stimulus (replaces the RF source waveforms).
+void set_rf_stimulus(TransistorMixer& mixer, const RfStimulus& stim);
+
+/// Baseline: conventional double-balanced Gilbert mixer (always active).
+std::unique_ptr<TransistorMixer> build_gilbert_baseline(const MixerConfig& config);
+
+/// Baseline: current-commutating passive mixer with resistive degeneration
+/// (refs [5]/[6] style; always passive).
+std::unique_ptr<TransistorMixer> build_passive_baseline(const MixerConfig& config);
+
+/// Two-stage Miller OTA (Fig. 7b) for standalone studies. Because an
+/// open-loop op-amp rails at DC, the builder wires it either as a
+/// unity-gain buffer (in_m tied to out; vin_m is null) or open-loop with
+/// both inputs driven (for small-signal experiments around a forced bias).
+struct OtaCircuit {
+  spice::Circuit circuit;
+  spice::NodeId in_p{}, in_m{}, out{};
+  spice::VoltageSource* vin_p = nullptr;
+  spice::VoltageSource* vin_m = nullptr;  // null in unity-gain configuration
+};
+
+std::unique_ptr<OtaCircuit> build_two_stage_ota(double vdd = 1.2,
+                                                bool unity_feedback = true);
+
+}  // namespace rfmix::core

@@ -1,0 +1,38 @@
+// Quadrature (I/Q) demodulation and image rejection — the extension the
+// Fig. 2 wide-band front end needs in a real receiver: a single mixer
+// cannot separate the wanted channel at f_lo + f_if from the image at
+// f_lo - f_if; an I/Q pair with a 90-degree LO split can, limited by its
+// gain and phase matching.
+//
+// Built on the LPTV engine: the I and Q paths are two instances of the
+// reconfigurable mixer whose LO phases differ by a quarter period (plus an
+// injected phase error), and whose transconductances differ by an injected
+// gain error. The complex IF combination Z = I -+ jQ selects one sideband;
+// the image-rejection ratio is |Z(wanted)|^2 / |Z(image)|^2.
+#pragma once
+
+#include "core/mixer_config.hpp"
+
+namespace rfmix::core {
+
+struct ImageRejectionResult {
+  double wanted_gain_db = 0.0;  // conversion gain for the wanted sideband
+  double image_gain_db = 0.0;   // conversion gain for the image sideband
+  double irr_db = 0.0;          // image-rejection ratio
+};
+
+/// Compute the I/Q image rejection of the reconfigurable mixer in
+/// `config.mode` at IF `f_if_hz`, with the given quadrature imperfections.
+/// The IF combiner polarity is chosen to maximize the wanted sideband
+/// (as a designer would).
+ImageRejectionResult lptv_image_rejection(const MixerConfig& config,
+                                          double f_if_hz = 5e6,
+                                          double lo_phase_error_deg = 0.0,
+                                          double gain_error_db = 0.0);
+
+/// Textbook IRR bound for gain ratio error eps (linear) and phase error
+/// theta [rad]: IRR = (1 + 2(1+eps)cos(theta) + (1+eps)^2) /
+///                    (1 - 2(1+eps)cos(theta) + (1+eps)^2).
+double analytic_irr_db(double gain_error_db, double phase_error_deg);
+
+}  // namespace rfmix::core

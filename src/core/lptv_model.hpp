@@ -1,0 +1,56 @@
+// LPTV models of the reconfigurable mixer, built for the conversion-matrix
+// engine. These models reproduce the paper's frequency-translation physics
+// from first principles: square-wave commutation, switch Ron, TCA output
+// pole (CPAR), coupling-capacitor low-frequency edge, the TIA's finite
+// gain-bandwidth, and every noise mechanism (stationary TCA channel noise
+// with its 1/f corner, cyclostationary switch noise 4kT g(t), TIA input
+// noise, feedback/load resistor noise).
+//
+// Passive mode (Fig. 6a):  Vin -> [input pole] -> gm stage -> Rdeg (PMOS
+//   Sw1-2 on-resistance) -> 4-switch quad -> TIA virtual grounds (RF || CF).
+// Active mode (Fig. 6b):   Vin -> [input pole] -> commutated gm (Gilbert) ->
+//   transmission-gate load Rtol with Cc low-pass.
+#pragma once
+
+#include <memory>
+
+#include "core/mixer_config.hpp"
+#include "lptv/lptv.hpp"
+
+namespace rfmix::core {
+
+/// Handles into the constructed LPTV circuit.
+struct LptvMixerModel {
+  lptv::LptvCircuit circuit;
+  int in = 0;      // EMF injection node (1 ohm to ground: 1 A -> 1 V)
+  int out_p = 0;   // differential IF output
+  int out_m = 0;
+  double rs = 50.0;  // modeled source resistance for NF referencing
+
+  LptvMixerModel() : circuit(256) {}
+};
+
+/// Build the LPTV model for `config.mode`.
+std::unique_ptr<LptvMixerModel> build_lptv_mixer(const MixerConfig& config);
+
+/// Conversion gain [dB]: RF applied at f_lo + f_if (sideband +1), IF output
+/// read at f_if (sideband 0), referenced to the source EMF.
+double lptv_conversion_gain_db(const MixerConfig& config, double f_if_hz = 5e6);
+
+/// Conversion gain vs RF frequency at fixed IF (Fig. 8 series): the LO is
+/// retuned so that f_rf = f_lo + f_if for each point.
+double lptv_conversion_gain_at_rf_db(const MixerConfig& config, double f_rf_hz,
+                                     double f_if_hz = 5e6);
+
+struct LptvNfPoint {
+  double f_if_hz = 0.0;
+  double nf_dsb_db = 0.0;
+  double gain_db = 0.0;
+  double output_noise_v2_hz = 0.0;
+};
+
+/// DSB noise figure at IF frequency f_if (Fig. 9 series), RF anchored at
+/// config.f_lo_hz + f_if.
+LptvNfPoint lptv_nf_dsb(const MixerConfig& config, double f_if_hz);
+
+}  // namespace rfmix::core

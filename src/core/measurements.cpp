@@ -1,0 +1,88 @@
+#include "core/measurements.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/units.hpp"
+#include "spice/tran.hpp"
+
+namespace rfmix::core {
+
+using mathx::dbm_from_sine_amplitude;
+using mathx::sine_amplitude_from_dbm;
+
+rf::SampledWaveform capture_if_output(TransistorMixer& mixer, const RfStimulus& stim,
+                                      const TransientMeasureOptions& opts) {
+  const double f_lo = mixer.config.f_lo_hz;
+  if (std::fmod(f_lo, opts.grid_hz) > 1e-3)
+    throw std::invalid_argument("capture_if_output: f_lo must sit on the grid");
+  for (const double f : stim.freqs_hz)
+    if (std::fmod(f, opts.grid_hz) > 1e-3)
+      throw std::invalid_argument("capture_if_output: stimulus tone off grid");
+
+  set_rf_stimulus(mixer, stim);
+
+  const double dt = 1.0 / (f_lo * opts.samples_per_lo);
+  const double t_record = opts.grid_periods / opts.grid_hz;
+  const double t_settle = opts.settle_periods / opts.grid_hz;
+  const double t_stop = t_settle + t_record;
+
+  spice::TranOptions topt;
+  topt.newton.max_iterations = 80;
+  const spice::TranResult res = spice::transient(
+      mixer.circuit, t_stop, dt, {{mixer.if_p, mixer.if_m, "if"}}, topt);
+
+  rf::SampledWaveform w;
+  w.sample_rate_hz = 1.0 / dt;
+  w.samples = res.waveform(0);
+  // Keep exactly the final `grid_periods` worth of samples.
+  const std::size_t keep =
+      static_cast<std::size_t>(std::llround(t_record / dt));
+  if (w.samples.size() <= keep)
+    throw std::logic_error("capture_if_output: record shorter than requested window");
+  w.samples.erase(w.samples.begin(),
+                  w.samples.end() - static_cast<std::ptrdiff_t>(keep));
+  return w;
+}
+
+double measure_conversion_gain_db(TransistorMixer& mixer, double if_offset_hz,
+                                  double amp_v, const TransientMeasureOptions& opts) {
+  RfStimulus stim;
+  stim.freqs_hz = {mixer.config.f_lo_hz + if_offset_hz};
+  stim.amplitude = amp_v;
+  const rf::SampledWaveform w = capture_if_output(mixer, stim, opts);
+  const double a_if = rf::tone_amplitude(w, if_offset_hz);
+  return mathx::db_from_voltage_ratio(a_if / amp_v);
+}
+
+rf::ToneLevels measure_two_tone_point(TransistorMixer& mixer, double pin_dbm,
+                                      double f1_off_hz, double f2_off_hz,
+                                      const TransientMeasureOptions& opts) {
+  const double amp = sine_amplitude_from_dbm(pin_dbm);
+  RfStimulus stim;
+  stim.freqs_hz = {mixer.config.f_lo_hz + f1_off_hz, mixer.config.f_lo_hz + f2_off_hz};
+  stim.amplitude = amp;
+  const rf::SampledWaveform w = capture_if_output(mixer, stim, opts);
+
+  rf::ToneLevels t;
+  t.pin_dbm = pin_dbm;
+  t.fund_dbm = dbm_from_sine_amplitude(rf::tone_amplitude(w, f1_off_hz));
+  const double f_im3 = 2.0 * f1_off_hz - f2_off_hz;
+  const double f_im2 = f2_off_hz - f1_off_hz;
+  t.im3_dbm = dbm_from_sine_amplitude(rf::tone_amplitude(w, f_im3));
+  t.im2_dbm = dbm_from_sine_amplitude(rf::tone_amplitude(w, f_im2));
+  return t;
+}
+
+double measure_single_tone_pout_dbm(TransistorMixer& mixer, double pin_dbm,
+                                    double if_offset_hz,
+                                    const TransientMeasureOptions& opts) {
+  const double amp = sine_amplitude_from_dbm(pin_dbm);
+  RfStimulus stim;
+  stim.freqs_hz = {mixer.config.f_lo_hz + if_offset_hz};
+  stim.amplitude = amp;
+  const rf::SampledWaveform w = capture_if_output(mixer, stim, opts);
+  return dbm_from_sine_amplitude(rf::tone_amplitude(w, if_offset_hz));
+}
+
+}  // namespace rfmix::core

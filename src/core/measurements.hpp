@@ -1,0 +1,51 @@
+// Transient measurement harness: drives a transistor-level mixer with
+// coherently-gridded stimuli, captures the IF output, and extracts gain,
+// intermodulation and compression through the rf:: measurement stack — the
+// same flow a bench instrument would run.
+#pragma once
+
+#include "core/circuits.hpp"
+#include "rf/compression.hpp"
+#include "rf/spectrum.hpp"
+#include "rf/twotone.hpp"
+
+namespace rfmix::core {
+
+struct TransientMeasureOptions {
+  /// All stimulus and response tones are placed on this grid so the FFT
+  /// measurement is exactly coherent.
+  double grid_hz = 1e6;
+  /// Record length after settling, in grid periods.
+  int grid_periods = 1;
+  /// Start-up transient discarded before measurement, in grid periods.
+  double settle_periods = 0.5;
+  /// Time step: 1 / (f_lo * samples_per_lo).
+  int samples_per_lo = 20;
+};
+
+/// Run the mixer and capture the differential IF output as a uniform
+/// waveform (settling removed, coherent window).
+rf::SampledWaveform capture_if_output(TransistorMixer& mixer, const RfStimulus& stim,
+                                      const TransientMeasureOptions& opts = {});
+
+/// Conversion gain [dB] for an RF tone at f_lo + if_offset with differential
+/// amplitude `amp_v`: 20*log10(A_if / A_rf).
+double measure_conversion_gain_db(TransistorMixer& mixer, double if_offset_hz,
+                                  double amp_v = 2e-3,
+                                  const TransientMeasureOptions& opts = {});
+
+/// One two-tone point: tones at f_lo + f1_off and f_lo + f2_off, per-tone
+/// input power pin_dbm (into the 50-ohm reference). Returns output tone
+/// levels at the IF fundamental (f1_off), IM3 (2*f1_off - f2_off) and IM2
+/// (f2_off - f1_off).
+rf::ToneLevels measure_two_tone_point(TransistorMixer& mixer, double pin_dbm,
+                                      double f1_off_hz = 5e6, double f2_off_hz = 6e6,
+                                      const TransientMeasureOptions& opts = {});
+
+/// Single-tone output power [dBm] at the IF for a given input power —
+/// building block of the compression sweep.
+double measure_single_tone_pout_dbm(TransistorMixer& mixer, double pin_dbm,
+                                    double if_offset_hz = 5e6,
+                                    const TransientMeasureOptions& opts = {});
+
+}  // namespace rfmix::core

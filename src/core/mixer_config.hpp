@@ -1,0 +1,102 @@
+// Configuration of the reconfigurable down-conversion mixer (paper Fig. 4).
+//
+// One structure drives all three analysis engines (transistor-level SPICE,
+// LPTV conversion matrix, calibrated behavioral model), so a parameter
+// change propagates consistently through every bench.
+#pragma once
+
+#include "frontend/planner.hpp"
+
+namespace rfmix::core {
+
+using frontend::MixerMode;
+
+struct MixerConfig {
+  MixerMode mode = MixerMode::kActive;
+
+  // Environment ----------------------------------------------------------
+  double temperature_k = 300.0;  // junction temperature for noise and gm
+
+  // Supply / LO --------------------------------------------------------
+  double vdd = 1.2;            // [V], the paper's headline supply
+  double f_lo_hz = 2.4e9;      // LO frequency
+  double lo_amplitude = 0.6;   // LO drive amplitude around its common mode [V]
+  double lo_common_mode = 0.6; // LO common-mode level [V]
+  double lo_rise_fraction = 0.05;  // transition width as fraction of period
+  double lo_phase_frac = 0.0;  // LO phase offset as a fraction of the period
+                               // (0.25 = quadrature path of an I/Q pair)
+
+  // RF port ---------------------------------------------------------------
+  // Series resistance between the RF bias/stimulus sources and the gm-stage
+  // gates. Zero keeps the gates ideally driven (transient benches); the PAC
+  // harness sets 50 ohm so small-signal current can be injected at the
+  // gates.
+  double rf_series_r = 0.0;
+
+  // Transconductance amplifier (Fig. 3) ---------------------------------
+  double tca_gm = 20e-3;        // effective differential transconductance [S]
+  double tca_rout = 8e3;        // TCA output resistance per side [ohm]
+  double tca_cpar = 60e-15;     // CPAR at the TCA output node (paper stresses
+                                // minimizing this for op-amp noise reasons)
+  double tca_bias_ma = 1.5;     // per-side bias current for power accounting
+  double tca_nf_gamma = 0.85;   // effective channel-noise factor of the gm devices
+  double tca_flicker_corner_hz = 300e3;  // input-referred 1/f corner of the TCA
+
+  // Switching quad ------------------------------------------------------
+  double quad_w = 40e-6;        // LO switch width [m]
+  double quad_ron = 34.0;       // on-resistance per switch used by the LPTV model
+  double quad_l = 65e-9;
+
+  // PMOS reconfiguration switches Sw1-2 (passive-mode degeneration) ------
+  double sw12_w = 30e-6;
+  double rdeg = 45.0;           // Sw1-2 on-resistance = degeneration resistor
+  // Extra ideal series resistance in the passive path (transistor-level
+  // ablation knob separating "linear degeneration" from the PMOS's own
+  // nonlinear triode resistance).
+  double rdeg_ideal_extra = 0.0;
+
+  // Transmission-gate load (active mode, Fig. 5b) -----------------------
+  double tg_resistance = 4.15e3; // Rtol = Rp || Rn
+  double cc_load = 3.84e-12;    // Cc low-pass capacitor at the IF output
+
+  // Transimpedance amplifier (Fig. 7) ------------------------------------
+  double tia_rf = 2.46e3;       // feedback resistor RF
+  double tia_cf = 5.39e-12;     // feedback capacitor CF
+  double tia_ota_gm = 40e-3;    // OTA first-stage transconductance
+  double tia_ota_rout = 40e3;   // OTA output resistance
+  double tia_ota_gbw_hz = 900e6; // gain-bandwidth of the two-stage OTA model
+  double tia_bias_ma = 3.3;     // the paper: "TIA draws a total of 3.3 mA"
+  double tia_input_noise_nv = 6.8;  // OTA input-referred noise [nV/sqrt(Hz)]
+  double tia_flicker_corner_hz = 60e3;  // OTA 1/f corner (sets the passive-mode
+                                        // IF noise corner, < 100 kHz per §III)
+
+  // Switching-pair direct noise in active mode (Terrovitis-Meyer): effective
+  // transconductance of the pair during commutation overlap.
+  double active_pair_noise_gm = 2.7e-3;
+  double active_pair_flicker_corner_hz = 900e3;
+
+  // Misc power bookkeeping -----------------------------------------------
+  double lo_buffer_ma = 1.0;     // LO buffer current (both modes)
+  double bias_overhead_ma = 0.5;
+  double core_bias_ma = 3.3;     // Sw7 current source feeding the Gilbert core
+                                 // (active mode only)
+
+  /// Total supply current for the configured mode [A]. In active mode the
+  /// TIA is switched off (p3 open) but the Gilbert core carries the Sw7 tail
+  /// current; in passive mode the core is unbiased and the TIA's 3.3 mA is
+  /// on — the paper's power-saving argument, sections II-B/II-C. The two
+  /// land within ~0.1 mA of each other, matching Table I (9.36 vs 9.24 mW).
+  double supply_current_a() const {
+    const double common = (lo_buffer_ma + bias_overhead_ma) * 1e-3;
+    const double tca = 2.0 * tca_bias_ma * 1e-3;
+    if (mode == MixerMode::kActive) {
+      return common + tca + core_bias_ma * 1e-3;
+    }
+    // Passive: the TCA sees a lighter DC load (no core current mirrored).
+    return common + tca + tia_bias_ma * 1e-3 - 0.1e-3;
+  }
+
+  double power_mw() const { return supply_current_a() * vdd * 1e3; }
+};
+
+}  // namespace rfmix::core

@@ -1,0 +1,182 @@
+#include "core/pac_transistor.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "lptv/matrix_conversion.hpp"
+#include "mathx/units.hpp"
+#include "spice/mna.hpp"
+#include "spice/pss.hpp"
+
+namespace rfmix::core {
+
+namespace {
+
+/// Assemble the real small-signal Jacobian of the circuit at state `x`
+/// (DC-mode stamps: conductances and nonlinear-device derivatives; no
+/// capacitor companions — the reactive part is handled separately).
+mathx::MatrixD jacobian_at(const spice::Circuit& ckt, const spice::Solution& x) {
+  const spice::MnaLayout layout = ckt.layout();
+  const std::size_t n = static_cast<std::size_t>(layout.size());
+  mathx::TripletMatrix<double> g(n, n);
+  mathx::VectorD b(n, 0.0);
+  spice::StampParams sp;
+  sp.mode = spice::AnalysisMode::kDc;
+  assemble_real(ckt, x, sp, 0.0, g, b);
+  return g.to_dense();
+}
+
+/// Extract the constant capacitance matrix: C = Im(Y(w0)) / w0 where Y is
+/// the AC system at the operating point (all capacitances in this circuit
+/// are bias-independent, so any operating point works).
+mathx::MatrixD capacitance_matrix(const spice::Circuit& ckt, const spice::Solution& op) {
+  const spice::MnaLayout layout = ckt.layout();
+  const std::size_t n = static_cast<std::size_t>(layout.size());
+  const double w0 = 1.0;  // 1 rad/s: Im(Y)/w0 = C exactly for linear C
+  mathx::TripletMatrix<std::complex<double>> y(n, n);
+  mathx::VectorC b(n, std::complex<double>{});
+  assemble_ac(ckt, op, w0, 0.0, y, b);
+  const mathx::MatrixC dense = y.to_dense();
+  mathx::MatrixD c(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) c(i, j) = dense(i, j).imag() / w0;
+  return c;
+}
+
+}  // namespace
+
+PacResult pac_conversion_gain(const MixerConfig& config, double f_if_hz,
+                              const PacOptions& opts) {
+  MixerConfig cfg = config;
+  if (cfg.rf_series_r <= 0.0) cfg.rf_series_r = 50.0;  // enable gate injection
+  auto mixer = build_transistor_mixer(cfg);
+  spice::Circuit& ckt = mixer->circuit;
+
+  // PSS under LO only (RF sources stay at their DC bias).
+  spice::PssOptions pss_opts;
+  pss_opts.samples_per_period = opts.samples_per_period;
+  const double period = 1.0 / config.f_lo_hz;
+  const spice::PssResult pss = spice::periodic_steady_state(ckt, period, pss_opts);
+
+  // Sampled Jacobians over the orbit + the constant C matrix.
+  std::vector<mathx::MatrixD> g_samples;
+  g_samples.reserve(pss.samples.size());
+  for (const auto& x : pss.samples) g_samples.push_back(jacobian_at(ckt, x));
+  const mathx::MatrixD c = capacitance_matrix(ckt, pss.samples.front());
+
+  lptv::MatrixConversionAnalysis pac(std::move(g_samples), c, config.f_lo_hz,
+                                     opts.harmonics);
+
+  // Inject a differential unit AC current at the RF gates; gains are read
+  // as ratios so the injection impedance drops out.
+  const spice::MnaLayout layout = ckt.layout();
+  const int u_rfp = layout.node_unknown(mixer->rf_p);
+  const int u_rfm = layout.node_unknown(mixer->rf_m);
+  const int u_ifp = layout.node_unknown(mixer->if_p);
+  const int u_ifm = layout.node_unknown(mixer->if_m);
+
+  PacResult result;
+  result.pss_converged = pss.converged;
+  result.pss_periods = pss.periods_used;
+
+  for (const int k_in : {+1, -1}) {
+    const lptv::MatrixPacSolution sol =
+        pac.solve_injection(f_if_hz, u_rfp, u_rfm, k_in);
+    const std::complex<double> v_in =
+        sol.at(k_in, u_rfp) - sol.at(k_in, u_rfm);
+    const std::complex<double> v_out = sol.at(0, u_ifp) - sol.at(0, u_ifm);
+    const double gain_db =
+        mathx::db_from_voltage_ratio(std::abs(v_out) / std::max(std::abs(v_in), 1e-30));
+    if (k_in == +1) {
+      result.conversion_gain_db = gain_db;
+    } else {
+      result.image_gain_db = gain_db;
+    }
+  }
+  return result;
+}
+
+PnoiseResult pac_nf_dsb(const MixerConfig& config, double f_if_hz,
+                        const PacOptions& opts) {
+  MixerConfig cfg = config;
+  if (cfg.rf_series_r <= 0.0) cfg.rf_series_r = 50.0;
+  auto mixer = build_transistor_mixer(cfg);
+  spice::Circuit& ckt = mixer->circuit;
+
+  spice::PssOptions pss_opts;
+  pss_opts.samples_per_period = opts.samples_per_period;
+  const spice::PssResult pss =
+      spice::periodic_steady_state(ckt, 1.0 / cfg.f_lo_hz, pss_opts);
+
+  std::vector<mathx::MatrixD> g_samples;
+  g_samples.reserve(pss.samples.size());
+  for (const auto& x : pss.samples) g_samples.push_back(jacobian_at(ckt, x));
+  const mathx::MatrixD c = capacitance_matrix(ckt, pss.samples.front());
+  const spice::MnaLayout layout = ckt.layout();
+
+  lptv::MatrixConversionAnalysis pac(std::move(g_samples), c, cfg.f_lo_hz,
+                                     opts.harmonics);
+
+  // Sample every device noise source along the orbit: same label = same
+  // physical source, intensity evaluated at the baseband frequency.
+  const int m_samp = static_cast<int>(pss.samples.size());
+  struct Accum {
+    int u_p, u_m;
+    std::vector<double> wave;
+  };
+  std::map<std::string, Accum> by_label;
+  for (int s = 0; s < m_samp; ++s) {
+    std::vector<spice::NoiseSource> sources;
+    for (const auto& dev : ckt.devices())
+      dev->append_noise(sources, pss.samples[static_cast<std::size_t>(s)]);
+    for (const auto& src : sources) {
+      auto [it, inserted] = by_label.try_emplace(
+          src.label, Accum{layout.node_unknown(src.p), layout.node_unknown(src.m),
+                           std::vector<double>(static_cast<std::size_t>(m_samp), 0.0)});
+      it->second.wave[static_cast<std::size_t>(s)] = src.psd(f_if_hz);
+    }
+  }
+  std::vector<lptv::MatrixConversionAnalysis::NoiseSourceSamples> noise_sources;
+  noise_sources.reserve(by_label.size());
+  for (auto& [label, acc] : by_label) {
+    lptv::MatrixConversionAnalysis::NoiseSourceSamples ns;
+    ns.u_p = acc.u_p;
+    ns.u_m = acc.u_m;
+    ns.intensity = std::move(acc.wave);
+    ns.label = label;
+    noise_sources.push_back(std::move(ns));
+  }
+
+  const int u_rfp = layout.node_unknown(mixer->rf_p);
+  const int u_rfm = layout.node_unknown(mixer->rf_m);
+  const int u_ifp = layout.node_unknown(mixer->if_p);
+  const int u_ifm = layout.node_unknown(mixer->if_m);
+
+  const auto noise = pac.output_noise(f_if_hz, u_ifp, u_ifm, noise_sources);
+
+  // EMF-referenced conversion gains for both signal sidebands: injecting a
+  // unit current at the gate behind the series Rs is a Thevenin EMF of
+  // Rs volts per side (2*Rs differentially).
+  double gain2 = 0.0;
+  double gain_up = 0.0;
+  for (const int k_in : {+1, -1}) {
+    const lptv::MatrixPacSolution sol =
+        pac.solve_injection(f_if_hz, u_rfp, u_rfm, k_in);
+    const std::complex<double> v_out = sol.at(0, u_ifp) - sol.at(0, u_ifm);
+    const double av = std::abs(v_out) / (2.0 * cfg.rf_series_r);
+    gain2 += av * av;
+    if (k_in == +1) gain_up = av;
+  }
+
+  PnoiseResult r;
+  r.pss_converged = pss.converged;
+  r.output_noise_v2_hz = noise.total_output_psd_v2_hz;
+  r.gain_db = mathx::db_from_voltage_ratio(gain_up);
+  // DSB NF against the differential source resistance 2*Rs at 290 K.
+  const double source_part =
+      4.0 * mathx::kBoltzmann * 290.0 * (2.0 * cfg.rf_series_r) * gain2;
+  r.nf_dsb_db = mathx::db_from_power_ratio(noise.total_output_psd_v2_hz / source_part);
+  return r;
+}
+
+}  // namespace rfmix::core

@@ -1,0 +1,57 @@
+#include "frontend/cascade.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::frontend {
+
+CascadeResult cascade(const std::vector<StageSpec>& stages) {
+  if (stages.empty()) throw std::invalid_argument("cascade: no stages");
+
+  double gain_lin = 1.0;         // running power gain
+  double f_total = 0.0;          // running noise factor
+  double inv_iip3 = 0.0;         // running 1/IIP3 [1/W]
+  CascadeResult result;
+  result.per_stage.reserve(stages.size());
+
+  bool first = true;
+  for (const auto& s : stages) {
+    const double g = mathx::power_ratio_from_db(s.gain_db);
+    const double f = mathx::nf_factor_from_db(s.nf_db);
+    if (first) {
+      f_total = f;
+      first = false;
+    } else {
+      f_total += (f - 1.0) / gain_lin;
+    }
+    if (s.iip3_dbm < kLinearStage) {
+      // Distortion at this stage referred to the chain input: divide the
+      // stage IIP3 by the gain in front of it.
+      inv_iip3 += gain_lin / mathx::watts_from_dbm(s.iip3_dbm);
+    }
+    gain_lin *= g;
+
+    CascadeStagePoint pt;
+    pt.name = s.name;
+    pt.cumulative_gain_db = mathx::db_from_power_ratio(gain_lin);
+    pt.cumulative_nf_db = mathx::nf_db_from_factor(f_total);
+    pt.cumulative_iip3_dbm =
+        inv_iip3 > 0.0 ? mathx::dbm_from_watts(1.0 / inv_iip3) : kLinearStage;
+    result.per_stage.push_back(pt);
+  }
+
+  result.gain_db = result.per_stage.back().cumulative_gain_db;
+  result.nf_db = result.per_stage.back().cumulative_nf_db;
+  result.iip3_dbm = result.per_stage.back().cumulative_iip3_dbm;
+  return result;
+}
+
+double sensitivity_dbm(double nf_db, double bandwidth_hz, double snr_required_db) {
+  if (bandwidth_hz <= 0.0) throw std::invalid_argument("sensitivity: bandwidth must be > 0");
+  const double noise_floor_dbm = mathx::dbm_from_watts(mathx::thermal_noise_psd());
+  return noise_floor_dbm + nf_db + 10.0 * std::log10(bandwidth_hz) + snr_required_db;
+}
+
+}  // namespace rfmix::frontend

@@ -1,0 +1,46 @@
+// Receiver chain budget analysis: Friis noise figure and IIP3 cascading
+// over behavioral stage specifications (the Fig. 2 wide-band front end:
+// balun -> LNA/gm stage -> mixer -> TIA/filter).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfmix::frontend {
+
+/// Behavioral description of one stage.
+struct StageSpec {
+  std::string name;
+  double gain_db = 0.0;
+  double nf_db = 0.0;
+  /// Input-referred third-order intercept; use kLinearStage for stages with
+  /// no meaningful third-order distortion.
+  double iip3_dbm = 1e9;
+};
+
+inline constexpr double kLinearStage = 1e9;
+
+struct CascadeStagePoint {
+  std::string name;
+  double cumulative_gain_db = 0.0;
+  double cumulative_nf_db = 0.0;
+  double cumulative_iip3_dbm = 0.0;
+};
+
+struct CascadeResult {
+  double gain_db = 0.0;
+  double nf_db = 0.0;
+  double iip3_dbm = 0.0;
+  std::vector<CascadeStagePoint> per_stage;
+};
+
+/// Friis NF and the standard coherent-worst-case IIP3 cascade:
+///   F_total  = F1 + (F2 - 1)/G1 + (F3 - 1)/(G1 G2) + ...
+///   1/P_iip3 = 1/P1 + G1/P2 + G1 G2/P3 ...   (linear watts)
+CascadeResult cascade(const std::vector<StageSpec>& stages);
+
+/// Receiver sensitivity [dBm] for a given NF, channel bandwidth and
+/// required SNR: -174 dBm/Hz + NF + 10 log10(BW) + SNR.
+double sensitivity_dbm(double nf_db, double bandwidth_hz, double snr_required_db);
+
+}  // namespace rfmix::frontend

@@ -1,0 +1,74 @@
+#include "frontend/planner.hpp"
+
+#include <sstream>
+
+namespace rfmix::frontend {
+
+namespace {
+
+CascadeResult chain_for(const FrontEndSpec& fe, const MixerModePerf& mixer) {
+  return cascade({fe.balun, fe.lna,
+                  StageSpec{"mixer", mixer.gain_db, mixer.nf_db, mixer.iip3_dbm}});
+}
+
+}  // namespace
+
+ModeDecision choose_mixer_mode(const WirelessStandard& std_spec,
+                               const FrontEndSpec& fe, const MixerModePerf& active,
+                               const MixerModePerf& passive) {
+  struct Candidate {
+    MixerMode mode;
+    const MixerModePerf* perf;
+    CascadeResult chain;
+    double nf_margin;
+    double iip3_margin;
+    bool pass;
+  };
+
+  auto evaluate = [&](MixerMode mode, const MixerModePerf& perf) {
+    Candidate c{mode, &perf, chain_for(fe, perf), 0.0, 0.0, false};
+    c.nf_margin = std_spec.nf_budget_db - c.chain.nf_db;
+    c.iip3_margin = c.chain.iip3_dbm - std_spec.iip3_budget_dbm;
+    c.pass = c.nf_margin >= 0.0 && c.iip3_margin >= 0.0;
+    return c;
+  };
+
+  const Candidate a = evaluate(MixerMode::kActive, active);
+  const Candidate p = evaluate(MixerMode::kPassive, passive);
+
+  auto decide = [&](const Candidate& chosen, const std::string& why) {
+    ModeDecision d;
+    d.mode = chosen.mode;
+    d.feasible = chosen.pass;
+    d.nf_margin_db = chosen.nf_margin;
+    d.iip3_margin_db = chosen.iip3_margin;
+    d.chain = chosen.chain;
+    std::ostringstream os;
+    os << why << " (NF " << d.chain.nf_db << " dB vs budget " << std_spec.nf_budget_db
+       << ", IIP3 " << d.chain.iip3_dbm << " dBm vs budget " << std_spec.iip3_budget_dbm
+       << ")";
+    d.rationale = os.str();
+    return d;
+  };
+
+  if (a.pass && p.pass) {
+    // Both meet the standard: prefer lower power; tie-break toward the mode
+    // with more NF margin (sensitivity headroom).
+    if (active.power_mw < passive.power_mw - 0.01)
+      return decide(a, "both modes pass; active chosen for lower power");
+    if (passive.power_mw < active.power_mw - 0.01)
+      return decide(p, "both modes pass; passive chosen for lower power");
+    return decide(a.nf_margin >= p.nf_margin ? a : p,
+                  "both modes pass; chose larger NF margin");
+  }
+  if (a.pass) return decide(a, "only active mode meets the budgets");
+  if (p.pass) return decide(p, "only passive mode meets the budgets");
+
+  // Neither passes: report the closer one (smallest total shortfall).
+  const double short_a = std::min(a.nf_margin, 0.0) + std::min(a.iip3_margin, 0.0);
+  const double short_p = std::min(p.nf_margin, 0.0) + std::min(p.iip3_margin, 0.0);
+  return decide(short_a >= short_p ? a : p,
+                "no mode meets the budgets; reporting closest");
+}
+
+}  // namespace rfmix::frontend

@@ -1,0 +1,52 @@
+// Mode-selection planner: given a standard's requirements and the measured
+// performance of the reconfigurable mixer in each mode, decide which mode
+// the radio should configure — the paper's Fig. 1 trade-off, automated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/cascade.hpp"
+#include "frontend/standards.hpp"
+
+namespace rfmix::frontend {
+
+enum class MixerMode { kActive, kPassive };
+
+inline const char* mode_name(MixerMode m) {
+  return m == MixerMode::kActive ? "active" : "passive";
+}
+
+/// Behavioral summary of one mixer mode (produced by core's models or
+/// measured by the benches).
+struct MixerModePerf {
+  double gain_db = 0.0;
+  double nf_db = 0.0;
+  double iip3_dbm = 0.0;
+  double power_mw = 0.0;
+};
+
+struct ModeDecision {
+  MixerMode mode = MixerMode::kActive;
+  bool feasible = false;          // does any mode meet the standard?
+  double nf_margin_db = 0.0;      // budget minus achieved (positive = pass)
+  double iip3_margin_db = 0.0;
+  std::string rationale;
+  CascadeResult chain;            // full front-end budget in the chosen mode
+};
+
+/// The front end around the mixer (balun + LNA/gm stage specs).
+struct FrontEndSpec {
+  StageSpec balun{"balun", -1.0, 1.0, kLinearStage};
+  StageSpec lna{"lna/gm", 12.0, 3.0, 0.0};
+};
+
+/// Pick the mixer mode for `std_spec`: prefer the lowest-noise mode that
+/// meets both the NF and IIP3 budgets; when blockers push the linearity
+/// requirement past what the active mode delivers, switch to passive (the
+/// paper's reconfiguration argument). Ties break toward lower power.
+ModeDecision choose_mixer_mode(const WirelessStandard& std_spec,
+                               const FrontEndSpec& fe, const MixerModePerf& active,
+                               const MixerModePerf& passive);
+
+}  // namespace rfmix::frontend

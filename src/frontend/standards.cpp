@@ -1,0 +1,31 @@
+#include "frontend/standards.hpp"
+
+#include <stdexcept>
+
+namespace rfmix::frontend {
+
+std::vector<WirelessStandard> standard_catalog() {
+  // Values are representative receiver requirements for each standard's
+  // reference data rate; see EXPERIMENTS.md for sources and caveats. The NF
+  // and IIP3 budgets are the slices allocated to the balun+LNA+mixer chain
+  // of Fig. 2: sensitivity-critical standards carry tight NF budgets (the
+  // planner must pick the active mode), blocker-rich environments carry
+  // tight IIP3 budgets (passive mode).
+  return {
+      {"zigbee-2450", 2.445e9, 2e6, -85.0, 5.0, -20.0, 19.0, -16.0},
+      {"ble-1m", 2.440e9, 1e6, -70.0, 8.0, -35.0, 4.8, -25.0},
+      {"wifi-11g-54", 2.442e9, 16.6e6, -65.0, 20.0, -15.0, 10.0, -10.0},
+      {"uwb-band3", 4.488e9, 528e6, -73.0, 6.0, -15.0, 7.0, -9.0},
+      {"cognitive-700", 0.7e9, 6e6, -84.0, 12.0, -35.0, 4.9, -24.0},
+      {"wifi-11n-5g", 5.250e9, 20e6, -64.0, 22.0, -35.0, 4.8, -24.0},
+  };
+}
+
+const WirelessStandard& find_standard(const std::vector<WirelessStandard>& catalog,
+                                      const std::string& name) {
+  for (const auto& s : catalog)
+    if (s.name == name) return s;
+  throw std::invalid_argument("unknown standard: " + name);
+}
+
+}  // namespace rfmix::frontend

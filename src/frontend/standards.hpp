@@ -1,0 +1,29 @@
+// Catalog of the wireless standards the paper's introduction targets
+// (IoT multi-standard receivers: Zigbee, Bluetooth, Wi-Fi, UWB, cognitive
+// radio). Figures are representative published receiver requirements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfmix::frontend {
+
+struct WirelessStandard {
+  std::string name;
+  double f_center_hz = 0.0;
+  double channel_bw_hz = 0.0;
+  double sensitivity_dbm = 0.0;   // required sensitivity at the antenna
+  double snr_required_db = 0.0;   // demodulator SNR for the reference rate
+  double max_blocker_dbm = 0.0;   // strongest in-band blocker the radio sees
+  double nf_budget_db = 0.0;      // receiver NF budget implied by sensitivity
+  double iip3_budget_dbm = 0.0;   // receiver linearity budget with blockers
+};
+
+/// The standards considered by the multi-standard benches and examples.
+std::vector<WirelessStandard> standard_catalog();
+
+/// Find a standard by name (case-sensitive); throws if absent.
+const WirelessStandard& find_standard(const std::vector<WirelessStandard>& catalog,
+                                      const std::string& name);
+
+}  // namespace rfmix::frontend

@@ -1,0 +1,182 @@
+// Linear periodically-time-varying (LPTV) circuit analysis by the harmonic
+// conversion-matrix method — the formulation behind commercial PAC/PNOISE.
+//
+// Model: a linear circuit in which some conductances / transconductances
+// vary periodically with the LO, G(t) = sum_m G_m e^{j m w_lo t}. In
+// sinusoidal steady state at baseband frequency f the solution is a set of
+// sideband phasors X_k at frequencies f + k*f_lo, coupled by
+//
+//    sum_m  G_m X_{k-m}  +  j 2 pi (f + k f_lo) C X_k  =  B_k .
+//
+// Truncating to |k| <= K gives a block linear system of size (2K+1)*N.
+// Solving it yields every sideband transfer function at once: conversion
+// gain (input sideband +-1 -> output sideband 0 for a down-converter) and,
+// via one adjoint solve, the noise folded from every sideband of every
+// source into the output — including cyclostationary switch noise with its
+// inter-sideband correlations.
+#pragma once
+
+#include <complex>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rfmix::lptv {
+
+using Complex = std::complex<double>;
+
+/// Periodic waveform sampled uniformly over one LO period.
+using PeriodicWave = std::vector<double>;
+
+/// Generate a trapezoidal square wave over `n` samples: value `lo` for the
+/// first half, `hi` for the second, with linear transitions of fractional
+/// width `rise_frac` (of the full period) centered on the switching
+/// instants, and an optional phase shift in samples.
+PeriodicWave square_wave(int n, double lo, double hi, double rise_frac = 0.02,
+                         double phase_frac = 0.0);
+
+/// Raised-cosine (sinusoidal) waveform: offset + amp * cos(theta + phase).
+PeriodicWave cosine_wave(int n, double offset, double amp, double phase_rad = 0.0);
+
+class LptvCircuit {
+ public:
+  /// `num_samples` is the waveform resolution per LO period; it bounds the
+  /// highest usable harmonic count (K <= num_samples/4 is safe).
+  explicit LptvCircuit(int num_samples = 256) : num_samples_(num_samples) {}
+
+  int num_samples() const { return num_samples_; }
+
+  /// Nodes are dense integers; 0 is ground. Returns the new node id.
+  int add_node() { return ++max_node_; }
+  int num_nodes() const { return max_node_ + 1; }
+
+  // -- static (time-invariant) elements --------------------------------
+  void add_conductance(int a, int b, double g);
+  void add_resistor(int a, int b, double ohms) { add_conductance(a, b, 1.0 / ohms); }
+  void add_capacitance(int a, int b, double c);
+  /// Current gm*(v(cp)-v(cm)) flows from p to m.
+  void add_vccs(int p, int m, int cp, int cm, double gm);
+
+  // -- periodic elements ------------------------------------------------
+  /// Conductance g(theta) between a and b (e.g. a MOS switch channel).
+  void add_periodic_conductance(int a, int b, PeriodicWave g);
+  /// Transconductance gm(theta): current gm(theta)*(v(cp)-v(cm)) from p to m
+  /// (e.g. a commutated Gm stage).
+  void add_periodic_vccs(int p, int m, int cp, int cm, PeriodicWave gm);
+
+  // -- noise sources ----------------------------------------------------
+  /// Stationary current noise between p and m with one-sided PSD psd(f)
+  /// [A^2/Hz]. Folds from every sideband with the PSD evaluated at that
+  /// sideband's absolute frequency.
+  void add_noise_current(int p, int m, std::function<double(double)> psd,
+                         std::string label);
+  /// Cyclostationary white current noise with periodic intensity s(theta)
+  /// [A^2/Hz] (e.g. 4kT*g(theta) for a switch). Sideband correlations are
+  /// handled through the Fourier coefficients of s.
+  void add_cyclo_noise_current(int p, int m, PeriodicWave s_theta, std::string label);
+
+  // introspection used by the analysis ---------------------------------
+  struct StaticG { int a, b; double g; };
+  struct StaticC { int a, b; double c; };
+  struct StaticGm { int p, m, cp, cm; double gm; };
+  struct PeriodicG { int a, b; PeriodicWave g; };
+  struct PeriodicGm { int p, m, cp, cm; PeriodicWave gm; };
+  struct StationaryNoise { int p, m; std::function<double(double)> psd; std::string label; };
+  struct CycloNoise { int p, m; PeriodicWave s; std::string label; };
+
+  const std::vector<StaticG>& static_g() const { return static_g_; }
+  const std::vector<StaticC>& static_c() const { return static_c_; }
+  const std::vector<StaticGm>& static_gm() const { return static_gm_; }
+  const std::vector<PeriodicG>& periodic_g() const { return periodic_g_; }
+  const std::vector<PeriodicGm>& periodic_gm() const { return periodic_gm_; }
+  const std::vector<StationaryNoise>& stationary_noise() const { return stationary_noise_; }
+  const std::vector<CycloNoise>& cyclo_noise() const { return cyclo_noise_; }
+
+  /// Track node ids referenced by devices so num_nodes() is correct even if
+  /// callers pass raw ints instead of add_node() results.
+  void note_node(int n) { max_node_ = std::max(max_node_, n); }
+
+ private:
+  void check_wave(const PeriodicWave& w) const;
+
+  int num_samples_;
+  int max_node_ = 0;
+  std::vector<StaticG> static_g_;
+  std::vector<StaticC> static_c_;
+  std::vector<StaticGm> static_gm_;
+  std::vector<PeriodicG> periodic_g_;
+  std::vector<PeriodicGm> periodic_gm_;
+  std::vector<StationaryNoise> stationary_noise_;
+  std::vector<CycloNoise> cyclo_noise_;
+};
+
+struct ConversionOptions {
+  double f_lo = 1e9;   // LO frequency [Hz]
+  int harmonics = 8;   // K: sidebands -K..K are retained
+};
+
+/// Result of a periodic AC solve: node voltages at each sideband.
+struct PacSolution {
+  int harmonics = 0;
+  double f_base = 0.0;
+  double f_lo = 0.0;
+  int num_nodes = 0;
+  /// x[(k + K) * num_unknowns + (node-1)]: sideband-k phasor of each node.
+  std::vector<Complex> x;
+
+  Complex v(int k, int node) const;
+  Complex vd(int k, int p, int m) const { return v(k, p) - v(k, m); }
+  double sideband_freq(int k) const { return f_base + k * f_lo; }
+};
+
+/// Per-source noise contribution at the output.
+struct LptvNoiseContribution {
+  std::string label;
+  double output_psd_v2_hz = 0.0;
+};
+
+struct LptvNoiseResult {
+  double f_base = 0.0;
+  double total_output_psd_v2_hz = 0.0;
+  std::vector<LptvNoiseContribution> contributions;
+};
+
+/// The conversion-matrix engine for one (circuit, f_lo, K) combination.
+/// Assembly is per base frequency; factorizations are cached per call.
+class ConversionAnalysis {
+ public:
+  ConversionAnalysis(const LptvCircuit& ckt, ConversionOptions opts);
+
+  /// Solve with a unit AC current injected from node p to node m at sideband
+  /// k_in, at baseband frequency f_base. Returns all node voltages at all
+  /// sidebands (transimpedances, V/A).
+  PacSolution solve_current_injection(double f_base, int p, int m, int k_in) const;
+
+  /// Conversion transimpedance: inject at (in_p, in_m) sideband k_in, read
+  /// differential voltage at (out_p, out_m) sideband k_out [V/A].
+  Complex conversion_transimpedance(double f_base, int in_p, int in_m, int k_in,
+                                    int out_p, int out_m, int k_out) const;
+
+  /// Output noise PSD at (out_p, out_m), sideband 0, baseband frequency
+  /// f_base, folding all sources across all sidebands.
+  LptvNoiseResult output_noise(double f_base, int out_p, int out_m) const;
+
+  int harmonics() const { return opts_.harmonics; }
+  double f_lo() const { return opts_.f_lo; }
+
+ private:
+  struct Assembled;
+  /// Assemble the block system (and its transpose) at f_base.
+  std::unique_ptr<Assembled> assemble(double f_base) const;
+
+  /// Fourier coefficients of a periodic waveform, index m in [-2K, 2K].
+  std::vector<Complex> fourier_coeffs(const PeriodicWave& w) const;
+
+  const LptvCircuit& ckt_;
+  ConversionOptions opts_;
+  int n_unknowns_;  // nodes minus ground
+  int block_count_; // 2K+1
+};
+
+}  // namespace rfmix::lptv

@@ -1,0 +1,186 @@
+#include "lptv/matrix_conversion.hpp"
+
+#include <stdexcept>
+
+#include "mathx/fft.hpp"
+#include "mathx/sparse.hpp"
+#include "mathx/units.hpp"
+
+namespace rfmix::lptv {
+
+using Complex = std::complex<double>;
+using MatrixConversionAnalysis_Entry = MatrixConversionAnalysis::Entry;
+
+MatrixConversionAnalysis::MatrixConversionAnalysis(std::vector<mathx::MatrixD> g_samples,
+                                                   mathx::MatrixD c, double f_lo,
+                                                   int harmonics)
+    : g_samples_(std::move(g_samples)), c_(std::move(c)), f_lo_(f_lo), k_hi_(harmonics) {
+  if (g_samples_.empty()) throw std::invalid_argument("MatrixConversion: no samples");
+  n_ = static_cast<int>(g_samples_.front().rows());
+  const int m_samp = static_cast<int>(g_samples_.size());
+  if (m_samp < 4 * k_hi_ + 2)
+    throw std::invalid_argument("MatrixConversion: need >= 4K+2 time samples");
+  for (const auto& g : g_samples_)
+    if (static_cast<int>(g.rows()) != n_ || static_cast<int>(g.cols()) != n_)
+      throw std::invalid_argument("MatrixConversion: inconsistent sample dimensions");
+  if (static_cast<int>(c_.rows()) != n_ || static_cast<int>(c_.cols()) != n_)
+    throw std::invalid_argument("MatrixConversion: C dimension mismatch");
+
+  // Fourier-analyze each matrix entry that is nonzero anywhere in time.
+  const int m_max = 2 * k_hi_;
+  std::vector<Complex> series(static_cast<std::size_t>(m_samp));
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      bool any = false;
+      for (int s = 0; s < m_samp; ++s) {
+        const double v = g_samples_[static_cast<std::size_t>(s)](
+            static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+        series[static_cast<std::size_t>(s)] = v;
+        if (v != 0.0) any = true;
+      }
+      if (!any) continue;
+      auto spec = series;
+      mathx::fft(spec);
+      Entry e;
+      e.row = i;
+      e.col = j;
+      e.coeff.resize(static_cast<std::size_t>(2 * m_max + 1));
+      for (int m = -m_max; m <= m_max; ++m) {
+        const int idx = ((m % m_samp) + m_samp) % m_samp;
+        e.coeff[static_cast<std::size_t>(m + m_max)] =
+            spec[static_cast<std::size_t>(idx)] / static_cast<double>(m_samp);
+      }
+      entries_.push_back(std::move(e));
+    }
+  }
+}
+
+namespace {
+
+/// Assemble the harmonic block system; when `transpose` is set the matrix
+/// is built transposed (for adjoint/noise solves).
+template <typename AddFn>
+void assemble_blocks(int n, int k_hi, double f_base, double f_lo,
+                     const std::vector<MatrixConversionAnalysis_Entry>& entries,
+                     const mathx::MatrixD& c, bool transpose, AddFn&& add) {
+  auto idx = [&](int k, int u) { return (k + k_hi) * n + u; };
+  const int m_max = 2 * k_hi;
+  for (const auto& e : entries) {
+    for (int k = -k_hi; k <= k_hi; ++k) {
+      for (int l = -k_hi; l <= k_hi; ++l) {
+        const int m = k - l;
+        if (m < -m_max || m > m_max) continue;
+        const Complex v = e.coeff[static_cast<std::size_t>(m + m_max)];
+        if (v == Complex{}) continue;
+        const int r = idx(k, e.row), cc = idx(l, e.col);
+        add(transpose ? cc : r, transpose ? r : cc, v);
+      }
+    }
+  }
+  for (int k = -k_hi; k <= k_hi; ++k) {
+    const Complex jw(0.0, mathx::kTwoPi * (f_base + k * f_lo));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        const double cv = c(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+        if (cv == 0.0) continue;
+        const int r = idx(k, i), cc = idx(k, j);
+        add(transpose ? cc : r, transpose ? r : cc, jw * cv);
+      }
+    }
+    for (int i = 0; i < n; ++i) add(idx(k, i), idx(k, i), Complex(1e-12));
+  }
+}
+
+}  // namespace
+
+MatrixPacSolution MatrixConversionAnalysis::solve_injection(double f_base,
+                                                            int u_inject_p,
+                                                            int u_inject_m,
+                                                            int k_in) const {
+  if (std::abs(k_in) > k_hi_)
+    throw std::invalid_argument("MatrixConversion: k_in outside harmonics");
+  const int blocks = 2 * k_hi_ + 1;
+  const std::size_t dim = static_cast<std::size_t>(blocks * n_);
+  mathx::TripletMatrix<Complex> a(dim, dim);
+  assemble_blocks(n_, k_hi_, f_base, f_lo_, entries_, c_, false,
+                  [&](int r, int cc, Complex v) {
+                    a.add(static_cast<std::size_t>(r), static_cast<std::size_t>(cc), v);
+                  });
+
+  auto idx = [&](int k, int u) { return (k + k_hi_) * n_ + u; };
+  std::vector<Complex> b(dim, Complex{});
+  if (u_inject_p >= 0) b[static_cast<std::size_t>(idx(k_in, u_inject_p))] -= 1.0;
+  if (u_inject_m >= 0) b[static_cast<std::size_t>(idx(k_in, u_inject_m))] += 1.0;
+
+  const mathx::CscMatrix<Complex> csc(a);
+  mathx::SparseLu<Complex> lu(csc);
+
+  MatrixPacSolution sol;
+  sol.harmonics = k_hi_;
+  sol.f_base = f_base;
+  sol.f_lo = f_lo_;
+  sol.n_unknowns = n_;
+  sol.x = lu.solve(b);
+  return sol;
+}
+
+MatrixConversionAnalysis::NoiseResult MatrixConversionAnalysis::output_noise(
+    double f_base, int u_out_p, int u_out_m,
+    const std::vector<NoiseSourceSamples>& sources) const {
+  const int blocks = 2 * k_hi_ + 1;
+  const std::size_t dim = static_cast<std::size_t>(blocks * n_);
+  mathx::TripletMatrix<Complex> at(dim, dim);
+  assemble_blocks(n_, k_hi_, f_base, f_lo_, entries_, c_, true,
+                  [&](int r, int cc, Complex v) {
+                    at.add(static_cast<std::size_t>(r), static_cast<std::size_t>(cc), v);
+                  });
+
+  auto idx = [&](int k, int u) { return (k + k_hi_) * n_ + u; };
+  std::vector<Complex> e(dim, Complex{});
+  if (u_out_p >= 0) e[static_cast<std::size_t>(idx(0, u_out_p))] += 1.0;
+  if (u_out_m >= 0) e[static_cast<std::size_t>(idx(0, u_out_m))] -= 1.0;
+
+  const mathx::CscMatrix<Complex> csc(at);
+  mathx::SparseLu<Complex> lu(csc);
+  const std::vector<Complex> y = lu.solve(e);
+
+  // Transfer from a unit current (p -> m) injected at sideband k: with the
+  // rhs convention (-1 at p, +1 at m), T_k = y[m] - y[p].
+  auto transfer = [&](int k, int up, int um) {
+    Complex t{};
+    if (up >= 0) t -= y[static_cast<std::size_t>(idx(k, up))];
+    if (um >= 0) t += y[static_cast<std::size_t>(idx(k, um))];
+    return t;
+  };
+
+  NoiseResult result;
+  const int m_max = 2 * k_hi_;
+  for (const auto& src : sources) {
+    // Fourier coefficients of the intensity waveform.
+    std::vector<Complex> w(src.intensity.begin(), src.intensity.end());
+    const int m_samp = static_cast<int>(w.size());
+    if (m_samp < 4 * k_hi_ + 2)
+      throw std::invalid_argument("output_noise: intensity waveform too short");
+    mathx::fft(w);
+    auto coeff = [&](int m) {
+      const int i = ((m % m_samp) + m_samp) % m_samp;
+      return w[static_cast<std::size_t>(i)] / static_cast<double>(m_samp);
+    };
+    Complex acc{};
+    for (int k = -k_hi_; k <= k_hi_; ++k) {
+      const Complex tk = transfer(k, src.u_p, src.u_m);
+      if (tk == Complex{}) continue;
+      for (int l = -k_hi_; l <= k_hi_; ++l) {
+        const int m = k - l;
+        if (m < -m_max || m > m_max) continue;
+        acc += tk * std::conj(transfer(l, src.u_p, src.u_m)) * coeff(m);
+      }
+    }
+    const double psd = std::max(acc.real(), 0.0);
+    result.total_output_psd_v2_hz += psd;
+    result.contributions.push_back({src.label, psd});
+  }
+  return result;
+}
+
+}  // namespace rfmix::lptv

@@ -1,0 +1,97 @@
+// Conversion-matrix analysis over *sampled MNA matrices* — the back end of
+// a true PAC analysis. Where lptv.hpp builds the harmonic system from
+// named periodic elements, this variant accepts the raw periodically
+// sampled small-signal Jacobian G(t_k) (plus a constant capacitance matrix
+// C) extracted from a nonlinear circuit's periodic steady state, and
+// solves the same block system
+//
+//   sum_m G_m X_{k-m} + j 2 pi (f + k f_lo) C X_k = B_k .
+//
+// This is how core/pac_transistor.cpp turns the transistor-level mixer
+// into a rigorous periodic AC analysis with no hand modeling.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "mathx/matrix.hpp"
+
+namespace rfmix::lptv {
+
+struct MatrixPacSolution {
+  int harmonics = 0;
+  double f_base = 0.0;
+  double f_lo = 0.0;
+  int n_unknowns = 0;
+  std::vector<std::complex<double>> x;
+
+  /// Phasor of MNA unknown `u` at sideband k.
+  std::complex<double> at(int k, int u) const {
+    return x[static_cast<std::size_t>((k + harmonics) * n_unknowns + u)];
+  }
+};
+
+class MatrixConversionAnalysis {
+ public:
+  /// `g_samples`: the small-signal MNA Jacobian at uniformly spaced times
+  /// over one LO period (all same square dimension). `c`: the constant
+  /// capacitance/reactance matrix (same dimension). Requires
+  /// samples >= 4*harmonics + 2.
+  MatrixConversionAnalysis(std::vector<mathx::MatrixD> g_samples, mathx::MatrixD c,
+                           double f_lo, int harmonics);
+
+  int n_unknowns() const { return n_; }
+  int harmonics() const { return k_hi_; }
+
+  /// Solve with a unit AC current injected into MNA unknown `u_inject`
+  /// (pass the node's unknown index; use -1 to skip, e.g. ground) at
+  /// sideband k_in. For a differential injection pass both indices.
+  MatrixPacSolution solve_injection(double f_base, int u_inject_p, int u_inject_m,
+                                    int k_in) const;
+
+  /// A cyclostationary white noise current source between two MNA unknowns,
+  /// with its intensity sampled along the periodic orbit [A^2/Hz]. The
+  /// intensity samples are evaluated at the analysis baseband frequency
+  /// (exact for white sources; for 1/f sources this captures the baseband
+  /// flicker and neglects its negligible value at the LO sidebands).
+  struct NoiseSourceSamples {
+    int u_p = -1;
+    int u_m = -1;
+    std::vector<double> intensity;  // one value per time sample
+    std::string label;
+  };
+
+  struct NoiseContribution {
+    std::string label;
+    double output_psd_v2_hz = 0.0;
+  };
+
+  struct NoiseResult {
+    double total_output_psd_v2_hz = 0.0;
+    std::vector<NoiseContribution> contributions;
+  };
+
+  /// Output noise PSD at the differential output (u_out_p, u_out_m),
+  /// sideband 0, folding every source across all sidebands with full
+  /// inter-sideband correlation (PNOISE).
+  NoiseResult output_noise(double f_base, int u_out_p, int u_out_m,
+                           const std::vector<NoiseSourceSamples>& sources) const;
+
+  // Fourier coefficients of one nonzero (i, j) entry of G(t), m in
+  // [-2K, 2K]. Public so the implementation's free assembly helper can
+  // take a span of them.
+  struct Entry {
+    int row, col;
+    std::vector<std::complex<double>> coeff;  // size 4K+1
+  };
+
+ private:
+  std::vector<mathx::MatrixD> g_samples_;
+  mathx::MatrixD c_;
+  double f_lo_;
+  int k_hi_;
+  int n_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rfmix::lptv

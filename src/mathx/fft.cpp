@@ -1,0 +1,111 @@
+#include "mathx/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::mathx {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+// Iterative radix-2 Cooley–Tukey; sign = -1 forward, +1 inverse (no scaling).
+void fft_pow2(std::vector<Complex>& a, int sign) {
+  const std::size_t n = a.size();
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * kTwoPi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z: arbitrary-N DFT via a power-of-two convolution.
+void fft_bluestein(std::vector<Complex>& a, int sign) {
+  const std::size_t n = a.size();
+  const std::size_t m = next_power_of_two(2 * n + 1);
+  std::vector<Complex> chirp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // exp(sign * i * pi * k^2 / n); compute k^2 mod 2n to keep the angle
+    // argument small and the twiddles exact for large records.
+    const std::size_t k2 = static_cast<std::size_t>(
+        (static_cast<unsigned long long>(i) * i) % (2ull * n));
+    const double ang = sign * kPi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[i] = Complex(std::cos(ang), std::sin(ang));
+  }
+  std::vector<Complex> x(m, Complex{});
+  std::vector<Complex> y(m, Complex{});
+  for (std::size_t i = 0; i < n; ++i) x[i] = a[i] * chirp[i];
+  y[0] = std::conj(chirp[0]);
+  for (std::size_t i = 1; i < n; ++i) y[i] = y[m - i] = std::conj(chirp[i]);
+  fft_pow2(x, -1);
+  fft_pow2(y, -1);
+  for (std::size_t i = 0; i < m; ++i) x[i] *= y[i];
+  fft_pow2(x, +1);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t i = 0; i < n; ++i) a[i] = x[i] * chirp[i] * scale;
+}
+
+void dft_dispatch(std::vector<Complex>& a, int sign) {
+  if (a.size() <= 1) return;
+  if (is_power_of_two(a.size())) {
+    fft_pow2(a, sign);
+  } else {
+    fft_bluestein(a, sign);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<Complex>& data) { dft_dispatch(data, -1); }
+
+void ifft(std::vector<Complex>& data) {
+  dft_dispatch(data, +1);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v *= scale;
+}
+
+std::vector<Complex> fft_real(const std::vector<double>& data) {
+  std::vector<Complex> c(data.begin(), data.end());
+  fft(c);
+  return c;
+}
+
+Complex single_bin_dft(const std::vector<double>& data, double cycles_per_record) {
+  const std::size_t n = data.size();
+  if (n == 0) throw std::invalid_argument("single_bin_dft on empty record");
+  const double w = kTwoPi * cycles_per_record / static_cast<double>(n);
+  // Recurrence-based oscillator would drift over long records; direct
+  // evaluation with double angles stays accurate to ~1e-12 for our sizes.
+  Complex acc{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = w * static_cast<double>(i);
+    acc += data[i] * Complex(std::cos(ang), -std::sin(ang));
+  }
+  return acc;
+}
+
+}  // namespace rfmix::mathx

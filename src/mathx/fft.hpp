@@ -1,0 +1,38 @@
+// FFT: iterative radix-2 Cooley–Tukey for power-of-two sizes and Bluestein's
+// chirp-z algorithm for arbitrary sizes, plus real-signal helpers.
+//
+// The RF measurement harness relies on coherent sampling (integer number of
+// signal periods per record), so arbitrary-N support matters: it lets the
+// two-tone and conversion-gain benches pick record lengths that make every
+// tone of interest land exactly on a bin.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace rfmix::mathx {
+
+using Complex = std::complex<double>;
+
+/// In-place forward DFT: X[k] = sum_n x[n] exp(-2*pi*i*n*k/N).
+/// Accepts any size (radix-2 fast path, Bluestein otherwise).
+void fft(std::vector<Complex>& data);
+
+/// In-place inverse DFT, normalized by 1/N.
+void ifft(std::vector<Complex>& data);
+
+/// Forward DFT of a real signal; returns the full complex spectrum.
+std::vector<Complex> fft_real(const std::vector<double>& data);
+
+/// Single-bin DFT (Goertzel-style direct evaluation) of a real signal at an
+/// arbitrary normalized frequency f = cycles-per-record (not necessarily an
+/// integer). Returns the complex correlation sum_n x[n] exp(-2*pi*i*f*n/N).
+Complex single_bin_dft(const std::vector<double>& data, double cycles_per_record);
+
+/// True if n is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+}  // namespace rfmix::mathx

@@ -1,0 +1,45 @@
+// Piecewise-linear interpolation over tabulated data.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace rfmix::mathx {
+
+/// Linear interpolation of (xs, ys) at x. xs must be strictly increasing.
+/// Values outside the table clamp to the end values (flat extrapolation),
+/// which is the right behaviour for tabulated gain/NF curves.
+inline double interp_linear(const std::vector<double>& xs, const std::vector<double>& ys,
+                            double x) {
+  if (xs.size() != ys.size() || xs.empty())
+    throw std::invalid_argument("interp_linear: bad table");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  const auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+/// First x (by linear interpolation) where ys crosses `level`, scanning left
+/// to right. Returns nullopt-like NaN when no crossing exists.
+inline double first_crossing(const std::vector<double>& xs, const std::vector<double>& ys,
+                             double level) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("first_crossing: bad table");
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    const double a = ys[i - 1] - level;
+    const double b = ys[i] - level;
+    if (a == 0.0) return xs[i - 1];
+    if ((a < 0.0) != (b < 0.0)) {
+      const double t = a / (a - b);
+      return xs[i - 1] + t * (xs[i] - xs[i - 1]);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace rfmix::mathx

@@ -1,0 +1,135 @@
+// Dense matrix over real or complex scalars, row-major.
+//
+// Circuit MNA systems in this project are small (tens of unknowns), so a
+// cache-friendly dense representation is the primary storage; the sparse
+// path (sparse.hpp) exists for the large-harmonic-count LPTV systems.
+#pragma once
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace rfmix::mathx {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* row_data(std::size_t r) { return data_.data() + r * cols_; }
+  const T* row_data(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  Matrix& operator+=(const Matrix& o) {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  Matrix& operator*=(T s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+  friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b) {
+    if (a.cols() != b.rows()) throw std::invalid_argument("Matrix multiply shape mismatch");
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+      }
+    }
+    return out;
+  }
+
+  friend std::vector<T> operator*(const Matrix& a, const std::vector<T>& x) {
+    if (a.cols() != x.size()) throw std::invalid_argument("Matrix-vector shape mismatch");
+    std::vector<T> y(a.rows(), T{});
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      T acc{};
+      const T* row = a.row_data(i);
+      for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+      y[i] = acc;
+    }
+    return y;
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+ private:
+  void require_same_shape(const Matrix& o) const {
+    if (rows_ != o.rows_ || cols_ != o.cols_)
+      throw std::invalid_argument("Matrix shape mismatch");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatrixD = Matrix<double>;
+using MatrixC = Matrix<std::complex<double>>;
+using VectorD = std::vector<double>;
+using VectorC = std::vector<std::complex<double>>;
+
+/// Infinity norm of a vector (real or complex).
+template <typename T>
+double inf_norm(const std::vector<T>& v) {
+  double m = 0.0;
+  for (const auto& x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+/// Euclidean norm.
+template <typename T>
+double two_norm(const std::vector<T>& v) {
+  double s = 0.0;
+  for (const auto& x : v) {
+    const double a = std::abs(x);
+    s += a * a;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace rfmix::mathx

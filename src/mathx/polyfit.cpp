@@ -1,0 +1,96 @@
+#include "mathx/polyfit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/lu.hpp"
+#include "mathx/matrix.hpp"
+
+namespace rfmix::mathx {
+
+namespace {
+
+void require_same_nonempty(const std::vector<double>& x, const std::vector<double>& y,
+                           std::size_t min_points) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit: x/y size mismatch");
+  if (x.size() < min_points) throw std::invalid_argument("fit: too few points");
+}
+
+double rms_residual_of(const std::vector<double>& x, const std::vector<double>& y,
+                       const LineFit& f) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - f(x[i]);
+    s += r * r;
+  }
+  return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+}  // namespace
+
+LineFit fit_line(const std::vector<double>& x, const std::vector<double>& y) {
+  require_same_nonempty(x, y, 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-300) throw std::invalid_argument("fit_line: degenerate x");
+  LineFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  f.rms_residual = rms_residual_of(x, y, f);
+  return f;
+}
+
+LineFit fit_line_fixed_slope(const std::vector<double>& x, const std::vector<double>& y,
+                             double slope) {
+  require_same_nonempty(x, y, 1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += y[i] - slope * x[i];
+  LineFit f;
+  f.slope = slope;
+  f.intercept = acc / static_cast<double>(x.size());
+  f.rms_residual = rms_residual_of(x, y, f);
+  return f;
+}
+
+double line_intersection_x(const LineFit& a, const LineFit& b) {
+  const double ds = a.slope - b.slope;
+  if (std::abs(ds) < 1e-12) throw std::invalid_argument("line_intersection_x: parallel lines");
+  return (b.intercept - a.intercept) / ds;
+}
+
+std::vector<double> fit_polynomial(const std::vector<double>& x,
+                                   const std::vector<double>& y, std::size_t degree) {
+  require_same_nonempty(x, y, degree + 1);
+  const std::size_t m = degree + 1;
+  MatrixD ata(m, m);
+  VectorD atb(m, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Row of the Vandermonde matrix for sample i.
+    std::vector<double> row(m);
+    double p = 1.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      row[j] = p;
+      p *= x[i];
+    }
+    for (std::size_t a = 0; a < m; ++a) {
+      atb[a] += row[a] * y[i];
+      for (std::size_t b = 0; b < m; ++b) ata(a, b) += row[a] * row[b];
+    }
+  }
+  return lu_solve(ata, atb);
+}
+
+double eval_polynomial(const std::vector<double>& coeffs, double x) {
+  double v = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) v = v * x + coeffs[i];
+  return v;
+}
+
+}  // namespace rfmix::mathx

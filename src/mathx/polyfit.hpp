@@ -1,0 +1,41 @@
+// Least-squares polynomial fitting and line fitting.
+//
+// Used by the RF harness to extrapolate IIP3/IIP2 intercept points: the
+// fundamental and IM products are fit with fixed-slope lines (1:1 and 3:1 on
+// a dB scale) in the small-signal region and intersected.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rfmix::mathx {
+
+struct LineFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Root-mean-square residual of the fit.
+  double rms_residual = 0.0;
+
+  double operator()(double x) const { return slope * x + intercept; }
+};
+
+/// Ordinary least-squares line fit y ~= slope*x + intercept.
+LineFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Least-squares fit with the slope fixed (only the intercept is free).
+LineFit fit_line_fixed_slope(const std::vector<double>& x, const std::vector<double>& y,
+                             double slope);
+
+/// x-coordinate where two lines intersect. Throws if parallel.
+double line_intersection_x(const LineFit& a, const LineFit& b);
+
+/// Least-squares polynomial fit of given degree; returns coefficients in
+/// ascending power order (c[0] + c[1] x + ...). Uses normal equations with
+/// column scaling; adequate for the low degrees (<= 5) used here.
+std::vector<double> fit_polynomial(const std::vector<double>& x,
+                                   const std::vector<double>& y, std::size_t degree);
+
+/// Evaluate polynomial with ascending-power coefficients (Horner).
+double eval_polynomial(const std::vector<double>& coeffs, double x);
+
+}  // namespace rfmix::mathx

@@ -1,0 +1,199 @@
+#include "mathx/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/lu.hpp"
+
+namespace rfmix::mathx {
+
+template <typename T>
+CscMatrix<T>::CscMatrix(const TripletMatrix<T>& t)
+    : rows_(t.rows()), cols_(t.cols()), col_ptr_(t.cols() + 1, 0) {
+  const auto& tr = t.row_indices();
+  const auto& tc = t.col_indices();
+  const auto& tv = t.values();
+
+  // Count entries per column, then prefix-sum into col_ptr.
+  std::vector<std::size_t> count(cols_, 0);
+  for (std::size_t k = 0; k < tv.size(); ++k) ++count[tc[k]];
+  for (std::size_t j = 0; j < cols_; ++j) col_ptr_[j + 1] = col_ptr_[j] + count[j];
+
+  // Scatter unsorted, then sort and merge duplicates per column.
+  std::vector<std::size_t> next(col_ptr_.begin(), col_ptr_.end() - 1);
+  std::vector<std::size_t> ri(tv.size());
+  std::vector<T> va(tv.size());
+  for (std::size_t k = 0; k < tv.size(); ++k) {
+    const std::size_t p = next[tc[k]]++;
+    ri[p] = tr[k];
+    va[p] = tv[k];
+  }
+
+  row_idx_.reserve(tv.size());
+  values_.reserve(tv.size());
+  std::vector<std::size_t> new_col_ptr(cols_ + 1, 0);
+  std::vector<std::size_t> order;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const std::size_t lo = col_ptr_[j], hi = col_ptr_[j + 1];
+    order.resize(hi - lo);
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = lo + k;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return ri[a] < ri[b]; });
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::size_t p = order[k];
+      if (new_col_ptr[j + 1] > new_col_ptr[j] && row_idx_.back() == ri[p]) {
+        values_.back() += va[p];  // merge duplicate stamp
+      } else {
+        row_idx_.push_back(ri[p]);
+        values_.push_back(va[p]);
+        ++new_col_ptr[j + 1];
+      }
+    }
+    new_col_ptr[j + 1] += new_col_ptr[j];
+  }
+  col_ptr_ = std::move(new_col_ptr);
+}
+
+template <typename T>
+std::vector<T> CscMatrix<T>::multiply(const std::vector<T>& x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CscMatrix::multiply size mismatch");
+  std::vector<T> y(rows_, T{});
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const T xj = x[j];
+    if (xj == T{}) continue;
+    for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+      y[row_idx_[p]] += values_[p] * xj;
+  }
+  return y;
+}
+
+// Left-looking column LU with partial pivoting, using a dense work column in
+// *original* row coordinates. L columns store original row indices so no
+// renumbering pass is needed; the permutation maps elimination step -> chosen
+// pivot row. The per-column update loop scans all previous columns, which is
+// O(n^2) in symbolic terms but with O(1) work per empty hit — entirely
+// adequate for the <= few-thousand-unknown systems this project builds, and
+// straightforward to reason about.
+template <typename T>
+SparseLu<T>::SparseLu(const CscMatrix<T>& a, double pivot_tol) : n_(a.rows()) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("SparseLu requires square matrix");
+  const std::size_t n = n_;
+  l_col_ptr_.assign(n + 1, 0);
+  u_col_ptr_.assign(n + 1, 0);
+  perm_.assign(n, static_cast<std::size_t>(-1));
+  perm_inv_.assign(n, static_cast<std::size_t>(-1));
+
+  std::vector<T> work(n, T{});      // dense column, original row coords
+  std::vector<char> occupied(n, 0); // nonzero-pattern flags for `work`
+  std::vector<std::size_t> pattern; // rows currently occupied
+  std::vector<char> pivoted(n, 0);  // original row already chosen as pivot?
+
+  const auto& acp = a.col_ptr();
+  const auto& ari = a.row_idx();
+  const auto& av = a.values();
+
+  auto scatter = [&](std::size_t row, T value) {
+    if (!occupied[row]) {
+      occupied[row] = 1;
+      pattern.push_back(row);
+    }
+    work[row] += value;
+  };
+
+  for (std::size_t j = 0; j < n; ++j) {
+    pattern.clear();
+    for (std::size_t p = acp[j]; p < acp[j + 1]; ++p) scatter(ari[p], av[p]);
+
+    // Apply updates from all previous elimination steps in order.
+    for (std::size_t k = 0; k < j; ++k) {
+      const std::size_t piv_row_k = perm_[k];
+      if (!occupied[piv_row_k]) continue;
+      const T ukj = work[piv_row_k];
+      if (ukj == T{}) continue;
+      for (std::size_t p = l_col_ptr_[k]; p < l_col_ptr_[k + 1]; ++p)
+        scatter(l_row_idx_[p], -l_values_[p] * ukj);
+    }
+
+    // Choose pivot among rows not yet pivoted.
+    std::size_t piv_row = static_cast<std::size_t>(-1);
+    double best = pivot_tol;
+    for (const std::size_t r : pattern) {
+      if (pivoted[r]) continue;
+      const double mag = std::abs(work[r]);
+      if (mag > best) {
+        best = mag;
+        piv_row = r;
+      }
+    }
+    if (piv_row == static_cast<std::size_t>(-1)) throw SingularMatrixError(j);
+    const T piv_val = work[piv_row];
+
+    // Emit U column j: previously pivoted rows, ordered by elimination step,
+    // then the diagonal last (solve() relies on diagonal-last).
+    std::vector<std::pair<std::size_t, T>> ucol;  // (elim step, value)
+    for (const std::size_t r : pattern) {
+      if (pivoted[r] && work[r] != T{}) ucol.emplace_back(perm_inv_[r], work[r]);
+    }
+    std::sort(ucol.begin(), ucol.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (const auto& [step, v] : ucol) {
+      u_row_idx_.push_back(step);
+      u_values_.push_back(v);
+    }
+    u_row_idx_.push_back(j);
+    u_values_.push_back(piv_val);
+    u_col_ptr_[j + 1] = u_values_.size();
+
+    // Emit L column j (original row indices, scaled by pivot).
+    for (const std::size_t r : pattern) {
+      if (!pivoted[r] && r != piv_row && work[r] != T{}) {
+        l_row_idx_.push_back(r);
+        l_values_.push_back(work[r] / piv_val);
+      }
+    }
+    l_col_ptr_[j + 1] = l_values_.size();
+
+    perm_[j] = piv_row;
+    perm_inv_[piv_row] = j;
+    pivoted[piv_row] = 1;
+
+    for (const std::size_t r : pattern) {
+      work[r] = T{};
+      occupied[r] = 0;
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> SparseLu<T>::solve(const std::vector<T>& b) const {
+  if (b.size() != n_) throw std::invalid_argument("SparseLu::solve size mismatch");
+  // Forward substitution in elimination-step coordinates: y = L^{-1} P b.
+  std::vector<T> y(n_);
+  for (std::size_t j = 0; j < n_; ++j) y[j] = b[perm_[j]];
+  for (std::size_t j = 0; j < n_; ++j) {
+    const T yj = y[j];
+    if (yj == T{}) continue;
+    for (std::size_t p = l_col_ptr_[j]; p < l_col_ptr_[j + 1]; ++p)
+      y[perm_inv_[l_row_idx_[p]]] -= l_values_[p] * yj;
+  }
+  // Back substitution with U (diagonal stored last in each column).
+  std::vector<T>& x = y;
+  for (std::size_t jj = n_; jj-- > 0;) {
+    const std::size_t lo = u_col_ptr_[jj], hi = u_col_ptr_[jj + 1];
+    const T xj = x[jj] / u_values_[hi - 1];
+    x[jj] = xj;
+    if (xj == T{}) continue;
+    for (std::size_t p = lo; p + 1 < hi; ++p) x[u_row_idx_[p]] -= u_values_[p] * xj;
+  }
+  return x;
+}
+
+template class TripletMatrix<double>;
+template class TripletMatrix<std::complex<double>>;
+template class CscMatrix<double>;
+template class CscMatrix<std::complex<double>>;
+template class SparseLu<double>;
+template class SparseLu<std::complex<double>>;
+
+}  // namespace rfmix::mathx

@@ -1,0 +1,118 @@
+// Sparse matrix support: triplet (COO) builder, compressed sparse column
+// storage, and a left-looking sparse LU with partial pivoting.
+//
+// The LPTV conversion-matrix engine produces block systems of dimension
+// (2K+1)*N for K harmonics and N circuit unknowns; with K=15 and a 40-node
+// mixer that is ~1200 unknowns with strong block sparsity, where dense LU
+// becomes noticeably slower than a sparse factorization.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "mathx/matrix.hpp"
+
+namespace rfmix::mathx {
+
+/// Triplet accumulator. Duplicate (row, col) entries sum, matching the
+/// "stamping" idiom used by MNA assembly.
+template <typename T>
+class TripletMatrix {
+ public:
+  TripletMatrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t entry_count() const { return rows_idx_.size(); }
+
+  void add(std::size_t r, std::size_t c, T v) {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("TripletMatrix::add out of range");
+    if (v == T{}) return;
+    rows_idx_.push_back(r);
+    cols_idx_.push_back(c);
+    values_.push_back(v);
+  }
+
+  const std::vector<std::size_t>& row_indices() const { return rows_idx_; }
+  const std::vector<std::size_t>& col_indices() const { return cols_idx_; }
+  const std::vector<T>& values() const { return values_; }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> m(rows_, cols_);
+    for (std::size_t k = 0; k < values_.size(); ++k)
+      m(rows_idx_[k], cols_idx_[k]) += values_[k];
+    return m;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> rows_idx_;
+  std::vector<std::size_t> cols_idx_;
+  std::vector<T> values_;
+};
+
+/// Compressed sparse column matrix (immutable once built).
+template <typename T>
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  explicit CscMatrix(const TripletMatrix<T>& t);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  const std::vector<std::size_t>& col_ptr() const { return col_ptr_; }
+  const std::vector<std::size_t>& row_idx() const { return row_idx_; }
+  const std::vector<T>& values() const { return values_; }
+
+  std::vector<T> multiply(const std::vector<T>& x) const;
+
+  Matrix<T> to_dense() const {
+    Matrix<T> m(rows_, cols_);
+    for (std::size_t j = 0; j < cols_; ++j)
+      for (std::size_t p = col_ptr_[j]; p < col_ptr_[j + 1]; ++p)
+        m(row_idx_[p], j) = values_[p];
+    return m;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> col_ptr_;  // size cols+1
+  std::vector<std::size_t> row_idx_;  // size nnz, sorted within column
+  std::vector<T> values_;             // size nnz
+};
+
+/// Left-looking (Gilbert–Peierls) sparse LU with partial pivoting.
+template <typename T>
+class SparseLu {
+ public:
+  explicit SparseLu(const CscMatrix<T>& a, double pivot_tol = 0.0);
+
+  std::size_t size() const { return n_; }
+
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+ private:
+  std::size_t n_ = 0;
+  // L is unit-diagonal; stored without the diagonal. U includes diagonal.
+  std::vector<std::size_t> l_col_ptr_, l_row_idx_;
+  std::vector<T> l_values_;
+  std::vector<std::size_t> u_col_ptr_, u_row_idx_;
+  std::vector<T> u_values_;
+  std::vector<std::size_t> perm_;      // row permutation: pivot row of each step
+  std::vector<std::size_t> perm_inv_;  // original row -> pivoted position
+};
+
+extern template class TripletMatrix<double>;
+extern template class TripletMatrix<std::complex<double>>;
+extern template class CscMatrix<double>;
+extern template class CscMatrix<std::complex<double>>;
+extern template class SparseLu<double>;
+extern template class SparseLu<std::complex<double>>;
+
+}  // namespace rfmix::mathx

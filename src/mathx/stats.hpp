@@ -1,0 +1,51 @@
+// Small descriptive-statistics helpers for Monte-Carlo and sweep results.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rfmix::mathx {
+
+struct SampleStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Descriptive statistics of a sample. Throws on empty input.
+inline SampleStats sample_stats(std::vector<double> xs) {
+  if (xs.empty()) throw std::invalid_argument("sample_stats: empty sample");
+  SampleStats s;
+  s.count = xs.size();
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (const double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1 ? std::sqrt(ss / static_cast<double>(xs.size() - 1)) : 0.0;
+  std::sort(xs.begin(), xs.end());
+  s.min = xs.front();
+  s.max = xs.back();
+  const std::size_t n = xs.size();
+  s.median = n % 2 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+  return s;
+}
+
+/// Linear-interpolated percentile (p in [0, 100]) of a sample.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p out of range");
+  std::sort(xs.begin(), xs.end());
+  const double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double t = idx - static_cast<double>(lo);
+  return xs[lo] + t * (xs[hi] - xs[lo]);
+}
+
+}  // namespace rfmix::mathx

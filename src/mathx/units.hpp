@@ -1,0 +1,87 @@
+// Physical constants and RF unit conversions (dB, dBm, volts, watts).
+//
+// All power conversions assume the system reference impedance unless an
+// explicit impedance is passed. The paper's front end is matched to 50 ohm
+// (RF balun with 50 ohm termination, section II), so 50 ohm is the default.
+#pragma once
+
+#include <cmath>
+
+namespace rfmix::mathx {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Standard noise-figure reference temperature [K] (290 K per IEEE).
+inline constexpr double kT0 = 290.0;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEps0 = 8.8541878128e-12;
+
+/// Relative permittivity of SiO2.
+inline constexpr double kEpsSiO2 = 3.9;
+
+/// Default system reference impedance [ohm].
+inline constexpr double kRefImpedance = 50.0;
+
+/// Power ratio -> decibels. Clamps at -400 dB for non-positive ratios so
+/// spectrum plots of empty bins stay finite.
+inline double db_from_power_ratio(double ratio) {
+  if (ratio <= 0.0) return -400.0;
+  return 10.0 * std::log10(ratio);
+}
+
+/// Voltage (amplitude) ratio -> decibels.
+inline double db_from_voltage_ratio(double ratio) {
+  if (ratio <= 0.0) return -400.0;
+  return 20.0 * std::log10(ratio);
+}
+
+/// Decibels -> power ratio.
+inline double power_ratio_from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Decibels -> voltage ratio.
+inline double voltage_ratio_from_db(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Watts -> dBm.
+inline double dbm_from_watts(double watts) {
+  return db_from_power_ratio(watts / 1e-3);
+}
+
+/// dBm -> watts.
+inline double watts_from_dbm(double dbm) { return 1e-3 * power_ratio_from_db(dbm); }
+
+/// Available power in dBm of a sine with the given peak amplitude driving
+/// a matched load of impedance `r` (average power V^2 / (2R)).
+inline double dbm_from_sine_amplitude(double amplitude, double r = kRefImpedance) {
+  return dbm_from_watts(amplitude * amplitude / (2.0 * r));
+}
+
+/// Peak amplitude of a sine whose average power into `r` equals `dbm`.
+inline double sine_amplitude_from_dbm(double dbm, double r = kRefImpedance) {
+  return std::sqrt(2.0 * r * watts_from_dbm(dbm));
+}
+
+/// RMS of a sine of the given peak amplitude.
+inline double rms_from_sine_amplitude(double amplitude) {
+  return amplitude / std::sqrt(2.0);
+}
+
+/// Noise figure [dB] from noise factor (linear).
+inline double nf_db_from_factor(double factor) { return db_from_power_ratio(factor); }
+
+/// Noise factor (linear) from noise figure [dB].
+inline double nf_factor_from_db(double nf_db) { return power_ratio_from_db(nf_db); }
+
+/// Thermal noise available power spectral density kT [W/Hz] at temperature T.
+inline double thermal_noise_psd(double temperature_k = kT0) {
+  return kBoltzmann * temperature_k;
+}
+
+}  // namespace rfmix::mathx

@@ -1,0 +1,78 @@
+#include "mathx/window.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::mathx {
+
+namespace {
+
+// Generalized cosine window: w[i] = sum_k a[k] * cos(2*pi*k*i/N) with
+// alternating signs folded into the coefficients.
+std::vector<double> cosine_window(std::size_t n, const std::vector<double>& a) {
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      v += a[k] * std::cos(kTwoPi * static_cast<double>(k) * static_cast<double>(i) /
+                           static_cast<double>(n));
+    }
+    w[i] = v;
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("window of length zero");
+  switch (kind) {
+    case WindowKind::kRect:
+      return std::vector<double>(n, 1.0);
+    case WindowKind::kHann:
+      return cosine_window(n, {0.5, -0.5});
+    case WindowKind::kHamming:
+      return cosine_window(n, {0.54, -0.46});
+    case WindowKind::kBlackman:
+      return cosine_window(n, {0.42, -0.5, 0.08});
+    case WindowKind::kBlackmanHarris:
+      return cosine_window(n, {0.35875, -0.48829, 0.14128, -0.01168});
+    case WindowKind::kFlatTop:
+      return cosine_window(n, {0.21557895, -0.41663158, 0.277263158, -0.083578947,
+                               0.006947368});
+  }
+  throw std::invalid_argument("unknown window kind");
+}
+
+double coherent_gain(WindowKind kind, std::size_t n) {
+  const auto w = make_window(kind, n);
+  double s = 0.0;
+  for (const double v : w) s += v;
+  return s / static_cast<double>(n);
+}
+
+double equivalent_noise_bandwidth(WindowKind kind, std::size_t n) {
+  const auto w = make_window(kind, n);
+  double s1 = 0.0, s2 = 0.0;
+  for (const double v : w) {
+    s1 += v;
+    s2 += v * v;
+  }
+  return static_cast<double>(n) * s2 / (s1 * s1);
+}
+
+std::string window_name(WindowKind kind) {
+  switch (kind) {
+    case WindowKind::kRect: return "rect";
+    case WindowKind::kHann: return "hann";
+    case WindowKind::kHamming: return "hamming";
+    case WindowKind::kBlackman: return "blackman";
+    case WindowKind::kBlackmanHarris: return "blackman-harris";
+    case WindowKind::kFlatTop: return "flattop";
+  }
+  return "unknown";
+}
+
+}  // namespace rfmix::mathx

@@ -1,0 +1,32 @@
+// Window functions for spectral estimation and their amplitude/noise
+// correction factors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rfmix::mathx {
+
+enum class WindowKind {
+  kRect,            // no window (use with coherent sampling)
+  kHann,
+  kHamming,
+  kBlackman,
+  kBlackmanHarris,  // 4-term, ~-92 dB sidelobes; default for spur hunting
+  kFlatTop,         // amplitude-accurate for non-coherent tones
+};
+
+/// Window samples, length n (periodic form, suitable for FFT analysis).
+std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Coherent gain: mean of the window (amplitude correction = 1/gain).
+double coherent_gain(WindowKind kind, std::size_t n);
+
+/// Equivalent noise bandwidth in bins (for noise-density correction).
+double equivalent_noise_bandwidth(WindowKind kind, std::size_t n);
+
+/// Human-readable name.
+std::string window_name(WindowKind kind);
+
+}  // namespace rfmix::mathx

@@ -1,0 +1,37 @@
+#include "rf/compression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/interp.hpp"
+
+namespace rfmix::rf {
+
+CompressionResult find_p1db(const std::vector<double>& pins_dbm,
+                            const std::function<double(double)>& pout_dbm_of_pin,
+                            int ss_points) {
+  if (static_cast<int>(pins_dbm.size()) < ss_points + 2)
+    throw std::invalid_argument("find_p1db: sweep too short");
+
+  CompressionResult r;
+  r.pin_dbm = pins_dbm;
+  r.gain_db.reserve(pins_dbm.size());
+  for (const double pin : pins_dbm) r.gain_db.push_back(pout_dbm_of_pin(pin) - pin);
+
+  double ss = 0.0;
+  for (int i = 0; i < ss_points; ++i) ss += r.gain_db[static_cast<std::size_t>(i)];
+  ss /= ss_points;
+  r.small_signal_gain_db = ss;
+
+  const double pin_cross = mathx::first_crossing(r.pin_dbm, r.gain_db, ss - 1.0);
+  if (std::isnan(pin_cross)) {
+    r.found = false;
+    return r;
+  }
+  r.found = true;
+  r.p1db_in_dbm = pin_cross;
+  r.p1db_out_dbm = pin_cross + (ss - 1.0);
+  return r;
+}
+
+}  // namespace rfmix::rf

@@ -1,0 +1,25 @@
+// 1 dB compression point measurement.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace rfmix::rf {
+
+struct CompressionResult {
+  double p1db_in_dbm = 0.0;   // input-referred 1 dB compression point
+  double p1db_out_dbm = 0.0;  // output power at compression
+  double small_signal_gain_db = 0.0;
+  bool found = false;         // false if the sweep never compressed by 1 dB
+  std::vector<double> pin_dbm;
+  std::vector<double> gain_db;
+};
+
+/// Sweep input power and find where gain has fallen 1 dB below its
+/// small-signal value (average of the first `ss_points` sweep points),
+/// interpolating between sweep samples.
+CompressionResult find_p1db(const std::vector<double>& pins_dbm,
+                            const std::function<double(double)>& pout_dbm_of_pin,
+                            int ss_points = 3);
+
+}  // namespace rfmix::rf

@@ -1,0 +1,38 @@
+// Noise-figure bookkeeping helpers.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::rf {
+
+/// Noise figure [dB] from measured output noise.
+///
+/// F = Sout_total / (Sout due to source resistance alone)
+///   = Sout_total / (4 k T0 Rs * |Av|^2)
+/// where Av is the voltage gain from the source EMF to the output.
+inline double nf_db_from_output_noise(double sout_v2_hz, double av_magnitude,
+                                      double rs_ohms,
+                                      double temperature_k = mathx::kT0) {
+  if (sout_v2_hz <= 0.0 || av_magnitude <= 0.0 || rs_ohms <= 0.0)
+    throw std::invalid_argument("nf_db_from_output_noise: non-positive input");
+  const double source_part =
+      4.0 * mathx::kBoltzmann * temperature_k * rs_ohms * av_magnitude * av_magnitude;
+  return mathx::db_from_power_ratio(sout_v2_hz / source_part);
+}
+
+/// Input-referred noise voltage density [V/sqrt(Hz)] from output noise.
+inline double input_referred_density(double sout_v2_hz, double av_magnitude) {
+  if (av_magnitude <= 0.0)
+    throw std::invalid_argument("input_referred_density: non-positive gain");
+  return std::sqrt(sout_v2_hz) / av_magnitude;
+}
+
+/// Single-sideband NF from a double-sideband NF for a mixer whose signal
+/// occupies one sideband but whose noise folds from both (+3 dB classical
+/// relation for equal sideband gains).
+inline double ssb_nf_from_dsb(double dsb_nf_db) { return dsb_nf_db + 3.0103; }
+
+}  // namespace rfmix::rf

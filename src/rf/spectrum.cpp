@@ -1,0 +1,99 @@
+#include "rf/spectrum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mathx/fft.hpp"
+
+namespace rfmix::rf {
+
+std::complex<double> tone_phasor(const SampledWaveform& w, double freq_hz) {
+  if (w.samples.empty() || w.sample_rate_hz <= 0.0)
+    throw std::invalid_argument("tone_phasor: empty waveform");
+  const double n = static_cast<double>(w.samples.size());
+  const double cycles = freq_hz * n / w.sample_rate_hz;
+  const std::complex<double> bin = mathx::single_bin_dft(w.samples, cycles);
+  // Real signal: amplitude = 2|X|/N (except DC).
+  const double scale = freq_hz == 0.0 ? 1.0 / n : 2.0 / n;
+  return bin * scale;
+}
+
+double tone_amplitude(const SampledWaveform& w, double freq_hz) {
+  return std::abs(tone_phasor(w, freq_hz));
+}
+
+double tone_power_dbm(const SampledWaveform& w, double freq_hz, double r_ohms) {
+  return mathx::dbm_from_sine_amplitude(tone_amplitude(w, freq_hz), r_ohms);
+}
+
+std::vector<SpectrumBin> amplitude_spectrum(const SampledWaveform& w,
+                                            mathx::WindowKind window) {
+  if (w.samples.empty() || w.sample_rate_hz <= 0.0)
+    throw std::invalid_argument("amplitude_spectrum: empty waveform");
+  const std::size_t n = w.samples.size();
+  const auto win = mathx::make_window(window, n);
+  const double cg = mathx::coherent_gain(window, n);
+  std::vector<double> xw(n);
+  for (std::size_t i = 0; i < n; ++i) xw[i] = w.samples[i] * win[i];
+  const auto spec = mathx::fft_real(xw);
+  const std::size_t half = n / 2 + 1;
+  std::vector<SpectrumBin> out;
+  out.reserve(half);
+  for (std::size_t k = 0; k < half; ++k) {
+    SpectrumBin bin;
+    bin.freq_hz = static_cast<double>(k) * w.sample_rate_hz / static_cast<double>(n);
+    const double scale = (k == 0 || 2 * k == n) ? 1.0 : 2.0;
+    bin.amplitude = scale * std::abs(spec[k]) / (static_cast<double>(n) * cg);
+    out.push_back(bin);
+  }
+  return out;
+}
+
+SpectrumBin peak_in_band(const std::vector<SpectrumBin>& spec, double f_lo, double f_hi) {
+  SpectrumBin best;
+  best.amplitude = -1.0;
+  for (const auto& b : spec) {
+    if (b.freq_hz < f_lo || b.freq_hz > f_hi) continue;
+    if (b.amplitude > best.amplitude) best = b;
+  }
+  if (best.amplitude < 0.0) throw std::invalid_argument("peak_in_band: empty band");
+  return best;
+}
+
+double sfdr_db(const SampledWaveform& w, double f_signal_hz, double exclude_hz,
+               mathx::WindowKind window) {
+  const auto spec = amplitude_spectrum(w, window);
+  const double sig = tone_amplitude(w, f_signal_hz);
+  if (sig <= 0.0) throw std::invalid_argument("sfdr_db: no signal at f_signal");
+  double worst = 0.0;
+  const double bin_hz = w.sample_rate_hz / static_cast<double>(w.samples.size());
+  for (const auto& b : spec) {
+    if (b.freq_hz < 2.0 * bin_hz) continue;  // skip DC leakage region
+    if (std::abs(b.freq_hz - f_signal_hz) <= exclude_hz) continue;
+    worst = std::max(worst, b.amplitude);
+  }
+  return mathx::db_from_voltage_ratio(sig / std::max(worst, 1e-30));
+}
+
+SampledWaveform trim_to_coherent_window(const SampledWaveform& w, double settle_fraction,
+                                        double f_fundamental) {
+  if (settle_fraction < 0.0 || settle_fraction >= 1.0)
+    throw std::invalid_argument("settle_fraction must be in [0, 1)");
+  const std::size_t n = w.samples.size();
+  const std::size_t skip_raw = static_cast<std::size_t>(settle_fraction * n);
+  const double samples_per_period = w.sample_rate_hz / f_fundamental;
+  // Keep the largest integer number of fundamental periods that fits.
+  const std::size_t avail = n - skip_raw;
+  const std::size_t periods =
+      static_cast<std::size_t>(static_cast<double>(avail) / samples_per_period);
+  if (periods == 0)
+    throw std::invalid_argument("trim_to_coherent_window: record shorter than one period");
+  const std::size_t keep =
+      static_cast<std::size_t>(std::llround(periods * samples_per_period));
+  SampledWaveform out;
+  out.sample_rate_hz = w.sample_rate_hz;
+  out.samples.assign(w.samples.end() - keep, w.samples.end());
+  return out;
+}
+
+}  // namespace rfmix::rf

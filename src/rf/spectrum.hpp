@@ -1,0 +1,66 @@
+// Spectrum estimation over uniformly sampled waveforms.
+//
+// The simulation benches use coherent sampling: record lengths are chosen so
+// every tone of interest lands on an exact number of cycles per record. Tone
+// amplitudes are then read with the single-bin DFT (no window, no scalloping
+// loss). The windowed full-FFT path exists for exploratory spur hunting.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "mathx/units.hpp"
+#include "mathx/window.hpp"
+
+namespace rfmix::rf {
+
+/// A uniformly sampled real waveform.
+struct SampledWaveform {
+  std::vector<double> samples;
+  double sample_rate_hz = 0.0;
+
+  double duration_s() const {
+    return samples.empty() ? 0.0 : static_cast<double>(samples.size()) / sample_rate_hz;
+  }
+};
+
+/// Complex phasor (amplitude/phase) of the tone at `freq_hz`, measured
+/// coherently. The returned magnitude is the tone's *peak amplitude* in the
+/// waveform's units. freq_hz need not be an exact bin.
+std::complex<double> tone_phasor(const SampledWaveform& w, double freq_hz);
+
+/// Peak amplitude of the tone at freq_hz.
+double tone_amplitude(const SampledWaveform& w, double freq_hz);
+
+/// Tone power in dBm, interpreting the waveform as a voltage across
+/// `r_ohms`.
+double tone_power_dbm(const SampledWaveform& w, double freq_hz,
+                      double r_ohms = mathx::kRefImpedance);
+
+/// One bin of a windowed power spectrum.
+struct SpectrumBin {
+  double freq_hz = 0.0;
+  double amplitude = 0.0;  // window-corrected peak amplitude
+};
+
+/// Windowed amplitude spectrum (positive frequencies only, DC excluded from
+/// peak search helpers).
+std::vector<SpectrumBin> amplitude_spectrum(const SampledWaveform& w,
+                                            mathx::WindowKind window);
+
+/// Largest bin in [f_lo, f_hi] of a precomputed spectrum.
+SpectrumBin peak_in_band(const std::vector<SpectrumBin>& spec, double f_lo, double f_hi);
+
+/// Spurious-free dynamic range [dB]: ratio of the signal tone to the
+/// largest other bin (DC and bins within `exclude_hz` of the signal are
+/// ignored). Computed over a windowed amplitude spectrum.
+double sfdr_db(const SampledWaveform& w, double f_signal_hz, double exclude_hz,
+               mathx::WindowKind window = mathx::WindowKind::kBlackmanHarris);
+
+/// Drop the first `settle_fraction` of the record (start-up transient) and
+/// keep an integer number of periods of `f_fundamental` so coherent
+/// measurements stay exact.
+SampledWaveform trim_to_coherent_window(const SampledWaveform& w, double settle_fraction,
+                                        double f_fundamental);
+
+}  // namespace rfmix::rf

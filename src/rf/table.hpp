@@ -1,0 +1,31 @@
+// Console table / CSV emission used by the benchmark binaries to print the
+// paper's tables and figure series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rfmix::rf {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles to the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated form for downstream plotting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rfmix::rf

@@ -1,0 +1,58 @@
+#include "rf/twotone.hpp"
+
+#include <stdexcept>
+
+#include "mathx/polyfit.hpp"
+
+namespace rfmix::rf {
+
+InterceptResult extract_intercepts(const std::vector<ToneLevels>& sweep,
+                                   double floor_dbm) {
+  std::vector<double> pin_f, fund, pin_3, im3, pin_2, im2;
+  for (const auto& pt : sweep) {
+    if (pt.fund_dbm > floor_dbm) {
+      pin_f.push_back(pt.pin_dbm);
+      fund.push_back(pt.fund_dbm);
+    }
+    if (pt.im3_dbm > floor_dbm) {
+      pin_3.push_back(pt.pin_dbm);
+      im3.push_back(pt.im3_dbm);
+    }
+    if (pt.im2_dbm > floor_dbm) {
+      pin_2.push_back(pt.pin_dbm);
+      im2.push_back(pt.im2_dbm);
+    }
+  }
+  if (pin_f.size() < 2 || pin_3.size() < 2)
+    throw std::invalid_argument(
+        "extract_intercepts: need >= 2 sweep points above the floor");
+
+  // Fixed theoretical slopes: fundamental 1 dB/dB, IM3 3 dB/dB, IM2 2 dB/dB.
+  const mathx::LineFit f1 = mathx::fit_line_fixed_slope(pin_f, fund, 1.0);
+  const mathx::LineFit f3 = mathx::fit_line_fixed_slope(pin_3, im3, 3.0);
+
+  InterceptResult r;
+  r.gain_db = f1.intercept;  // slope-1 line: out = pin + gain
+  r.iip3_dbm = mathx::line_intersection_x(f1, f3);
+  r.oip3_dbm = f1(r.iip3_dbm);
+  r.fund_fit_rms = f1.rms_residual;
+  r.im3_fit_rms = f3.rms_residual;
+
+  if (pin_2.size() >= 2) {
+    const mathx::LineFit f2 = mathx::fit_line_fixed_slope(pin_2, im2, 2.0);
+    r.iip2_dbm = mathx::line_intersection_x(f1, f2);
+    r.has_iip2 = true;
+  }
+  return r;
+}
+
+InterceptResult sweep_and_extract(const std::vector<double>& pins_dbm,
+                                  const std::function<ToneLevels(double)>& measure,
+                                  double floor_dbm) {
+  std::vector<ToneLevels> sweep;
+  sweep.reserve(pins_dbm.size());
+  for (const double pin : pins_dbm) sweep.push_back(measure(pin));
+  return extract_intercepts(sweep, floor_dbm);
+}
+
+}  // namespace rfmix::rf

@@ -1,0 +1,41 @@
+// Two-tone intermodulation measurements: IIP3 / IIP2 extraction by the
+// standard intercept-point construction (fixed-slope line fits on a dB/dB
+// grid, intersected with the fundamental line).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace rfmix::rf {
+
+/// Output levels of one two-tone measurement at a given input power.
+struct ToneLevels {
+  double pin_dbm = 0.0;   // per-tone input power
+  double fund_dbm = 0.0;  // output fundamental (per tone)
+  double im3_dbm = -400.0;  // third-order product (2f1-f2 or 2f2-f1)
+  double im2_dbm = -400.0;  // second-order product (f2-f1), optional
+};
+
+struct InterceptResult {
+  double iip3_dbm = 0.0;
+  double oip3_dbm = 0.0;
+  double gain_db = 0.0;      // small-signal gain from the fundamental fit
+  double iip2_dbm = 0.0;     // only meaningful when IM2 data was provided
+  bool has_iip2 = false;
+  double fund_fit_rms = 0.0;  // residuals diagnose sweep-range problems
+  double im3_fit_rms = 0.0;
+};
+
+/// Extract intercept points from a per-tone power sweep. Points whose IM
+/// levels are below `floor_dbm` (numerical noise) are excluded from fits.
+/// Requires at least two usable points; throws std::invalid_argument
+/// otherwise.
+InterceptResult extract_intercepts(const std::vector<ToneLevels>& sweep,
+                                   double floor_dbm = -250.0);
+
+/// Convenience driver: run `measure` across pin values and extract.
+InterceptResult sweep_and_extract(const std::vector<double>& pins_dbm,
+                                  const std::function<ToneLevels(double)>& measure,
+                                  double floor_dbm = -250.0);
+
+}  // namespace rfmix::rf

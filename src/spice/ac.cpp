@@ -1,0 +1,58 @@
+#include "spice/ac.hpp"
+
+#include <cmath>
+
+#include "mathx/lu.hpp"
+#include "mathx/units.hpp"
+#include "spice/mna.hpp"
+
+namespace rfmix::spice {
+
+std::vector<double> log_space(double f_start, double f_stop, int points) {
+  std::vector<double> f;
+  f.reserve(static_cast<std::size_t>(points));
+  if (points == 1) {
+    f.push_back(f_start);
+    return f;
+  }
+  const double l0 = std::log10(f_start);
+  const double l1 = std::log10(f_stop);
+  for (int i = 0; i < points; ++i)
+    f.push_back(std::pow(10.0, l0 + (l1 - l0) * i / (points - 1)));
+  return f;
+}
+
+std::vector<double> lin_space(double f_start, double f_stop, int points) {
+  std::vector<double> f;
+  f.reserve(static_cast<std::size_t>(points));
+  if (points == 1) {
+    f.push_back(f_start);
+    return f;
+  }
+  for (int i = 0; i < points; ++i)
+    f.push_back(f_start + (f_stop - f_start) * i / (points - 1));
+  return f;
+}
+
+AcResult ac_sweep(Circuit& ckt, const Solution& op, const std::vector<double>& freqs_hz,
+                  double gmin) {
+  const MnaLayout layout = ckt.finalize();
+  const std::size_t n = static_cast<std::size_t>(layout.size());
+
+  AcResult result;
+  result.freqs_hz = freqs_hz;
+  result.layout = layout;
+  result.solutions.reserve(freqs_hz.size());
+
+  for (const double f : freqs_hz) {
+    const double omega = mathx::kTwoPi * f;
+    mathx::TripletMatrix<std::complex<double>> y(n, n);
+    mathx::VectorC b(n, std::complex<double>{});
+    assemble_ac(ckt, op, omega, gmin, y, b);
+    result.solutions.push_back(
+        mathx::LuFactorization<std::complex<double>>(y.to_dense()).solve(b));
+  }
+  return result;
+}
+
+}  // namespace rfmix::spice

@@ -1,0 +1,97 @@
+// Circuit: a named-node netlist owning its devices.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/device.hpp"
+#include "spice/types.hpp"
+
+namespace rfmix::spice {
+
+class Circuit {
+ public:
+  Circuit() {
+    node_names_.push_back("0");
+    node_index_["0"] = kGround;
+    node_index_["gnd"] = kGround;
+  }
+
+  /// Get or create a node by name. "0" and "gnd" are ground.
+  NodeId node(const std::string& name) {
+    auto it = node_index_.find(name);
+    if (it != node_index_.end()) return it->second;
+    const NodeId id = static_cast<NodeId>(node_names_.size());
+    node_names_.push_back(name);
+    node_index_[name] = id;
+    return id;
+  }
+
+  /// Look up an existing node; throws if absent.
+  NodeId find_node(const std::string& name) const {
+    auto it = node_index_.find(name);
+    if (it == node_index_.end())
+      throw std::invalid_argument("unknown node: " + name);
+    return it->second;
+  }
+
+  bool has_node(const std::string& name) const {
+    return node_index_.find(name) != node_index_.end();
+  }
+
+  const std::string& node_name(NodeId n) const {
+    return node_names_.at(static_cast<std::size_t>(n));
+  }
+
+  int num_nodes() const { return static_cast<int>(node_names_.size()); }
+
+  /// Construct and register a device; returns a reference that stays valid
+  /// for the circuit's lifetime.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto dev = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *dev;
+    devices_.push_back(std::move(dev));
+    finalized_ = false;
+    return ref;
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+
+  /// Find a device by name; returns nullptr if absent.
+  Device* find_device(const std::string& name) {
+    for (auto& d : devices_)
+      if (d->name() == name) return d.get();
+    return nullptr;
+  }
+
+  /// Assign branch indices. Called automatically by analyses.
+  MnaLayout finalize() {
+    int next_branch = 0;
+    for (auto& d : devices_) {
+      if (d->num_branches() > 0) {
+        d->set_branch_base(next_branch);
+        next_branch += d->num_branches();
+      }
+    }
+    finalized_ = true;
+    layout_ = MnaLayout{num_nodes(), next_branch};
+    return layout_;
+  }
+
+  MnaLayout layout() const {
+    if (!finalized_) throw std::logic_error("Circuit::finalize not called");
+    return layout_;
+  }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeId> node_index_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  bool finalized_ = false;
+  MnaLayout layout_{};
+};
+
+}  // namespace rfmix::spice

@@ -1,0 +1,46 @@
+#include "spice/dcsweep.hpp"
+
+#include <stdexcept>
+
+namespace rfmix::spice {
+
+DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double start, double stop,
+                       int points, const OpOptions& opts) {
+  if (points < 2) throw std::invalid_argument("dc_sweep: need at least 2 points");
+  const Waveform saved = source.waveform();
+
+  DcSweepResult result;
+  result.values.reserve(static_cast<std::size_t>(points));
+  result.solutions.reserve(static_cast<std::size_t>(points));
+
+  const MnaLayout layout = ckt.finalize();
+  StampParams params;
+  params.mode = AnalysisMode::kDc;
+
+  Solution guess = Solution::zeros(layout);
+  bool have_guess = false;
+  for (int i = 0; i < points; ++i) {
+    const double v = start + (stop - start) * i / (points - 1);
+    source.set_waveform(Waveform::dc(v));
+    NewtonResult nr = solve_newton(ckt, guess, params, opts.newton);
+    if (!nr.converged) {
+      // Cold restart through the full homotopy machinery.
+      try {
+        nr.solution = dc_operating_point(ckt, opts);
+        nr.converged = true;
+      } catch (const ConvergenceError&) {
+        source.set_waveform(saved);
+        throw ConvergenceError("dc_sweep: no convergence at value " + std::to_string(v));
+      }
+    }
+    guess = nr.solution;
+    have_guess = true;
+    result.values.push_back(v);
+    result.solutions.push_back(nr.solution);
+  }
+  (void)have_guess;
+  source.set_waveform(saved);
+  return result;
+}
+
+}  // namespace rfmix::spice

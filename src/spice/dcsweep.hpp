@@ -1,0 +1,45 @@
+// DC sweep analysis: step a source through a range of values, warm-starting
+// each Newton solve from the previous solution — the standard way to trace
+// I-V curves and transfer characteristics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/devices_sources.hpp"
+#include "spice/op.hpp"
+
+namespace rfmix::spice {
+
+struct DcSweepResult {
+  std::vector<double> values;      // swept source values
+  std::vector<Solution> solutions; // operating point at each value
+
+  std::size_t size() const { return values.size(); }
+
+  /// Node voltage trace across the sweep.
+  std::vector<double> v(NodeId n) const {
+    std::vector<double> out;
+    out.reserve(solutions.size());
+    for (const auto& s : solutions) out.push_back(s.v(n));
+    return out;
+  }
+
+  /// Branch current trace of a voltage source (by pointer).
+  std::vector<double> source_current(const VoltageSource& src) const {
+    std::vector<double> out;
+    out.reserve(solutions.size());
+    for (const auto& s : solutions) out.push_back(src.current(s));
+    return out;
+  }
+};
+
+/// Sweep the DC value of `source` over [start, stop] in `points` steps.
+/// The source's waveform is replaced by DC values during the sweep and
+/// restored afterwards. Throws ConvergenceError if any point fails after
+/// the warm start and a cold restart.
+DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double start, double stop,
+                       int points, const OpOptions& opts = {});
+
+}  // namespace rfmix::spice

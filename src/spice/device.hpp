@@ -1,0 +1,69 @@
+// Device base class: every circuit element implements the stamp interface.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spice/stamper.hpp"
+#include "spice/types.hpp"
+
+namespace rfmix::spice {
+
+/// A small-signal noise current source between two nodes, produced by a
+/// device at a given operating point. `psd` returns the one-sided current
+/// noise power spectral density [A^2/Hz] at frequency f.
+struct NoiseSource {
+  NodeId p = kGround;
+  NodeId m = kGround;
+  std::function<double(double f)> psd;
+  std::string label;
+};
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Number of extra branch-current unknowns this device needs.
+  virtual int num_branches() const { return 0; }
+
+  /// Called by Circuit::finalize with the first branch index reserved for
+  /// this device (only when num_branches() > 0).
+  void set_branch_base(int base) { branch_base_ = base; }
+  int branch_base() const { return branch_base_; }
+
+  /// Stamp the (linearized) model at candidate solution `x`. Nonlinear
+  /// devices stamp their Newton companion model: Jacobian entries plus the
+  /// equivalent current i0 - J*x0.
+  virtual void stamp(RealStamper& s, const Solution& x, const StampParams& p) const = 0;
+
+  /// Stamp the small-signal model at operating point `op` and angular
+  /// frequency `omega`. Independent sources stamp their AC magnitude.
+  virtual void stamp_ac(ComplexStamper& s, const Solution& op, double omega) const = 0;
+
+  /// Append this device's noise sources at the operating point.
+  virtual void append_noise(std::vector<NoiseSource>&, const Solution&) const {}
+
+  /// Transient lifecycle: called once before time stepping with the DC
+  /// operating point, and after each accepted step with the converged
+  /// solution. Devices with memory (C, L) keep their companion state here.
+  virtual void tran_begin(const Solution&) {}
+  virtual void tran_accept(const Solution&, const StampParams&) {}
+
+  /// DC power drawn from the circuit by this device at the operating point
+  /// (positive = dissipates / delivers from supply; sources return the power
+  /// they *deliver* as negative dissipation). Used for Table I power rows.
+  virtual double dissipated_power(const Solution&) const { return 0.0; }
+
+ private:
+  std::string name_;
+  int branch_base_ = -1;
+};
+
+}  // namespace rfmix::spice

@@ -1,0 +1,128 @@
+// Magnetically coupled inductors and the ideal-transformer limit — the
+// substrate for the RF balun at the head of the Fig. 2 front end ("the
+// differential ended RF input is taken by RF balun using 50 ohm input
+// impedance termination").
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/circuit.hpp"
+#include "spice/device.hpp"
+
+namespace rfmix::spice {
+
+/// Two coupled inductors with coupling factor k:
+///   v1 = L1 di1/dt + M di2/dt,   v2 = M di1/dt + L2 di2/dt,  M = k sqrt(L1 L2).
+/// Two branch-current unknowns. DC: both windings are shorts. Transient
+/// uses the backward-Euler/trapezoidal companion of the full 2x2 inductance
+/// matrix; AC stamps the complex impedance matrix.
+class CoupledInductors : public Device {
+ public:
+  CoupledInductors(std::string name, NodeId p1, NodeId m1, NodeId p2, NodeId m2,
+                   double l1, double l2, double k, double r_winding = 0.1)
+      : Device(std::move(name)), p1_(p1), m1_(m1), p2_(p2), m2_(m2), l1_(l1), l2_(l2),
+        k_(k), resr_(r_winding) {
+    if (!(r_winding > 0.0))
+      throw std::invalid_argument(
+          "CoupledInductors: winding resistance must be positive (a perfect "
+          "winding in parallel with a voltage source is structurally singular)");
+    if (!(l1 > 0.0) || !(l2 > 0.0))
+      throw std::invalid_argument("CoupledInductors: inductances must be positive");
+    if (!(k >= 0.0) || !(k < 1.0))
+      throw std::invalid_argument("CoupledInductors: need 0 <= k < 1");
+    m_ = k_ * std::sqrt(l1_ * l2_);
+  }
+
+  int num_branches() const override { return 2; }
+
+  double mutual() const { return m_; }
+
+  void stamp(RealStamper& s, const Solution&, const StampParams& p) const override {
+    const int b1 = branch_base();
+    const int b2 = branch_base() + 1;
+    s.add_branch_incidence(p1_, m1_, b1);
+    s.add_branch_incidence(p2_, m2_, b2);
+    const int u1 = s.layout().branch_unknown(b1);
+    const int u2 = s.layout().branch_unknown(b2);
+    // Winding resistance keeps the DC system nonsingular and models copper
+    // loss: v = i*resr + L di/dt.
+    s.add_entry(u1, u1, -resr_);
+    s.add_entry(u2, u2, -resr_);
+    if (p.mode == AnalysisMode::kDc) return;  // otherwise shorts in DC
+
+    // Companion: v = (L/h') (i - i_prev) [+ v_prev for trapezoidal], with
+    // h' = dt (BE) or dt/2 (trap), applied to the full inductance matrix.
+    const double hp =
+        p.integrator == Integrator::kBackwardEuler ? p.dt : p.dt / 2.0;
+    const double r11 = l1_ / hp, r22 = l2_ / hp, r12 = m_ / hp;
+    s.add_entry(u1, u1, -r11);
+    s.add_entry(u1, u2, -r12);
+    s.add_entry(u2, u1, -r12);
+    s.add_entry(u2, u2, -r22);
+    double rhs1 = -(r11 * i1_prev_ + r12 * i2_prev_);
+    double rhs2 = -(r12 * i1_prev_ + r22 * i2_prev_);
+    if (p.integrator == Integrator::kTrapezoidal) {
+      rhs1 -= v1_prev_;
+      rhs2 -= v2_prev_;
+    }
+    s.add_rhs(u1, rhs1);
+    s.add_rhs(u2, rhs2);
+  }
+
+  void stamp_ac(ComplexStamper& s, const Solution&, double omega) const override {
+    const int b1 = branch_base();
+    const int b2 = branch_base() + 1;
+    s.add_branch_incidence(p1_, m1_, b1);
+    s.add_branch_incidence(p2_, m2_, b2);
+    const int u1 = s.layout().branch_unknown(b1);
+    const int u2 = s.layout().branch_unknown(b2);
+    const std::complex<double> jw(0.0, omega);
+    s.add_entry(u1, u1, -(resr_ + jw * l1_));
+    s.add_entry(u1, u2, -jw * m_);
+    s.add_entry(u2, u1, -jw * m_);
+    s.add_entry(u2, u2, -(resr_ + jw * l2_));
+  }
+
+  void tran_begin(const Solution& op) override {
+    i1_prev_ = op.branch_current(branch_base());
+    i2_prev_ = op.branch_current(branch_base() + 1);
+    v1_prev_ = op.vd(p1_, m1_);
+    v2_prev_ = op.vd(p2_, m2_);
+  }
+
+  void tran_accept(const Solution& x, const StampParams&) override {
+    i1_prev_ = x.branch_current(branch_base());
+    i2_prev_ = x.branch_current(branch_base() + 1);
+    v1_prev_ = x.vd(p1_, m1_);
+    v2_prev_ = x.vd(p2_, m2_);
+  }
+
+ private:
+  NodeId p1_, m1_, p2_, m2_;
+  double l1_, l2_, k_, m_;
+  double resr_;
+  double i1_prev_ = 0.0, i2_prev_ = 0.0;
+  double v1_prev_ = 0.0, v2_prev_ = 0.0;
+};
+
+/// Convenience: add a 1:n balun (single-ended input, differential output
+/// around a center-tap node) built from two tightly coupled secondaries.
+struct BalunNodes {
+  NodeId out_p, out_m;
+};
+
+inline BalunNodes add_balun(Circuit& ckt, const std::string& name, NodeId in,
+                            NodeId center_tap, double l_primary = 5e-9,
+                            double turns_ratio = 1.0, double k = 0.98) {
+  const NodeId out_p = ckt.node(name + "_p");
+  const NodeId out_m = ckt.node(name + "_m");
+  const double l_half = l_primary * turns_ratio * turns_ratio / 2.0;
+  ckt.add<CoupledInductors>(name + "_t1", in, kGround, out_p, center_tap, l_primary,
+                            l_half, k);
+  ckt.add<CoupledInductors>(name + "_t2", kGround, in, out_m, center_tap, l_primary,
+                            l_half, k);
+  return {out_p, out_m};
+}
+
+}  // namespace rfmix::spice

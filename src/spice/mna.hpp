@@ -1,0 +1,39 @@
+// MNA system assembly shared by the DC, transient, AC and noise analyses.
+#pragma once
+
+#include "mathx/lu.hpp"
+#include "mathx/sparse.hpp"
+#include "spice/circuit.hpp"
+
+namespace rfmix::spice {
+
+/// Assemble the real linearized system G x = b at candidate solution `x`.
+inline void assemble_real(const Circuit& ckt, const Solution& x, const StampParams& p,
+                          double gmin, mathx::TripletMatrix<double>& g,
+                          mathx::VectorD& b) {
+  const MnaLayout layout = ckt.layout();
+  RealStamper stamper(g, b, layout);
+  for (const auto& dev : ckt.devices()) dev->stamp(stamper, x, p);
+  // gmin from every node to ground keeps floating subnets solvable.
+  if (gmin > 0.0) {
+    for (int n = 1; n < layout.num_nodes; ++n)
+      g.add(static_cast<std::size_t>(layout.node_unknown(n)),
+            static_cast<std::size_t>(layout.node_unknown(n)), gmin);
+  }
+}
+
+/// Assemble the complex small-signal system Y x = b at operating point `op`
+/// and angular frequency `omega`.
+inline void assemble_ac(const Circuit& ckt, const Solution& op, double omega, double gmin,
+                        mathx::TripletMatrix<std::complex<double>>& y, mathx::VectorC& b) {
+  const MnaLayout layout = ckt.layout();
+  ComplexStamper stamper(y, b, layout);
+  for (const auto& dev : ckt.devices()) dev->stamp_ac(stamper, op, omega);
+  if (gmin > 0.0) {
+    for (int n = 1; n < layout.num_nodes; ++n)
+      y.add(static_cast<std::size_t>(layout.node_unknown(n)),
+            static_cast<std::size_t>(layout.node_unknown(n)), gmin);
+  }
+}
+
+}  // namespace rfmix::spice

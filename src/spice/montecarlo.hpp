@@ -1,0 +1,72 @@
+// Monte-Carlo device mismatch and process corners for the tech65 models.
+//
+// Mismatch follows the Pelgrom model: threshold and current-factor
+// mismatch standard deviations scale with 1/sqrt(W*L). This is what turns
+// the idealized "perfectly balanced" differential circuits into realistic
+// ones — critically, IIP2 of a double-balanced mixer is mismatch-limited,
+// so the paper's "IIP2 > 65 dBm" claim can only be stress-tested with this
+// machinery (see bench_iip2_mismatch).
+#pragma once
+
+#include "mathx/rng.hpp"
+#include "spice/mosfet.hpp"
+
+namespace rfmix::spice::tech65 {
+
+/// Pelgrom matching coefficients for the 65 nm-class process.
+struct MismatchSpec {
+  double avt = 3.5e-9;   // threshold mismatch coefficient [V*m] (3.5 mV*um)
+  double akp = 0.01e-6;  // relative current-factor mismatch [m] (1 %*um)
+};
+
+/// Draw a mismatched copy of `nominal`: vto and kp get independent normal
+/// perturbations with sigma = A/sqrt(W*L).
+inline MosParams with_mismatch(const MosParams& nominal, mathx::Rng& rng,
+                               const MismatchSpec& spec = {}) {
+  MosParams p = nominal;
+  const double sqrt_area = std::sqrt(p.w * p.l);
+  const double sigma_vt = spec.avt / sqrt_area;
+  const double sigma_kp_rel = spec.akp / sqrt_area;
+  p.vto += rng.normal() * sigma_vt;
+  p.kp *= 1.0 + rng.normal() * sigma_kp_rel;
+  return p;
+}
+
+/// Process corners: global (fully correlated) shifts of both device types.
+enum class Corner { kTT, kSS, kFF, kSF, kFS };
+
+inline const char* corner_name(Corner c) {
+  switch (c) {
+    case Corner::kTT: return "TT";
+    case Corner::kSS: return "SS";
+    case Corner::kFF: return "FF";
+    case Corner::kSF: return "SF";
+    case Corner::kFS: return "FS";
+  }
+  return "?";
+}
+
+/// Apply a corner to a nominal parameter set. Slow: +8% |vto|, -12% kp;
+/// fast: -8% |vto|, +12% kp. SF = slow NMOS / fast PMOS, FS the reverse.
+inline MosParams at_corner(const MosParams& nominal, Corner corner) {
+  MosParams p = nominal;
+  auto slow = [&] {
+    p.vto += 0.028;
+    p.kp *= 0.88;
+  };
+  auto fast = [&] {
+    p.vto -= 0.028;
+    p.kp *= 1.12;
+  };
+  const bool is_nmos = p.type == MosType::kNmos;
+  switch (corner) {
+    case Corner::kTT: break;
+    case Corner::kSS: slow(); break;
+    case Corner::kFF: fast(); break;
+    case Corner::kSF: is_nmos ? slow() : fast(); break;
+    case Corner::kFS: is_nmos ? fast() : slow(); break;
+  }
+  return p;
+}
+
+}  // namespace rfmix::spice::tech65

@@ -1,0 +1,44 @@
+// LTI noise analysis via the adjoint (transposed-system) method.
+//
+// For each analysis frequency the complex MNA matrix Y is assembled at the
+// operating point and the transposed system Y^T y = e_out is solved once,
+// where e_out selects the differential output. The transfer magnitude from a
+// noise current source injected between nodes (p, m) to the output voltage is
+// then |y_p - y_m|, so the total output noise is a single pass over all
+// device noise sources per frequency — the textbook adjoint-network method.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace rfmix::spice {
+
+struct NoiseContribution {
+  std::string label;
+  double output_psd_v2_hz = 0.0;  // contribution to output voltage noise [V^2/Hz]
+};
+
+struct NoisePoint {
+  double freq_hz = 0.0;
+  double total_output_psd_v2_hz = 0.0;
+  std::vector<NoiseContribution> contributions;
+};
+
+struct NoiseResult {
+  std::vector<NoisePoint> points;
+
+  /// Output noise voltage density [V/sqrt(Hz)] at point i.
+  double output_density(std::size_t i) const;
+
+  /// Sum of contributions whose label contains `substr` at point i.
+  double contribution_psd(std::size_t i, const std::string& substr) const;
+};
+
+/// Compute output noise at the differential output (out_p, out_m) across
+/// `freqs_hz`.
+NoiseResult noise_analysis(Circuit& ckt, const Solution& op, NodeId out_p, NodeId out_m,
+                           const std::vector<double>& freqs_hz, double gmin = 1e-12);
+
+}  // namespace rfmix::spice

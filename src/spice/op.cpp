@@ -1,0 +1,138 @@
+#include "spice/op.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mathx/lu.hpp"
+#include "spice/mna.hpp"
+
+namespace rfmix::spice {
+
+namespace {
+
+bool step_converged(const MnaLayout& layout, const mathx::VectorD& x_old,
+                    const mathx::VectorD& x_new, const NewtonOptions& opts) {
+  const int nv = layout.num_nodes - 1;
+  for (int i = 0; i < layout.size(); ++i) {
+    const double dx = std::abs(x_new[static_cast<std::size_t>(i)] -
+                               x_old[static_cast<std::size_t>(i)]);
+    const double mag = std::max(std::abs(x_new[static_cast<std::size_t>(i)]),
+                                std::abs(x_old[static_cast<std::size_t>(i)]));
+    const double abstol = i < nv ? opts.abstol_v : opts.abstol_i;
+    if (dx > abstol + opts.reltol * mag) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+NewtonResult solve_newton(const Circuit& ckt, const Solution& initial,
+                          const StampParams& params, const NewtonOptions& opts) {
+  const MnaLayout layout = ckt.layout();
+  const std::size_t n = static_cast<std::size_t>(layout.size());
+
+  NewtonResult result;
+  result.solution = initial;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    mathx::TripletMatrix<double> g(n, n);
+    mathx::VectorD b(n, 0.0);
+    assemble_real(ckt, result.solution, params, opts.gmin, g, b);
+
+    mathx::VectorD x_new;
+    try {
+      x_new = mathx::LuFactorization<double>(g.to_dense()).solve(b);
+    } catch (const mathx::SingularMatrixError&) {
+      // Singular Jacobian mid-iteration: bail out; the caller's homotopy
+      // (larger gmin) usually repairs this.
+      result.converged = false;
+      result.iterations = iter + 1;
+      return result;
+    }
+
+    // Damping: clamp the largest voltage move to max_step_v. This is the
+    // global-convergence guard for the exponential EKV/diode models.
+    const mathx::VectorD& x_old = result.solution.raw();
+    double max_dv = 0.0;
+    const int nv = layout.num_nodes - 1;
+    for (int i = 0; i < nv; ++i)
+      max_dv = std::max(max_dv, std::abs(x_new[static_cast<std::size_t>(i)] -
+                                         x_old[static_cast<std::size_t>(i)]));
+    double alpha = 1.0;
+    if (max_dv > opts.max_step_v) alpha = opts.max_step_v / max_dv;
+
+    mathx::VectorD x_next(n);
+    for (std::size_t i = 0; i < n; ++i)
+      x_next[i] = x_old[i] + alpha * (x_new[i] - x_old[i]);
+
+    const bool full_step = alpha == 1.0;
+    const bool converged = full_step && step_converged(layout, x_old, x_new, opts);
+    result.solution = Solution(layout, std::move(x_next));
+    result.iterations = iter + 1;
+    if (converged) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.converged = false;
+  return result;
+}
+
+Solution dc_operating_point(Circuit& ckt, const OpOptions& opts) {
+  const MnaLayout layout = ckt.finalize();
+  StampParams params;
+  params.mode = AnalysisMode::kDc;
+
+  // Plain Newton from zero.
+  NewtonResult r = solve_newton(ckt, Solution::zeros(layout), params, opts.newton);
+  if (r.converged) return r.solution;
+
+  // gmin stepping: start heavily damped, relax gmin geometrically, warm-
+  // starting each stage from the previous solution.
+  if (opts.allow_gmin_stepping) {
+    NewtonOptions n = opts.newton;
+    Solution x = Solution::zeros(layout);
+    bool ok = true;
+    for (double gmin = 1e-2; gmin >= opts.newton.gmin; gmin /= 10.0) {
+      n.gmin = gmin;
+      NewtonResult stage = solve_newton(ckt, x, params, n);
+      if (!stage.converged) {
+        ok = false;
+        break;
+      }
+      x = stage.solution;
+    }
+    if (ok) {
+      n.gmin = opts.newton.gmin;
+      NewtonResult final = solve_newton(ckt, x, params, n);
+      if (final.converged) return final.solution;
+    }
+  }
+
+  // Source stepping: ramp all independent sources from 0 to full value.
+  if (opts.allow_source_stepping) {
+    Solution x = Solution::zeros(layout);
+    bool ok = true;
+    for (double scale : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      StampParams sp = params;
+      sp.source_scale = scale;
+      NewtonResult stage = solve_newton(ckt, x, sp, opts.newton);
+      if (!stage.converged) {
+        ok = false;
+        break;
+      }
+      x = stage.solution;
+    }
+    if (ok) return x;
+  }
+
+  throw ConvergenceError("dc_operating_point: no convergence (plain, gmin, source stepping)");
+}
+
+double total_dissipated_power(const Circuit& ckt, const Solution& op) {
+  double p = 0.0;
+  for (const auto& dev : ckt.devices()) p += dev->dissipated_power(op);
+  return p;
+}
+
+}  // namespace rfmix::spice

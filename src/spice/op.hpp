@@ -1,0 +1,48 @@
+// DC operating-point solver: Newton-Raphson with step damping, plus gmin
+// stepping and source stepping homotopies for hard bias points.
+#pragma once
+
+#include <string>
+
+#include "spice/circuit.hpp"
+
+namespace rfmix::spice {
+
+struct NewtonOptions {
+  int max_iterations = 200;
+  double reltol = 1e-4;
+  double abstol_v = 1e-7;   // volts
+  double abstol_i = 1e-10;  // amps (branch unknowns)
+  double gmin = 1e-12;
+  double max_step_v = 0.5;  // per-iteration Newton step clamp [V]
+};
+
+struct OpOptions {
+  NewtonOptions newton;
+  bool allow_gmin_stepping = true;
+  bool allow_source_stepping = true;
+};
+
+struct NewtonResult {
+  Solution solution;
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// One Newton solve at fixed StampParams, starting from `initial`.
+NewtonResult solve_newton(const Circuit& ckt, const Solution& initial,
+                          const StampParams& params, const NewtonOptions& opts);
+
+/// Full DC operating point with homotopy fallbacks. Throws
+/// ConvergenceError if every strategy fails.
+Solution dc_operating_point(Circuit& ckt, const OpOptions& opts = {});
+
+/// Total power delivered by sources / dissipated in devices at `op` [W].
+double total_dissipated_power(const Circuit& ckt, const Solution& op);
+
+class ConvergenceError : public std::runtime_error {
+ public:
+  explicit ConvergenceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace rfmix::spice

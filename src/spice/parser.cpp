@@ -1,0 +1,390 @@
+#include "spice/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "mathx/units.hpp"
+#include "spice/devices_diode.hpp"
+#include "spice/devices_magnetics.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_sources.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/tech65.hpp"
+#include "spice/waveform.hpp"
+
+namespace rfmix::spice {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+/// Split a line into tokens; '(' ')' ',' become separate tokens and '=' is
+/// isolated so key=value pairs tokenize as {key, "=", value}.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::string norm;
+  norm.reserve(line.size() + 8);
+  for (const char c : line) {
+    if (c == '(' || c == ')' || c == ',' || c == '=') {
+      norm.push_back(' ');
+      if (c == '=') norm.push_back('=');
+      if (c == '=') norm.push_back(' ');
+      if (c == '(') norm.push_back('(');
+      if (c == '(') norm.push_back(' ');
+      if (c == ')') norm.push_back(')');
+      if (c == ')') norm.push_back(' ');
+    } else {
+      norm.push_back(c);
+    }
+  }
+  std::vector<std::string> tokens;
+  std::istringstream iss(norm);
+  std::string tok;
+  while (iss >> tok) tokens.push_back(to_lower(tok));
+  return tokens;
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  std::size_t pos = 0;
+  const double base = std::stod(token, &pos);
+  std::string suffix = to_lower(token.substr(pos));
+  // Trailing unit letters after the scale (e.g. "10uF") are ignored, as in
+  // SPICE.
+  double scale = 1.0;
+  if (suffix.rfind("meg", 0) == 0) {
+    scale = 1e6;
+  } else if (!suffix.empty()) {
+    switch (suffix[0]) {
+      case 'f': scale = 1e-15; break;
+      case 'p': scale = 1e-12; break;
+      case 'n': scale = 1e-9; break;
+      case 'u': scale = 1e-6; break;
+      case 'm': scale = 1e-3; break;
+      case 'k': scale = 1e3; break;
+      case 'g': scale = 1e9; break;
+      case 't': scale = 1e12; break;
+      default: scale = 1.0; break;
+    }
+  }
+  return base * scale;
+}
+
+namespace {
+
+struct KeyValues {
+  std::vector<std::pair<std::string, std::string>> kv;
+  double get(const std::string& key, double fallback) const {
+    for (const auto& [k, v] : kv)
+      if (k == key) return parse_spice_number(v);
+    return fallback;
+  }
+};
+
+KeyValues extract_kv(const std::vector<std::string>& t, std::size_t from) {
+  KeyValues out;
+  for (std::size_t i = from; i + 2 < t.size() + 1; ++i) {
+    if (i + 2 < t.size() && t[i + 1] == "=") out.kv.emplace_back(t[i], t[i + 2]);
+  }
+  return out;
+}
+
+/// Collect numeric arguments of a function-style token list: name ( a b c ).
+std::vector<double> paren_args(const std::vector<std::string>& t, std::size_t& i,
+                               int line_no, const char* what) {
+  if (i >= t.size() || t[i] != "(")
+    throw ParseError(line_no, std::string(what) + " must be followed by (");
+  std::vector<double> args;
+  std::size_t j = i + 1;
+  while (j < t.size() && t[j] != ")") args.push_back(parse_spice_number(t[j++]));
+  if (j >= t.size()) throw ParseError(line_no, std::string(what) + " missing )");
+  i = j + 1;
+  return args;
+}
+
+struct SourceSpec {
+  Waveform wave = Waveform::dc(0.0);
+  double ac_mag = 0.0;
+  double ac_phase = 0.0;
+};
+
+SourceSpec parse_source(const std::vector<std::string>& t, std::size_t i, int line_no) {
+  SourceSpec spec;
+  bool have_wave = false;
+  while (i < t.size()) {
+    if (t[i] == "dc") {
+      if (i + 1 >= t.size()) throw ParseError(line_no, "DC needs a value");
+      spec.wave = Waveform::dc(parse_spice_number(t[i + 1]));
+      have_wave = true;
+      i += 2;
+    } else if (t[i] == "sin") {
+      ++i;
+      const auto args = paren_args(t, i, line_no, "SIN");
+      if (args.size() < 3) throw ParseError(line_no, "SIN needs offset amp freq");
+      SineWave sw;
+      sw.offset = args[0];
+      sw.amplitude = args[1];
+      sw.freq_hz = args[2];
+      sw.phase_rad = args.size() > 3 ? args[3] * mathx::kPi / 180.0 : 0.0;
+      sw.delay_s = args.size() > 4 ? args[4] : 0.0;
+      spec.wave = Waveform(sw);
+      have_wave = true;
+    } else if (t[i] == "pulse") {
+      ++i;
+      const auto args = paren_args(t, i, line_no, "PULSE");
+      if (args.size() < 2) throw ParseError(line_no, "PULSE needs v1 v2 ...");
+      PulseWave pw;
+      pw.v1 = args[0];
+      pw.v2 = args[1];
+      pw.delay_s = args.size() > 2 ? args[2] : 0.0;
+      pw.rise_s = args.size() > 3 ? std::max(args[3], 1e-15) : 1e-12;
+      pw.fall_s = args.size() > 4 ? std::max(args[4], 1e-15) : 1e-12;
+      pw.width_s = args.size() > 5 ? args[5] : 0.0;
+      pw.period_s = args.size() > 6 ? args[6] : 0.0;
+      spec.wave = Waveform(pw);
+      have_wave = true;
+    } else if (t[i] == "pwl") {
+      ++i;
+      const auto args = paren_args(t, i, line_no, "PWL");
+      if (args.size() < 2 || args.size() % 2 != 0)
+        throw ParseError(line_no, "PWL needs t/v pairs");
+      PwlWave pw;
+      for (std::size_t k = 0; k + 1 < args.size(); k += 2)
+        pw.points.emplace_back(args[k], args[k + 1]);
+      spec.wave = Waveform(pw);
+      have_wave = true;
+    } else if (t[i] == "ac") {
+      if (i + 1 >= t.size()) throw ParseError(line_no, "AC needs a magnitude");
+      spec.ac_mag = parse_spice_number(t[i + 1]);
+      i += 2;
+      if (i < t.size()) {
+        try {
+          spec.ac_phase = parse_spice_number(t[i]) * mathx::kPi / 180.0;
+          ++i;
+        } catch (const std::exception&) {
+          // Next token is not a number — leave it for the caller.
+        }
+      }
+    } else if (!have_wave) {
+      spec.wave = Waveform::dc(parse_spice_number(t[i]));  // bare value = DC
+      have_wave = true;
+      ++i;
+    } else {
+      ++i;
+    }
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Deck structure: tokenized cards, with .subckt bodies collected separately
+// and expanded on X-card instantiation (flattening with hierarchical names).
+
+struct Card {
+  int line_no = 0;
+  std::vector<std::string> tokens;
+};
+
+struct Subckt {
+  std::vector<std::string> ports;
+  std::vector<Card> cards;
+};
+
+class DeckBuilder {
+ public:
+  DeckBuilder(Circuit& ckt, const std::map<std::string, Subckt>& subckts)
+      : ckt_(ckt), subckts_(subckts) {}
+
+  void emit(const std::vector<Card>& cards, const std::map<std::string, std::string>& ports,
+            const std::string& prefix, int depth) {
+    if (depth > 20) throw ParseError(0, "subcircuit nesting too deep (recursion?)");
+    for (const auto& card : cards) emit_card(card, ports, prefix, depth);
+  }
+
+ private:
+  /// Map a node token through the port map / hierarchical prefix.
+  NodeId node(const std::string& tok, const std::map<std::string, std::string>& ports,
+              const std::string& prefix) {
+    if (tok == "0" || tok == "gnd") return kGround;
+    const auto it = ports.find(tok);
+    if (it != ports.end()) return ckt_.node(it->second);
+    return ckt_.node(prefix.empty() ? tok : prefix + "." + tok);
+  }
+
+  void emit_card(const Card& card, const std::map<std::string, std::string>& ports,
+                 const std::string& prefix, int depth) {
+    const auto& t = card.tokens;
+    const int line_no = card.line_no;
+    const std::string name = prefix.empty() ? t[0] : prefix + "." + t[0];
+    auto need = [&](std::size_t n) {
+      if (t.size() < n) throw ParseError(line_no, "too few fields for " + t[0]);
+    };
+    auto nd = [&](std::size_t i) { return node(t[i], ports, prefix); };
+
+    switch (t[0][0]) {
+      case 'r': {
+        need(4);
+        ckt_.add<Resistor>(name, nd(1), nd(2), parse_spice_number(t[3]));
+        break;
+      }
+      case 'c': {
+        need(4);
+        ckt_.add<Capacitor>(name, nd(1), nd(2), parse_spice_number(t[3]));
+        break;
+      }
+      case 'l': {
+        need(4);
+        ckt_.add<Inductor>(name, nd(1), nd(2), parse_spice_number(t[3]));
+        break;
+      }
+      case 'k': {
+        // Kname p1 m1 p2 m2 L1 L2 coupling [resr]: coupled inductor pair.
+        need(8);
+        const double resr = t.size() > 8 ? parse_spice_number(t[8]) : 0.1;
+        ckt_.add<CoupledInductors>(name, nd(1), nd(2), nd(3), nd(4),
+                                   parse_spice_number(t[5]), parse_spice_number(t[6]),
+                                   parse_spice_number(t[7]), resr);
+        break;
+      }
+      case 'v': {
+        need(3);
+        const SourceSpec spec = parse_source(t, 3, line_no);
+        auto& v = ckt_.add<VoltageSource>(name, nd(1), nd(2), spec.wave);
+        if (spec.ac_mag != 0.0) v.set_ac(spec.ac_mag, spec.ac_phase);
+        break;
+      }
+      case 'i': {
+        need(3);
+        const SourceSpec spec = parse_source(t, 3, line_no);
+        auto& src = ckt_.add<CurrentSource>(name, nd(1), nd(2), spec.wave);
+        if (spec.ac_mag != 0.0) src.set_ac(spec.ac_mag, spec.ac_phase);
+        break;
+      }
+      case 'd': {
+        need(3);
+        const KeyValues kv = extract_kv(t, 3);
+        DiodeParams dp;
+        dp.is = kv.get("is", dp.is);
+        dp.n = kv.get("n", dp.n);
+        ckt_.add<Diode>(name, nd(1), nd(2), dp);
+        break;
+      }
+      case 'm': {
+        need(6);
+        const std::string& model = t[5];
+        const KeyValues kv = extract_kv(t, 6);
+        const double w = kv.get("w", 1e-6);
+        const double l = kv.get("l", tech65::kLmin);
+        MosParams mp;
+        if (model == "nmos") {
+          mp = tech65::nmos(w, l);
+        } else if (model == "pmos") {
+          mp = tech65::pmos(w, l);
+        } else {
+          throw ParseError(line_no, "unknown MOS model: " + model);
+        }
+        ckt_.add<Mosfet>(name, nd(1), nd(2), nd(3), nd(4), mp);
+        break;
+      }
+      case 'e': {
+        need(6);
+        ckt_.add<Vcvs>(name, nd(1), nd(2), nd(3), nd(4), parse_spice_number(t[5]));
+        break;
+      }
+      case 'g': {
+        need(6);
+        ckt_.add<Vccs>(name, nd(1), nd(2), nd(3), nd(4), parse_spice_number(t[5]));
+        break;
+      }
+      case 'x': {
+        // Xname n1 n2 ... subname: instantiate a subcircuit.
+        need(3);
+        const std::string& subname = t.back();
+        const auto it = subckts_.find(subname);
+        if (it == subckts_.end())
+          throw ParseError(line_no, "unknown subcircuit: " + subname);
+        const Subckt& sub = it->second;
+        const std::size_t given = t.size() - 2;
+        if (given != sub.ports.size())
+          throw ParseError(line_no, "subcircuit " + subname + " expects " +
+                                        std::to_string(sub.ports.size()) + " nodes, got " +
+                                        std::to_string(given));
+        std::map<std::string, std::string> port_map;
+        for (std::size_t k = 0; k < sub.ports.size(); ++k) {
+          const NodeId outer = nd(k + 1);
+          port_map[sub.ports[k]] = ckt_.node_name(outer);
+        }
+        emit(sub.cards, port_map, name, depth + 1);
+        break;
+      }
+      default:
+        throw ParseError(line_no, "unknown card: " + t[0]);
+    }
+  }
+
+  Circuit& ckt_;
+  const std::map<std::string, Subckt>& subckts_;
+};
+
+}  // namespace
+
+Circuit parse_netlist(const std::string& text) {
+  // Pass 1: tokenize all lines, splitting .subckt bodies out of the main
+  // deck.
+  std::vector<Card> main_cards;
+  std::map<std::string, Subckt> subckts;
+
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  Subckt* open_sub = nullptr;
+  bool ended = false;
+  while (std::getline(stream, line) && !ended) {
+    ++line_no;
+    const std::size_t star = line.find('*');
+    if (star != std::string::npos) line = line.substr(0, star);
+    const auto t = tokenize(line);
+    if (t.empty()) continue;
+    if (t[0][0] == '.') {
+      if (t[0] == ".subckt") {
+        if (open_sub != nullptr)
+          throw ParseError(line_no, "nested .subckt definitions are not supported");
+        if (t.size() < 3)
+          throw ParseError(line_no, ".subckt needs a name and at least one port");
+        Subckt sub;
+        sub.ports.assign(t.begin() + 2, t.end());
+        open_sub = &subckts.emplace(t[1], std::move(sub)).first->second;
+      } else if (t[0] == ".ends") {
+        if (open_sub == nullptr) throw ParseError(line_no, ".ends without .subckt");
+        open_sub = nullptr;
+      } else if (t[0] == ".end") {
+        if (open_sub != nullptr) throw ParseError(line_no, ".end inside .subckt");
+        ended = true;
+      }
+      continue;  // other directives ignored
+    }
+    Card card;
+    card.line_no = line_no;
+    card.tokens = t;
+    if (open_sub != nullptr) {
+      open_sub->cards.push_back(std::move(card));
+    } else {
+      main_cards.push_back(std::move(card));
+    }
+  }
+  if (open_sub != nullptr) throw ParseError(line_no, "unterminated .subckt");
+
+  // Pass 2: emit, expanding subcircuits.
+  Circuit ckt;
+  DeckBuilder builder(ckt, subckts);
+  builder.emit(main_cards, {}, "", 0);
+  return ckt;
+}
+
+}  // namespace rfmix::spice

@@ -1,0 +1,53 @@
+// "umc65-like" technology parameter set.
+//
+// SUBSTITUTION NOTE (see DESIGN.md §2): the paper used the proprietary UMC
+// 65 nm RFCMOS PDK. These parameters are chosen from public 65 nm-class
+// characteristics: |VTH| ~ 0.35 V, mu_n*Cox ~ 400 uA/V^2, mu_p*Cox ~
+// 150 uA/V^2, Cox ~ 15 fF/um^2, 1.2 V nominal supply. Mixer-level behaviour
+// depends on gm, Ron, and parasitic capacitance ratios, which these values
+// reproduce.
+#pragma once
+
+#include "spice/mosfet.hpp"
+
+namespace rfmix::spice::tech65 {
+
+inline constexpr double kVdd = 1.2;       // nominal supply [V]
+inline constexpr double kLmin = 65e-9;    // minimum channel length [m]
+
+/// NMOS parameters for a device of the given geometry.
+inline MosParams nmos(double w, double l = kLmin) {
+  MosParams p;
+  p.type = MosType::kNmos;
+  p.level = MosModelLevel::kEkv;
+  p.w = w;
+  p.l = l;
+  p.vto = 0.35;
+  p.kp = 400e-6;
+  p.n_slope = 1.35;
+  // Channel-length modulation worsens at short L; normalize to 1/V at
+  // 4x minimum length.
+  p.lambda = 0.15 * (4.0 * kLmin / l) * 0.25 + 0.05;
+  p.cox = 1.5e-2;
+  p.cov = 3e-10;
+  p.cj_sd = 8e-10;
+  p.noise_gamma = 1.0;   // short-channel excess noise
+  // Chosen to place the 1/f corner of a typical RF-sized device (tens of um
+  // wide, minimum length, gm of a few mS) around 1 MHz, consistent with
+  // published 65 nm data.
+  p.kf = 3e-26;
+  p.af = 1.0;
+  return p;
+}
+
+/// PMOS parameters for a device of the given geometry.
+inline MosParams pmos(double w, double l = kLmin) {
+  MosParams p = nmos(w, l);
+  p.type = MosType::kPmos;
+  p.vto = 0.35;
+  p.kp = 150e-6;
+  p.kf = 8e-27;  // PMOS flicker is typically a few times lower
+  return p;
+}
+
+}  // namespace rfmix::spice::tech65

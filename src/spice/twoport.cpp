@@ -1,0 +1,74 @@
+#include "spice/twoport.hpp"
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+#include "spice/ac.hpp"
+#include "spice/devices_sources.hpp"
+#include "spice/op.hpp"
+
+namespace rfmix::spice {
+
+double TwoPortResult::s_db(std::size_t i, std::size_t j, std::size_t point) const {
+  return mathx::db_from_voltage_ratio(std::abs(points.at(point).s[i][j]));
+}
+
+TwoPortResult measure_two_port(Circuit& ckt, const Solution& op, PortSpec port1,
+                               PortSpec port2, const std::vector<double>& freqs_hz) {
+  // Injection sources (magnitude set per solve). Current from m to p drives
+  // the port positively.
+  auto& inj1 = ckt.add<CurrentSource>("_twoport_inj1", port1.m, port1.p,
+                                      Waveform::dc(0.0));
+  auto& inj2 = ckt.add<CurrentSource>("_twoport_inj2", port2.m, port2.p,
+                                      Waveform::dc(0.0));
+  // The extra devices change the layout; the operating point must be
+  // re-expressed in it. Zero-current sources don't alter the DC solution,
+  // so re-solving is cheap and exact — but we only have the old Solution.
+  // Simplest correct path: the caller's op was computed on the same circuit
+  // *before* these sources existed, so recompute here.
+  const Solution op2 = dc_operating_point(ckt);
+  (void)op;
+
+  TwoPortResult result;
+  result.points.reserve(freqs_hz.size());
+
+  for (const double f : freqs_hz) {
+    TwoPortPoint pt;
+    pt.freq_hz = f;
+    // Column j of Z: inject at port j, read both ports.
+    for (int j = 0; j < 2; ++j) {
+      inj1.set_ac(j == 0 ? 1.0 : 0.0);
+      inj2.set_ac(j == 1 ? 1.0 : 0.0);
+      const AcResult ac = ac_sweep(ckt, op2, {f});
+      pt.z[0][static_cast<std::size_t>(j)] = ac.vd(0, port1.p, port1.m);
+      pt.z[1][static_cast<std::size_t>(j)] = ac.vd(0, port2.p, port2.m);
+    }
+    inj1.set_ac(0.0);
+    inj2.set_ac(0.0);
+
+    // S = (Z - Z0)(Z + Z0)^{-1}, Z0 = diag(z01, z02). With the customary
+    // normalization for unequal reference impedances:
+    //   S = R^{-1/2} (Z - Z0)(Z + Z0)^{-1} R^{1/2},  R = diag(z01, z02).
+    using C = std::complex<double>;
+    const double r1 = port1.z0, r2 = port2.z0;
+    const C zp[2][2] = {{pt.z[0][0] + r1, pt.z[0][1]}, {pt.z[1][0], pt.z[1][1] + r2}};
+    const C zm[2][2] = {{pt.z[0][0] - r1, pt.z[0][1]}, {pt.z[1][0], pt.z[1][1] - r2}};
+    const C det = zp[0][0] * zp[1][1] - zp[0][1] * zp[1][0];
+    const C inv[2][2] = {{zp[1][1] / det, -zp[0][1] / det},
+                         {-zp[1][0] / det, zp[0][0] / det}};
+    C s_raw[2][2];
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j)
+        s_raw[i][j] = zm[i][0] * inv[0][j] + zm[i][1] * inv[1][j];
+    const double sr1 = std::sqrt(r1), sr2 = std::sqrt(r2);
+    const double rs[2] = {sr1, sr2};
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j)
+        pt.s[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            s_raw[i][j] * rs[j] / rs[i];
+    result.points.push_back(pt);
+  }
+  return result;
+}
+
+}  // namespace rfmix::spice

@@ -1,0 +1,45 @@
+// Two-port S-parameter extraction from the AC engine.
+//
+// The Z-parameters are measured by injecting a unit AC current at each
+// port in turn (the other port open) and reading both port voltages; the
+// scattering matrix follows from S = (Z - Z0)(Z + Z0)^{-1} with the
+// diagonal reference-impedance matrix Z0. Injection uses two current
+// sources added to the circuit with zero magnitude, so the circuit's
+// behaviour outside this analysis is untouched.
+#pragma once
+
+#include <array>
+#include <complex>
+#include <vector>
+
+#include "spice/circuit.hpp"
+
+namespace rfmix::spice {
+
+struct PortSpec {
+  NodeId p = kGround;
+  NodeId m = kGround;
+  double z0 = 50.0;
+};
+
+struct TwoPortPoint {
+  double freq_hz = 0.0;
+  // s[i][j]: S_{i+1, j+1}.
+  std::array<std::array<std::complex<double>, 2>, 2> s{};
+  std::array<std::array<std::complex<double>, 2>, 2> z{};
+};
+
+struct TwoPortResult {
+  std::vector<TwoPortPoint> points;
+
+  double s_db(std::size_t i, std::size_t j, std::size_t point) const;
+};
+
+/// Measure S-parameters of the two-port formed by (port1, port2) at the
+/// given operating point and frequencies. The circuit must not already be
+/// driven by AC sources (their magnitudes are not modified but would
+/// superpose); internal DC sources are fine.
+TwoPortResult measure_two_port(Circuit& ckt, const Solution& op, PortSpec port1,
+                               PortSpec port2, const std::vector<double>& freqs_hz);
+
+}  // namespace rfmix::spice

@@ -1,0 +1,131 @@
+// Source waveforms: DC, sine, multi-tone, pulse and piecewise-linear.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::spice {
+
+struct DcWave {
+  double value = 0.0;
+};
+
+struct SineWave {
+  double offset = 0.0;
+  double amplitude = 0.0;
+  double freq_hz = 0.0;
+  double phase_rad = 0.0;
+  double delay_s = 0.0;
+};
+
+/// Sum of sines on a common DC offset — the natural RF two-tone stimulus.
+struct MultiToneWave {
+  struct Tone {
+    double amplitude = 0.0;
+    double freq_hz = 0.0;
+    double phase_rad = 0.0;
+  };
+  double offset = 0.0;
+  std::vector<Tone> tones;
+};
+
+struct PulseWave {
+  double v1 = 0.0;       // initial value
+  double v2 = 0.0;       // pulsed value
+  double delay_s = 0.0;
+  double rise_s = 1e-12;
+  double fall_s = 1e-12;
+  double width_s = 0.0;  // time at v2
+  double period_s = 0.0; // 0 = single pulse
+};
+
+struct PwlWave {
+  std::vector<std::pair<double, double>> points;  // (time, value), increasing time
+};
+
+class Waveform {
+ public:
+  Waveform() : w_(DcWave{}) {}
+  Waveform(DcWave w) : w_(w) {}                       // NOLINT implicit by design
+  Waveform(SineWave w) : w_(w) {}                     // NOLINT
+  Waveform(MultiToneWave w) : w_(std::move(w)) {}     // NOLINT
+  Waveform(PulseWave w) : w_(w) {}                    // NOLINT
+  Waveform(PwlWave w) : w_(std::move(w)) {}           // NOLINT
+
+  static Waveform dc(double v) { return Waveform(DcWave{v}); }
+  static Waveform sine(double amplitude, double freq_hz, double offset = 0.0,
+                       double phase_rad = 0.0, double delay_s = 0.0) {
+    return Waveform(SineWave{offset, amplitude, freq_hz, phase_rad, delay_s});
+  }
+
+  double value(double t) const {
+    return std::visit([t](const auto& w) { return eval(w, t); }, w_);
+  }
+
+  /// Value used by the DC operating point (time-zero / average level).
+  double dc_value() const {
+    return std::visit([](const auto& w) { return dc_of(w); }, w_);
+  }
+
+ private:
+  static double eval(const DcWave& w, double) { return w.value; }
+
+  static double eval(const SineWave& w, double t) {
+    if (t < w.delay_s) return w.offset + w.amplitude * std::sin(w.phase_rad);
+    return w.offset +
+           w.amplitude *
+               std::sin(mathx::kTwoPi * w.freq_hz * (t - w.delay_s) + w.phase_rad);
+  }
+
+  static double eval(const MultiToneWave& w, double t) {
+    double v = w.offset;
+    for (const auto& tone : w.tones)
+      v += tone.amplitude * std::sin(mathx::kTwoPi * tone.freq_hz * t + tone.phase_rad);
+    return v;
+  }
+
+  static double eval(const PulseWave& w, double t) {
+    if (t < w.delay_s) return w.v1;
+    double tl = t - w.delay_s;
+    if (w.period_s > 0.0) tl = std::fmod(tl, w.period_s);
+    if (tl < w.rise_s) return w.v1 + (w.v2 - w.v1) * tl / w.rise_s;
+    tl -= w.rise_s;
+    if (tl < w.width_s) return w.v2;
+    tl -= w.width_s;
+    if (tl < w.fall_s) return w.v2 + (w.v1 - w.v2) * tl / w.fall_s;
+    return w.v1;
+  }
+
+  static double eval(const PwlWave& w, double t) {
+    if (w.points.empty()) return 0.0;
+    if (t <= w.points.front().first) return w.points.front().second;
+    if (t >= w.points.back().first) return w.points.back().second;
+    for (std::size_t i = 1; i < w.points.size(); ++i) {
+      if (t <= w.points[i].first) {
+        const auto& [t0, v0] = w.points[i - 1];
+        const auto& [t1, v1] = w.points[i];
+        if (t1 == t0) return v1;
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+      }
+    }
+    return w.points.back().second;
+  }
+
+  static double dc_of(const DcWave& w) { return w.value; }
+  static double dc_of(const SineWave& w) { return w.offset; }
+  static double dc_of(const MultiToneWave& w) { return w.offset; }
+  static double dc_of(const PulseWave& w) { return w.v1; }
+  static double dc_of(const PwlWave& w) {
+    return w.points.empty() ? 0.0 : w.points.front().second;
+  }
+
+  std::variant<DcWave, SineWave, MultiToneWave, PulseWave, PwlWave> w_;
+};
+
+}  // namespace rfmix::spice

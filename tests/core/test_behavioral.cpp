@@ -1,0 +1,155 @@
+// Behavioral-model tests: the calibrated engine must reproduce every
+// Table I / section III anchor through the same measurement pipeline the
+// benches use (two-tone extraction, compression sweep), not just echo its
+// own spec fields.
+#include "core/behavioral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/compression.hpp"
+#include "rf/twotone.hpp"
+
+namespace rfmix::core {
+namespace {
+
+BehavioralMixer make(MixerMode mode) {
+  MixerConfig cfg;
+  cfg.mode = mode;
+  return BehavioralMixer(cfg);
+}
+
+TEST(Behavioral, MidbandGainAnchors) {
+  EXPECT_NEAR(make(MixerMode::kActive).conversion_gain_db(2.45e9), 29.2, 1e-9);
+  EXPECT_NEAR(make(MixerMode::kPassive).conversion_gain_db(2.45e9), 25.5, 1e-9);
+}
+
+TEST(Behavioral, NfAnchorsAt5Mhz) {
+  EXPECT_NEAR(make(MixerMode::kActive).nf_dsb_db(5e6), 7.6, 1e-9);
+  EXPECT_NEAR(make(MixerMode::kPassive).nf_dsb_db(5e6), 10.2, 1e-9);
+}
+
+TEST(Behavioral, PowerAnchors) {
+  EXPECT_NEAR(make(MixerMode::kActive).power_mw(), 9.36, 0.01);
+  EXPECT_NEAR(make(MixerMode::kPassive).power_mw(), 9.24, 0.01);
+}
+
+TEST(Behavioral, BandEdgesAreMinus3dB) {
+  const BehavioralMixer active = make(MixerMode::kActive);
+  const double peak_a = active.conversion_gain_db(2.45e9);
+  EXPECT_NEAR(active.conversion_gain_db(1.0e9), peak_a - 3.0, 0.6);
+  EXPECT_NEAR(active.conversion_gain_db(5.5e9), peak_a - 3.0, 0.6);
+
+  const BehavioralMixer passive = make(MixerMode::kPassive);
+  const double peak_p = passive.conversion_gain_db(2.45e9);
+  EXPECT_NEAR(passive.conversion_gain_db(0.5e9), peak_p - 3.0, 0.6);
+  EXPECT_NEAR(passive.conversion_gain_db(5.1e9), peak_p - 3.0, 0.6);
+}
+
+TEST(Behavioral, ActiveBandIsNarrowerAtLowEnd) {
+  // Paper: active band starts at 1 GHz, passive already works at 0.5 GHz.
+  const double a = make(MixerMode::kActive).conversion_gain_db(0.6e9) -
+                   make(MixerMode::kActive).conversion_gain_db(2.45e9);
+  const double p = make(MixerMode::kPassive).conversion_gain_db(0.6e9) -
+                   make(MixerMode::kPassive).conversion_gain_db(2.45e9);
+  EXPECT_LT(a, p);
+}
+
+TEST(Behavioral, IfRollOffSinglePole) {
+  const BehavioralMixer m = make(MixerMode::kActive);
+  const double g5 = m.gain_vs_if_db(5e6);
+  const double g50 = m.gain_vs_if_db(50e6);
+  // A decade above the 12 MHz pole: ~ -12.7 dB vs 5 MHz value.
+  EXPECT_LT(g50, g5 - 9.0);
+  EXPECT_GT(g50, g5 - 16.0);
+}
+
+TEST(Behavioral, PassiveFlickerCornerBelow100kHz) {
+  const BehavioralMixer m = make(MixerMode::kPassive);
+  const double floor_db = m.nf_dsb_db(10e6);
+  // +3 dB point of the NF curve must be below 100 kHz (section III).
+  EXPECT_LT(m.nf_dsb_db(100e3), floor_db + 3.0);
+  EXPECT_GT(m.nf_dsb_db(10e3), floor_db + 3.0);
+}
+
+TEST(Behavioral, ActiveFlickerWorseThanPassiveAtLowIf) {
+  // Active Gilbert commutation leaves more 1/f at low IF: its corner is
+  // around 1 MHz vs < 100 kHz for the passive mode.
+  const double rise_active = make(MixerMode::kActive).nf_dsb_db(50e3) -
+                             make(MixerMode::kActive).nf_dsb_db(10e6);
+  const double rise_passive = make(MixerMode::kPassive).nf_dsb_db(50e3) -
+                              make(MixerMode::kPassive).nf_dsb_db(10e6);
+  EXPECT_GT(rise_active, rise_passive);
+}
+
+TEST(Behavioral, TwoToneSweepRecoversIip3Anchors) {
+  for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
+    const BehavioralMixer m = make(mode);
+    std::vector<double> pins;
+    for (double p = -60.0; p <= -45.0; p += 2.5) pins.push_back(p);
+    const rf::InterceptResult r = rf::sweep_and_extract(
+        pins, [&](double pin) { return m.two_tone(pin); });
+    EXPECT_NEAR(r.iip3_dbm, m.spec().iip3_dbm, 0.2) << frontend::mode_name(mode);
+    EXPECT_NEAR(r.gain_db, m.spec().gain_db, 0.2);
+    ASSERT_TRUE(r.has_iip2);
+    EXPECT_NEAR(r.iip2_dbm, m.spec().iip2_dbm, 0.5);
+    EXPECT_GT(r.iip2_dbm, 65.0);  // section IV claim
+  }
+}
+
+TEST(Behavioral, CompressionSweepRecoversP1dbAnchors) {
+  for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
+    const BehavioralMixer m = make(mode);
+    std::vector<double> pins;
+    for (double p = -60.0; p <= 0.0; p += 0.25) pins.push_back(p);
+    const rf::CompressionResult r = rf::find_p1db(
+        pins, [&](double pin) { return m.single_tone_pout_dbm(pin); });
+    ASSERT_TRUE(r.found) << frontend::mode_name(mode);
+    EXPECT_NEAR(r.p1db_in_dbm, m.spec().p1db_dbm, 0.4) << frontend::mode_name(mode);
+  }
+}
+
+TEST(Behavioral, PassiveMoreLinearActiveMoreGain) {
+  const BehavioralMixer a = make(MixerMode::kActive);
+  const BehavioralMixer p = make(MixerMode::kPassive);
+  EXPECT_GT(a.spec().gain_db, p.spec().gain_db);
+  EXPECT_GT(p.spec().iip3_dbm, a.spec().iip3_dbm);
+  EXPECT_LT(a.spec().nf_db_at_5mhz, p.spec().nf_db_at_5mhz);
+  // The Fig. 1 trade-off: roughly 18 dB of linearity for ~4 dB of gain.
+  EXPECT_NEAR(p.spec().iip3_dbm - a.spec().iip3_dbm, 18.5, 1.0);
+}
+
+TEST(Behavioral, PerfSummaryMatchesSpec) {
+  const BehavioralMixer m = make(MixerMode::kActive);
+  const frontend::MixerModePerf perf = m.perf();
+  EXPECT_DOUBLE_EQ(perf.gain_db, m.spec().gain_db);
+  EXPECT_DOUBLE_EQ(perf.nf_db, m.spec().nf_db_at_5mhz);
+  EXPECT_DOUBLE_EQ(perf.iip3_dbm, m.spec().iip3_dbm);
+  EXPECT_NEAR(perf.power_mw, 9.36, 0.01);
+}
+
+TEST(Behavioral, CustomSpecForAblations) {
+  MixerConfig cfg;
+  cfg.mode = MixerMode::kActive;
+  BehavioralModeSpec spec = paper_active_spec();
+  spec.gain_db = 20.0;
+  const BehavioralMixer m(cfg, spec);
+  EXPECT_NEAR(m.conversion_gain_db(2.45e9), 20.0, 1e-9);
+}
+
+TEST(Behavioral, InvalidSpecThrows) {
+  MixerConfig cfg;
+  BehavioralModeSpec bad = paper_active_spec();
+  bad.f_high_3db_hz = bad.f_low_3db_hz;  // degenerate band
+  EXPECT_THROW(BehavioralMixer(cfg, bad), std::invalid_argument);
+  BehavioralModeSpec bad2 = paper_active_spec();
+  bad2.flicker_corner_hz = 0.0;
+  EXPECT_THROW(BehavioralMixer(cfg, bad2), std::invalid_argument);
+  const BehavioralMixer m(cfg);
+  EXPECT_THROW(m.conversion_gain_db(-1.0), std::invalid_argument);
+  EXPECT_THROW(m.nf_dsb_db(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfmix::core

@@ -1,0 +1,69 @@
+// I/Q image-rejection tests: the LPTV quadrature combination must match
+// the closed-form IRR bound and behave physically at the limits.
+#include "core/image_reject.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfmix::core {
+namespace {
+
+MixerConfig cfg_for(MixerMode mode) {
+  MixerConfig cfg;
+  cfg.mode = mode;
+  return cfg;
+}
+
+TEST(ImageReject, IdealQuadratureRejectsDeeply) {
+  for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
+    const auto r = lptv_image_rejection(cfg_for(mode));
+    EXPECT_GT(r.irr_db, 80.0) << frontend::mode_name(mode);
+  }
+}
+
+TEST(ImageReject, WantedGainMatchesSinglePath) {
+  // The per-path-equivalent wanted gain must equal the FIG8 conversion gain.
+  const auto r = lptv_image_rejection(cfg_for(MixerMode::kActive));
+  EXPECT_NEAR(r.wanted_gain_db, 29.1, 0.6);
+}
+
+struct IrrCase {
+  double phase_deg;
+  double gain_db;
+};
+
+class IrrMatchesAnalytic : public ::testing::TestWithParam<IrrCase> {};
+
+TEST_P(IrrMatchesAnalytic, WithinHalfDb) {
+  const auto c = GetParam();
+  const auto r =
+      lptv_image_rejection(cfg_for(MixerMode::kPassive), 5e6, c.phase_deg, c.gain_db);
+  EXPECT_NEAR(r.irr_db, analytic_irr_db(c.gain_db, c.phase_deg), 0.5)
+      << "phase " << c.phase_deg << " gain " << c.gain_db;
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorGrid, IrrMatchesAnalytic,
+                         ::testing::Values(IrrCase{0.5, 0.0}, IrrCase{1.0, 0.0},
+                                           IrrCase{3.0, 0.0}, IrrCase{0.0, 0.2},
+                                           IrrCase{0.0, 0.5}, IrrCase{2.0, 0.3}));
+
+TEST(ImageReject, IrrDegradesMonotonicallyWithPhaseError) {
+  const MixerConfig cfg = cfg_for(MixerMode::kActive);
+  double prev = 1e9;
+  for (const double ph : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double irr = lptv_image_rejection(cfg, 5e6, ph, 0.0).irr_db;
+    EXPECT_LT(irr, prev) << "phase " << ph;
+    prev = irr;
+  }
+}
+
+TEST(AnalyticIrr, KnownAnchors) {
+  // 1 degree phase error alone: ~41.2 dB. 0.5 dB gain error alone: ~30.8 dB.
+  EXPECT_NEAR(analytic_irr_db(0.0, 1.0), 41.2, 0.1);
+  EXPECT_NEAR(analytic_irr_db(0.5, 0.0), 30.8, 0.1);
+  // Combined errors are worse than either alone.
+  EXPECT_LT(analytic_irr_db(0.5, 1.0), analytic_irr_db(0.0, 1.0));
+  EXPECT_LT(analytic_irr_db(0.5, 1.0), analytic_irr_db(0.5, 0.0));
+}
+
+}  // namespace
+}  // namespace rfmix::core

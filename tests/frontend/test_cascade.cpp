@@ -1,0 +1,87 @@
+// Friis cascade and sensitivity tests against hand-computed references.
+#include "frontend/cascade.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::frontend {
+namespace {
+
+TEST(Cascade, SingleStagePassesThrough) {
+  const CascadeResult r = cascade({{"amp", 15.0, 4.0, 2.0}});
+  EXPECT_NEAR(r.gain_db, 15.0, 1e-9);
+  EXPECT_NEAR(r.nf_db, 4.0, 1e-9);
+  EXPECT_NEAR(r.iip3_dbm, 2.0, 1e-9);
+}
+
+TEST(Cascade, FriisTwoStageHandComputed) {
+  // F = F1 + (F2-1)/G1 with F1 = 2 (3.01 dB), G1 = 10, F2 = 10 (10 dB):
+  // F = 2 + 9/10 = 2.9 -> 4.624 dB.
+  const CascadeResult r =
+      cascade({{"lna", 10.0, 3.0103, kLinearStage}, {"mixer", 10.0, 10.0, kLinearStage}});
+  EXPECT_NEAR(r.nf_db, 4.624, 0.01);
+  EXPECT_NEAR(r.gain_db, 20.0, 1e-9);
+}
+
+TEST(Cascade, FrontStageGainSuppressesBackendNoise) {
+  // Raising the LNA gain must improve total NF monotonically.
+  auto nf_with_lna_gain = [](double g) {
+    return cascade({{"lna", g, 3.0, kLinearStage}, {"mixer", 10.0, 10.2, kLinearStage}})
+        .nf_db;
+  };
+  EXPECT_GT(nf_with_lna_gain(5.0), nf_with_lna_gain(15.0));
+  EXPECT_GT(nf_with_lna_gain(15.0), nf_with_lna_gain(25.0));
+}
+
+TEST(Cascade, Iip3ReferredThroughFrontGain) {
+  // Only the last stage distorts: chain IIP3 = stage IIP3 - front gain.
+  const CascadeResult r =
+      cascade({{"lna", 12.0, 3.0, kLinearStage}, {"mixer", 10.0, 10.0, -5.0}});
+  EXPECT_NEAR(r.iip3_dbm, -17.0, 0.01);
+}
+
+TEST(Cascade, Iip3CombinesTwoNonlinearStages) {
+  // Equal referred contributions: 3 dB worse than either alone.
+  const CascadeResult r =
+      cascade({{"a", 0.0, 3.0, 0.0}, {"b", 0.0, 3.0, 0.0}});
+  EXPECT_NEAR(r.iip3_dbm, -3.01, 0.02);
+}
+
+TEST(Cascade, LossyFirstStageAddsItsLossToNf) {
+  // A passive attenuator with NF = loss in front: NF adds directly.
+  const CascadeResult r =
+      cascade({{"balun", -1.0, 1.0, kLinearStage}, {"lna", 15.0, 3.0, kLinearStage}});
+  EXPECT_NEAR(r.nf_db, 4.0, 0.15);
+}
+
+TEST(Cascade, PerStageBookkeeping) {
+  const CascadeResult r = cascade(
+      {{"balun", -1.0, 1.0, kLinearStage}, {"lna", 12.0, 3.0, 0.0},
+       {"mixer", 25.5, 10.2, 6.57}});
+  ASSERT_EQ(r.per_stage.size(), 3u);
+  EXPECT_EQ(r.per_stage[0].name, "balun");
+  EXPECT_NEAR(r.per_stage[1].cumulative_gain_db, 11.0, 1e-9);
+  EXPECT_NEAR(r.per_stage[2].cumulative_gain_db, 36.5, 1e-9);
+  EXPECT_EQ(r.per_stage[2].cumulative_nf_db, r.nf_db);
+}
+
+TEST(Cascade, EmptyThrows) { EXPECT_THROW(cascade({}), std::invalid_argument); }
+
+TEST(Sensitivity, ZigbeeStyleBudget) {
+  // NF 19 dB, BW 2 MHz, SNR 5 dB: -174 + 19 + 63 + 5 = -87 dBm.
+  EXPECT_NEAR(sensitivity_dbm(19.0, 2e6, 5.0), -87.0, 0.1);
+}
+
+TEST(Sensitivity, ImprovesWithLowerNf) {
+  EXPECT_LT(sensitivity_dbm(5.0, 1e6, 8.0), sensitivity_dbm(15.0, 1e6, 8.0));
+}
+
+TEST(Sensitivity, InvalidBandwidthThrows) {
+  EXPECT_THROW(sensitivity_dbm(5.0, 0.0, 8.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfmix::frontend

@@ -1,0 +1,100 @@
+// Mode-selection planner tests: the paper's Fig. 1 trade-off automated.
+#include "frontend/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "frontend/standards.hpp"
+
+namespace rfmix::frontend {
+namespace {
+
+MixerModePerf paper_active() { return {29.2, 7.6, -11.9, 9.36}; }
+MixerModePerf paper_passive() { return {25.5, 10.2, 6.57, 9.24}; }
+
+WirelessStandard relaxed_standard() {
+  WirelessStandard s;
+  s.name = "relaxed";
+  s.nf_budget_db = 25.0;
+  s.iip3_budget_dbm = -40.0;
+  return s;
+}
+
+TEST(Planner, LinearityDrivenStandardPicksPassive) {
+  // Tight IIP3 budget that only the passive chain can meet.
+  WirelessStandard s = relaxed_standard();
+  s.iip3_budget_dbm = -20.0;
+  const ModeDecision d =
+      choose_mixer_mode(s, FrontEndSpec{}, paper_active(), paper_passive());
+  EXPECT_EQ(d.mode, MixerMode::kPassive);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_GE(d.iip3_margin_db, 0.0);
+}
+
+TEST(Planner, NoiseDrivenStandardPicksActive) {
+  // NF budget between the two chains' noise figures with easy linearity:
+  // only the active chain (lower NF) passes.
+  WirelessStandard s = relaxed_standard();
+  s.nf_budget_db = 4.9;
+  s.iip3_budget_dbm = -45.0;
+  const ModeDecision d =
+      choose_mixer_mode(s, FrontEndSpec{}, paper_active(), paper_passive());
+  EXPECT_EQ(d.mode, MixerMode::kActive);
+  EXPECT_TRUE(d.feasible);
+}
+
+TEST(Planner, BothPassPrefersLowerPower) {
+  WirelessStandard s = relaxed_standard();
+  MixerModePerf cheap_passive = paper_passive();
+  cheap_passive.power_mw = 5.0;
+  const ModeDecision d =
+      choose_mixer_mode(s, FrontEndSpec{}, paper_active(), cheap_passive);
+  EXPECT_EQ(d.mode, MixerMode::kPassive);
+  EXPECT_NE(d.rationale.find("power"), std::string::npos);
+}
+
+TEST(Planner, InfeasibleStandardReported) {
+  WirelessStandard s = relaxed_standard();
+  s.nf_budget_db = 0.5;  // impossible
+  const ModeDecision d =
+      choose_mixer_mode(s, FrontEndSpec{}, paper_active(), paper_passive());
+  EXPECT_FALSE(d.feasible);
+  EXPECT_LT(d.nf_margin_db, 0.0);
+}
+
+TEST(Planner, ChainIncludesFrontEndStages) {
+  const ModeDecision d = choose_mixer_mode(relaxed_standard(), FrontEndSpec{},
+                                           paper_active(), paper_passive());
+  ASSERT_EQ(d.chain.per_stage.size(), 3u);
+  EXPECT_EQ(d.chain.per_stage.back().name, "mixer");
+}
+
+TEST(Standards, CatalogCoversIotModes) {
+  const auto cat = standard_catalog();
+  ASSERT_GE(cat.size(), 5u);
+  EXPECT_NO_THROW(find_standard(cat, "zigbee-2450"));
+  EXPECT_NO_THROW(find_standard(cat, "wifi-11g-54"));
+  EXPECT_NO_THROW(find_standard(cat, "uwb-band3"));
+  EXPECT_THROW(find_standard(cat, "lte"), std::invalid_argument);
+}
+
+TEST(Standards, FieldsArePhysical) {
+  for (const auto& s : standard_catalog()) {
+    EXPECT_GT(s.f_center_hz, 0.1e9) << s.name;
+    EXPECT_GT(s.channel_bw_hz, 0.0) << s.name;
+    EXPECT_LT(s.sensitivity_dbm, -40.0) << s.name;
+    EXPECT_GT(s.nf_budget_db, 0.0) << s.name;
+  }
+}
+
+TEST(Standards, EveryStandardGetsADecision) {
+  // The planner must produce a decision (feasible or not) for the whole
+  // catalog without throwing — the multistandard example depends on this.
+  for (const auto& s : standard_catalog()) {
+    const ModeDecision d =
+        choose_mixer_mode(s, FrontEndSpec{}, paper_active(), paper_passive());
+    EXPECT_FALSE(d.rationale.empty()) << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace rfmix::frontend

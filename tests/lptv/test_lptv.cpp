@@ -1,0 +1,249 @@
+// Conversion-matrix engine tests: reduction to plain AC for static
+// circuits, textbook chopper conversion gain (2/pi), noise folding
+// conservation, and cyclostationary-vs-stationary consistency.
+#include "lptv/lptv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::lptv {
+namespace {
+
+using mathx::kBoltzmann;
+using mathx::kPi;
+using mathx::kT0;
+
+TEST(SquareWave, LevelsAndMean) {
+  const auto w = square_wave(256, 0.0, 1.0, 0.01);
+  double mean = 0.0, mn = 1e9, mx = -1e9;
+  for (const double v : w) {
+    mean += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  mean /= static_cast<double>(w.size());
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(mn, 0.0, 1e-9);
+  EXPECT_NEAR(mx, 1.0, 1e-9);
+}
+
+TEST(SquareWave, PhaseShiftRotatesWave) {
+  const auto a = square_wave(128, -1.0, 1.0, 0.01, 0.0);
+  const auto b = square_wave(128, -1.0, 1.0, 0.01, 0.5);
+  // Half-period shift inverts the wave.
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], -b[i], 1e-9);
+}
+
+TEST(CosineWave, Values) {
+  const auto w = cosine_wave(4, 1.0, 0.5);
+  EXPECT_NEAR(w[0], 1.5, 1e-12);
+  EXPECT_NEAR(w[1], 1.0, 1e-12);
+  EXPECT_NEAR(w[2], 0.5, 1e-12);
+}
+
+TEST(ConversionMatrix, StaticCircuitReducesToAc) {
+  // Resistor to ground: transimpedance at sideband 0 is R; no cross-sideband
+  // coupling.
+  LptvCircuit ckt;
+  const int n1 = ckt.add_node();
+  ckt.add_resistor(n1, 0, 250.0);
+  ConversionAnalysis an(ckt, {1e9, 4});
+  const PacSolution sol = an.solve_current_injection(1e6, 0, n1, 0);
+  EXPECT_NEAR(std::abs(sol.v(0, n1)), 250.0, 1e-6);
+  for (int k = -4; k <= 4; ++k) {
+    if (k == 0) continue;
+    EXPECT_NEAR(std::abs(sol.v(k, n1)), 0.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(ConversionMatrix, StaticRcPoleMatchesAcTheory) {
+  LptvCircuit ckt;
+  const int n1 = ckt.add_node();
+  const double r = 1e3, c = 1e-9;
+  ckt.add_resistor(n1, 0, r);
+  ckt.add_capacitance(n1, 0, c);
+  ConversionAnalysis an(ckt, {1e9, 3});
+  const double fc = 1.0 / (mathx::kTwoPi * r * c);
+  const Complex z = an.conversion_transimpedance(fc, 0, n1, 0, n1, 0, 0);
+  EXPECT_NEAR(std::abs(z), r / std::sqrt(2.0), r * 1e-3);
+}
+
+TEST(ConversionMatrix, SidebandFrequenciesAreReported) {
+  LptvCircuit ckt;
+  const int n1 = ckt.add_node();
+  ckt.add_resistor(n1, 0, 1.0);
+  ConversionAnalysis an(ckt, {2.4e9, 2});
+  const PacSolution sol = an.solve_current_injection(5e6, 0, n1, 0);
+  EXPECT_NEAR(sol.sideband_freq(0), 5e6, 1.0);
+  EXPECT_NEAR(sol.sideband_freq(1), 2.405e9, 1.0);
+  EXPECT_NEAR(sol.sideband_freq(-1), -2.395e9, 1.0);
+}
+
+/// Double-balanced commutating transconductor: gm(t) toggles between +gm and
+/// -gm. Conversion gain from input sideband +1 to output sideband 0 is
+/// (2/pi) * gm * Rl * Rs (transimpedance form with the Norton input).
+TEST(ConversionMatrix, ChopperVccsConversionGainIsTwoOverPi) {
+  LptvCircuit ckt;
+  const int in = ckt.add_node();
+  const int out = ckt.add_node();
+  const double rs = 50.0, rl = 1e3, gm = 10e-3;
+  ckt.add_resistor(in, 0, rs);
+  ckt.add_resistor(out, 0, rl);
+  ckt.add_periodic_vccs(out, 0, in, 0,
+                        square_wave(256, -gm, gm, 1e-6));
+  ConversionAnalysis an(ckt, {2.4e9, 8});
+  const Complex h = an.conversion_transimpedance(5e6, 0, in, 1, out, 0, 0);
+  // v_in(+1) = rs; i_out(0) = gm_{-1} * v_in; v_out = -i/gl... magnitudes:
+  const double expected = (2.0 / kPi) * gm * rs * rl;
+  EXPECT_NEAR(std::abs(h), expected, expected * 0.01);
+}
+
+TEST(ConversionMatrix, ChopperHarmonicConversionFollowsOneOverM) {
+  // Square-wave commutation converts from sideband 3 with 1/3 the gain of
+  // sideband 1 (odd harmonics of the LO).
+  LptvCircuit ckt;
+  const int in = ckt.add_node();
+  const int out = ckt.add_node();
+  ckt.add_resistor(in, 0, 50.0);
+  ckt.add_resistor(out, 0, 1e3);
+  ckt.add_periodic_vccs(out, 0, in, 0, square_wave(256, -5e-3, 5e-3, 1e-6));
+  ConversionAnalysis an(ckt, {1e9, 8});
+  const double h1 = std::abs(an.conversion_transimpedance(1e6, 0, in, 1, out, 0, 0));
+  const double h3 = std::abs(an.conversion_transimpedance(1e6, 0, in, 3, out, 0, 0));
+  const double h2 = std::abs(an.conversion_transimpedance(1e6, 0, in, 2, out, 0, 0));
+  EXPECT_NEAR(h3 / h1, 1.0 / 3.0, 0.02);
+  EXPECT_LT(h2, h1 * 1e-3);  // even harmonics ideally vanish
+}
+
+TEST(ConversionMatrix, PassiveSwitchConversionLoss) {
+  // Single series switch (periodic conductance, 50% duty) between a Norton
+  // source and a load: fundamental conversion involves the g(theta)
+  // fundamental coefficient (1/pi for a 0..g0 square).
+  LptvCircuit ckt;
+  const int a = ckt.add_node();
+  const int b = ckt.add_node();
+  const double rs = 50.0, rl = 50.0;
+  ckt.add_resistor(a, 0, rs);
+  ckt.add_resistor(b, 0, rl);
+  ckt.add_periodic_conductance(a, b, square_wave(256, 1e-9, 1.0 / 5.0, 1e-6));
+  ConversionAnalysis an(ckt, {1e9, 8});
+  const Complex h_conv = an.conversion_transimpedance(1e6, 0, a, 1, b, 0, 0);
+  const Complex h_thru = an.conversion_transimpedance(1e6, 0, a, 1, b, 0, 1);
+  // Through-path (same sideband) must dominate the converted path.
+  EXPECT_GT(std::abs(h_thru), std::abs(h_conv) * 1.2);
+  EXPECT_GT(std::abs(h_conv), 0.0);
+}
+
+TEST(LptvNoise, StaticResistorMatchesNyquist) {
+  LptvCircuit ckt;
+  const int n1 = ckt.add_node();
+  const double r = 10e3;
+  ckt.add_resistor(n1, 0, r);
+  const double psd_i = 4.0 * kBoltzmann * kT0 / r;
+  ckt.add_noise_current(n1, 0, [psd_i](double) { return psd_i; }, "r.thermal");
+  ConversionAnalysis an(ckt, {1e9, 4});
+  const LptvNoiseResult res = an.output_noise(1e6, n1, 0);
+  EXPECT_NEAR(res.total_output_psd_v2_hz, 4.0 * kBoltzmann * kT0 * r,
+              4.0 * kBoltzmann * kT0 * r * 1e-3);
+}
+
+TEST(LptvNoise, CycloWithConstantIntensityEqualsStationary) {
+  // A "cyclostationary" source with flat intensity must reproduce the
+  // stationary result exactly.
+  const double r = 5e3;
+  const double psd_i = 4.0 * kBoltzmann * kT0 / r;
+
+  LptvCircuit a;
+  const int na = a.add_node();
+  a.add_resistor(na, 0, r);
+  a.add_noise_current(na, 0, [psd_i](double) { return psd_i; }, "stat");
+  ConversionAnalysis ana(a, {1e9, 5});
+  const double stationary = ana.output_noise(1e6, na, 0).total_output_psd_v2_hz;
+
+  LptvCircuit b;
+  const int nb = b.add_node();
+  b.add_resistor(nb, 0, r);
+  b.add_cyclo_noise_current(nb, 0, PeriodicWave(256, psd_i), "cyclo");
+  ConversionAnalysis anb(b, {1e9, 5});
+  const double cyclo = anb.output_noise(1e6, nb, 0).total_output_psd_v2_hz;
+
+  EXPECT_NEAR(cyclo, stationary, stationary * 1e-6);
+}
+
+TEST(LptvNoise, ChopperConservesWhiteNoisePower) {
+  // White stationary noise passed through a +-1 chopper keeps its total
+  // power: sum over sidebands of |c_m|^2 = mean(square) = 1.
+  LptvCircuit ckt(512);
+  const int in = ckt.add_node();
+  const int out = ckt.add_node();
+  const double rs = 100.0, rl = 1e3, gm = 1e-3;
+  ckt.add_resistor(in, 0, rs);
+  ckt.add_resistor(out, 0, rl);
+  ckt.add_periodic_vccs(out, 0, in, 0, square_wave(512, -gm, gm, 1e-6));
+  const double psd_i = 1e-22;  // white test source at the input node
+  ckt.add_noise_current(in, 0, [psd_i](double) { return psd_i; }, "src");
+  // High harmonic count so the folded tail is captured.
+  ConversionAnalysis an(ckt, {1e9, 25});
+  const LptvNoiseResult res = an.output_noise(1e6, out, 0);
+  // Input voltage noise psd_i*rs^2 times (gm*rl)^2, total over sidebands = 1x.
+  const double expected = psd_i * rs * rs * gm * gm * rl * rl;
+  // Sum |c_m|^2 over |m|<=25 odd: (2/pi)^2 * sum 1/m^2 ~ 0.9676 of unity.
+  EXPECT_GT(res.total_output_psd_v2_hz, expected * 0.93);
+  EXPECT_LT(res.total_output_psd_v2_hz, expected * 1.01);
+}
+
+TEST(LptvNoise, FlickerFoldsFromLoSidebands) {
+  // 1/f noise at the input of a chopper appears at the output around DC
+  // *folded from the LO sidebands*: at f_base far below f_lo the folded
+  // flicker evaluated at ~f_lo is tiny, so output noise is white-ish and
+  // much smaller than the unchopped case.
+  const double gm = 1e-3, rs = 100.0, rl = 1e3;
+  auto flicker = [](double f) { return 1e-18 / f; };
+
+  // Unchopped reference: static vccs.
+  LptvCircuit a;
+  const int ia = a.add_node();
+  const int oa = a.add_node();
+  a.add_resistor(ia, 0, rs);
+  a.add_resistor(oa, 0, rl);
+  a.add_vccs(oa, 0, ia, 0, gm);
+  a.add_noise_current(ia, 0, flicker, "flicker");
+  ConversionAnalysis ana(a, {1e9, 4});
+  const double unchopped = ana.output_noise(100.0, oa, 0).total_output_psd_v2_hz;
+
+  // Chopped: same flicker source, commutated gm.
+  LptvCircuit b;
+  const int ib = b.add_node();
+  const int ob = b.add_node();
+  b.add_resistor(ib, 0, rs);
+  b.add_resistor(ob, 0, rl);
+  b.add_periodic_vccs(ob, 0, ib, 0, square_wave(256, -gm, gm, 1e-6));
+  b.add_noise_current(ib, 0, flicker, "flicker");
+  ConversionAnalysis anb(b, {1e9, 4});
+  const double chopped = anb.output_noise(100.0, ob, 0).total_output_psd_v2_hz;
+
+  EXPECT_LT(chopped, unchopped * 1e-4);  // chopping removes input 1/f
+}
+
+TEST(ConversionAnalysis, ValidatesArguments) {
+  LptvCircuit ckt;
+  const int n1 = ckt.add_node();
+  ckt.add_resistor(n1, 0, 1.0);
+  EXPECT_THROW(ConversionAnalysis(ckt, {1e9, 0}), std::invalid_argument);
+  EXPECT_THROW(ConversionAnalysis(ckt, {1e9, 200}), std::invalid_argument);
+  ConversionAnalysis an(ckt, {1e9, 4});
+  EXPECT_THROW(an.solve_current_injection(1e6, 0, n1, 9), std::invalid_argument);
+}
+
+TEST(LptvCircuit, WaveformSizeValidated) {
+  LptvCircuit ckt(128);
+  const int n1 = ckt.add_node();
+  EXPECT_THROW(ckt.add_periodic_conductance(n1, 0, PeriodicWave(64, 1.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfmix::lptv

@@ -1,0 +1,140 @@
+#include "mathx/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/rng.hpp"
+#include "mathx/units.hpp"
+
+namespace rfmix::mathx {
+namespace {
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> x(8, Complex{});
+  x[0] = 1.0;
+  fft(x);
+  for (const auto& v : x) EXPECT_NEAR(std::abs(v - Complex{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Fft, SingleToneLandsOnItsBin) {
+  const std::size_t n = 64;
+  const int k = 5;
+  std::vector<Complex> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ph = kTwoPi * k * static_cast<double>(i) / static_cast<double>(n);
+    x[i] = Complex(std::cos(ph), std::sin(ph));
+  }
+  fft(x);
+  for (std::size_t b = 0; b < n; ++b) {
+    if (b == static_cast<std::size_t>(k)) {
+      EXPECT_NEAR(std::abs(x[b]), static_cast<double>(n), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(x[b]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, RealSineSplitsIntoConjugateBins) {
+  const std::size_t n = 128;
+  const int k = 9;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(kTwoPi * k * static_cast<double>(i) / static_cast<double>(n));
+  const auto spec = fft_real(x);
+  EXPECT_NEAR(std::abs(spec[k]), static_cast<double>(n) / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(spec[n - k]), static_cast<double>(n) / 2.0, 1e-9);
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  auto y = x;
+  fft(y);
+  ifft(y);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-9);
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  Rng rng(1000u + n);
+  std::vector<Complex> x(n);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = {rng.normal(), rng.normal()};
+    time_energy += std::norm(v);
+  }
+  auto y = x;
+  fft(y);
+  double freq_energy = 0.0;
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy + 1e-12);
+}
+
+// Mix of power-of-two (radix-2 path) and arbitrary sizes (Bluestein path),
+// including primes.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 3, 5, 7, 12, 100, 101,
+                                           255, 1000, 1009));
+
+TEST(Fft, BluesteinMatchesRadix2OnPowerOfTwo) {
+  // Force comparison: compute a 16-point DFT directly (O(n^2)) and compare
+  // against both code paths via a 15-point embedded check is impossible, so
+  // instead compare fft(16) vs direct DFT, and fft(15) vs direct DFT.
+  for (const std::size_t n : {15u, 16u}) {
+    Rng rng(42u + n);
+    std::vector<Complex> x(n);
+    for (auto& v : x) v = {rng.normal(), rng.normal()};
+    // Direct DFT reference.
+    std::vector<Complex> ref(n, Complex{});
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t i = 0; i < n; ++i) {
+        const double ph = -kTwoPi * static_cast<double>(k * i) / static_cast<double>(n);
+        ref[k] += x[i] * Complex(std::cos(ph), std::sin(ph));
+      }
+    auto y = x;
+    fft(y);
+    for (std::size_t k = 0; k < n; ++k) EXPECT_NEAR(std::abs(y[k] - ref[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(SingleBinDft, MatchesFftBin) {
+  const std::size_t n = 200;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(kTwoPi * 7.0 * static_cast<double>(i) / static_cast<double>(n)) +
+           0.3 * std::cos(kTwoPi * 31.0 * static_cast<double>(i) / static_cast<double>(n));
+  const auto spec = fft_real(x);
+  const Complex b7 = single_bin_dft(x, 7.0);
+  const Complex b31 = single_bin_dft(x, 31.0);
+  EXPECT_NEAR(std::abs(b7 - spec[7]), 0.0, 1e-8);
+  EXPECT_NEAR(std::abs(b31 - spec[31]), 0.0, 1e-8);
+}
+
+TEST(SingleBinDft, RecoverToneAmplitudeOffGrid) {
+  // Coherent measurement at a non-integer "bin": amplitude = 2|X|/N.
+  const std::size_t n = 4096;
+  const double cycles = 12.25;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = 0.7 * std::cos(kTwoPi * cycles * static_cast<double>(i) / static_cast<double>(n));
+  const Complex b = single_bin_dft(x, cycles);
+  EXPECT_NEAR(2.0 * std::abs(b) / static_cast<double>(n), 0.7, 2e-3);
+}
+
+TEST(Fft, HelperPredicates) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(48));
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(8), 8u);
+}
+
+}  // namespace
+}  // namespace rfmix::mathx

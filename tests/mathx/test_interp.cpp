@@ -1,0 +1,51 @@
+#include "mathx/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfmix::mathx {
+namespace {
+
+TEST(Interp, MidpointsAreLinear) {
+  const std::vector<double> xs{0.0, 1.0, 2.0};
+  const std::vector<double> ys{0.0, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.5), 5.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 1.0), 10.0);
+}
+
+TEST(Interp, ClampsOutsideRange) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{3.0, 7.0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 9.0), 7.0);
+}
+
+TEST(Interp, BadTableThrows) {
+  EXPECT_THROW(interp_linear({}, {}, 1.0), std::invalid_argument);
+  EXPECT_THROW(interp_linear({1.0, 2.0}, {1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(FirstCrossing, FindsDownwardCrossing) {
+  // Bandwidth extraction: gain falls through (peak - 3 dB).
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{10.0, 9.0, 6.0, 2.0};
+  const double x = first_crossing(xs, ys, 7.0);
+  EXPECT_NEAR(x, 2.0 + (9.0 - 7.0) / (9.0 - 6.0), 1e-12);
+}
+
+TEST(FirstCrossing, NoCrossingReturnsNan) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_TRUE(std::isnan(first_crossing(xs, ys, 5.0)));
+}
+
+TEST(FirstCrossing, ExactHitReturnsPoint) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(first_crossing(xs, ys, 5.0), 1.0);
+}
+
+}  // namespace
+}  // namespace rfmix::mathx

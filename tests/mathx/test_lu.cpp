@@ -1,0 +1,93 @@
+#include "mathx/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mathx/rng.hpp"
+
+namespace rfmix::mathx {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  MatrixD a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 3;
+  const VectorD b{5.0, 10.0};
+  const VectorD x = lu_solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  MatrixD a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const VectorD x = lu_solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  MatrixD a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(lu_solve(a, {1.0, 2.0}), SingularMatrixError);
+}
+
+TEST(Lu, Determinant) {
+  MatrixD a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 1;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_NEAR(LuFactorization<double>(a).determinant(), 10.0, 1e-12);
+}
+
+// Property: A * solve(A, b) == b for random well-conditioned matrices.
+class LuRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomProperty, ResidualIsTiny) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 3 + static_cast<std::size_t>(GetParam()) % 20;
+  MatrixD a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+    a(i, i) += 5.0;  // diagonal dominance keeps conditioning benign
+  }
+  VectorD b(n);
+  for (auto& v : b) v = rng.normal();
+  const VectorD x = lu_solve(a, b);
+  const VectorD r = a * x;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-9);
+}
+
+TEST_P(LuRandomProperty, TransposedSolveMatchesExplicitTranspose) {
+  Rng rng(17u + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 4 + static_cast<std::size_t>(GetParam()) % 12;
+  MatrixD a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+    a(i, i) += 4.0;
+  }
+  VectorD b(n);
+  for (auto& v : b) v = rng.normal();
+  const VectorD xt = LuFactorization<double>(a).solve_transposed(b);
+  const VectorD xt_ref = lu_solve(a.transposed(), b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xt[i], xt_ref[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuRandomProperty, ::testing::Range(0, 12));
+
+TEST(LuComplex, SolvesComplexSystem) {
+  MatrixC a(2, 2);
+  a(0, 0) = {1.0, 1.0};
+  a(0, 1) = {0.0, -1.0};
+  a(1, 0) = {2.0, 0.0};
+  a(1, 1) = {3.0, 1.0};
+  const VectorC b{{1.0, 0.0}, {0.0, 1.0}};
+  const VectorC x = lu_solve(a, b);
+  // Verify residual.
+  const VectorC r = a * x;
+  EXPECT_NEAR(std::abs(r[0] - b[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(r[1] - b[1]), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rfmix::mathx

@@ -1,0 +1,65 @@
+#include "mathx/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfmix::mathx {
+namespace {
+
+TEST(Matrix, IdentityMultiplyIsNoOp) {
+  MatrixD a(3, 3);
+  double v = 1.0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  const MatrixD i3 = MatrixD::identity(3);
+  const MatrixD prod = a * i3;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(prod(i, j), a(i, j));
+}
+
+TEST(Matrix, MatrixVectorMultiply) {
+  MatrixD a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  const VectorD x{1.0, 1.0, 1.0};
+  const VectorD y = a * x;
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  MatrixD a(2, 3), b(2, 3);
+  EXPECT_THROW((void)(a * b), std::invalid_argument);
+  MatrixD c(2, 2);
+  EXPECT_THROW((void)(a += c), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  MatrixD a(2, 4);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = static_cast<double>(i * 10 + j);
+  const MatrixD att = a.transposed().transposed();
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+}
+
+TEST(Matrix, AdditionAndScaling) {
+  MatrixD a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(1, 1) = 2;
+  b(0, 0) = 3; b(1, 1) = 4;
+  const MatrixD c = a + b * 2.0;
+  EXPECT_DOUBLE_EQ(c(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 0.0);
+}
+
+TEST(Matrix, Norms) {
+  const VectorD v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(two_norm(v), 5.0);
+  EXPECT_DOUBLE_EQ(inf_norm(v), 4.0);
+  const VectorC vc{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(inf_norm(vc), 5.0);
+}
+
+}  // namespace
+}  // namespace rfmix::mathx

@@ -1,0 +1,79 @@
+#include "mathx/polyfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mathx/rng.hpp"
+
+namespace rfmix::mathx {
+namespace {
+
+TEST(FitLine, ExactLineRecovered) {
+  const std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (const double xi : x) y.push_back(2.5 * xi - 1.0);
+  const LineFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 2.5, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(f.rms_residual, 0.0, 1e-12);
+}
+
+TEST(FitLine, FixedSlopeRecoversIntercept) {
+  // IIP3 extraction uses exactly this: force slope 3 on the IM3 line.
+  const std::vector<double> x{-40, -35, -30};
+  std::vector<double> y;
+  for (const double xi : x) y.push_back(3.0 * xi + 12.0);
+  const LineFit f = fit_line_fixed_slope(x, y, 3.0);
+  EXPECT_NEAR(f.intercept, 12.0, 1e-12);
+}
+
+TEST(FitLine, IntersectionOfFundamentalAndIm3) {
+  // Fundamental: y = x + 20 (gain 20 dB). IM3: y = 3x - 20.
+  // Intercept: x + 20 = 3x - 20 -> x = 20 dBm.
+  const LineFit fund{1.0, 20.0, 0.0};
+  const LineFit im3{3.0, -20.0, 0.0};
+  EXPECT_NEAR(line_intersection_x(fund, im3), 20.0, 1e-12);
+}
+
+TEST(FitLine, ParallelLinesThrow) {
+  const LineFit a{1.0, 0.0, 0.0};
+  const LineFit b{1.0, 5.0, 0.0};
+  EXPECT_THROW(line_intersection_x(a, b), std::invalid_argument);
+}
+
+TEST(FitLine, TooFewPointsThrows) {
+  EXPECT_THROW(fit_line({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({1.0, 2.0}, {2.0}), std::invalid_argument);
+}
+
+TEST(FitPolynomial, RecoversCubicCoefficients) {
+  const std::vector<double> coeffs{1.0, -2.0, 0.5, 0.25};
+  std::vector<double> x, y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i * 0.4);
+    y.push_back(eval_polynomial(coeffs, i * 0.4));
+  }
+  const auto fit = fit_polynomial(x, y, 3);
+  ASSERT_EQ(fit.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(fit[i], coeffs[i], 1e-9);
+}
+
+TEST(FitPolynomial, NoisyLineSlopeWithinTolerance) {
+  Rng rng(7);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = i * 0.05;
+    x.push_back(xi);
+    y.push_back(3.0 * xi + 1.0 + rng.normal() * 0.01);
+  }
+  const LineFit f = fit_line(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 0.01);
+  EXPECT_NEAR(f.intercept, 1.0, 0.01);
+  EXPECT_LT(f.rms_residual, 0.02);
+}
+
+TEST(EvalPolynomial, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(eval_polynomial({}, 3.0), 0.0);
+}
+
+}  // namespace
+}  // namespace rfmix::mathx

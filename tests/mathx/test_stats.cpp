@@ -1,0 +1,55 @@
+#include "mathx/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mathx/rng.hpp"
+
+namespace rfmix::mathx {
+namespace {
+
+TEST(Stats, KnownSample) {
+  const SampleStats s = sample_stats({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, EvenCountMedianInterpolates) {
+  EXPECT_DOUBLE_EQ(sample_stats({1.0, 2.0, 3.0, 10.0}).median, 2.5);
+}
+
+TEST(Stats, SingleElement) {
+  const SampleStats s = sample_stats({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Stats, EmptyThrows) {
+  EXPECT_THROW(sample_stats({}), std::invalid_argument);
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Percentile, Anchors) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+  EXPECT_THROW(percentile(xs, -1.0), std::invalid_argument);
+}
+
+TEST(Percentile, NormalSampleQuantiles) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.normal());
+  EXPECT_NEAR(percentile(xs, 50.0), 0.0, 0.02);
+  EXPECT_NEAR(percentile(xs, 84.13), 1.0, 0.04);
+  EXPECT_NEAR(percentile(xs, 15.87), -1.0, 0.04);
+}
+
+}  // namespace
+}  // namespace rfmix::mathx

@@ -1,0 +1,50 @@
+#include "mathx/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfmix::mathx {
+namespace {
+
+TEST(Units, DbRoundTrip) {
+  EXPECT_NEAR(db_from_power_ratio(power_ratio_from_db(13.7)), 13.7, 1e-12);
+  EXPECT_NEAR(db_from_voltage_ratio(voltage_ratio_from_db(-6.0)), -6.0, 1e-12);
+}
+
+TEST(Units, KnownAnchors) {
+  EXPECT_NEAR(db_from_power_ratio(2.0), 3.0103, 1e-4);
+  EXPECT_NEAR(db_from_voltage_ratio(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(dbm_from_watts(1e-3), 0.0, 1e-12);
+  EXPECT_NEAR(dbm_from_watts(1.0), 30.0, 1e-12);
+}
+
+TEST(Units, NonPositiveRatioClamps) {
+  EXPECT_DOUBLE_EQ(db_from_power_ratio(0.0), -400.0);
+  EXPECT_DOUBLE_EQ(db_from_voltage_ratio(-1.0), -400.0);
+}
+
+TEST(Units, SineAmplitudeDbmRoundTrip) {
+  // 0 dBm into 50 ohm is a 316.2 mV peak sine.
+  const double a = sine_amplitude_from_dbm(0.0);
+  EXPECT_NEAR(a, 0.3162, 1e-3);
+  EXPECT_NEAR(dbm_from_sine_amplitude(a), 0.0, 1e-12);
+  // Round trip at another impedance.
+  EXPECT_NEAR(dbm_from_sine_amplitude(sine_amplitude_from_dbm(-17.0, 100.0), 100.0), -17.0,
+              1e-12);
+}
+
+TEST(Units, NoiseFloorAnchor) {
+  // kT at 290 K is -174 dBm/Hz: the most-quoted RF constant.
+  EXPECT_NEAR(dbm_from_watts(thermal_noise_psd()), -173.98, 0.02);
+}
+
+TEST(Units, NfConversionsRoundTrip) {
+  EXPECT_NEAR(nf_db_from_factor(nf_factor_from_db(7.6)), 7.6, 1e-12);
+  EXPECT_NEAR(nf_factor_from_db(0.0), 1.0, 1e-12);
+}
+
+TEST(Units, RmsOfSine) {
+  EXPECT_NEAR(rms_from_sine_amplitude(1.0), 0.70710678, 1e-8);
+}
+
+}  // namespace
+}  // namespace rfmix::mathx

@@ -1,0 +1,62 @@
+#include "mathx/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfmix::mathx {
+namespace {
+
+class WindowProperties : public ::testing::TestWithParam<WindowKind> {};
+
+TEST_P(WindowProperties, SamplesAreFinite) {
+  const auto w = make_window(GetParam(), 257);
+  for (const double v : w) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, -0.1);  // flattop dips slightly below zero; others don't
+    EXPECT_LE(v, 1.05);
+  }
+}
+
+TEST_P(WindowProperties, CoherentGainMatchesMean) {
+  const std::size_t n = 128;
+  const auto w = make_window(GetParam(), n);
+  double mean = 0.0;
+  for (const double v : w) mean += v;
+  mean /= static_cast<double>(n);
+  EXPECT_NEAR(coherent_gain(GetParam(), n), mean, 1e-12);
+}
+
+TEST_P(WindowProperties, EnbwAtLeastOneBin) {
+  // Rectangular window has ENBW exactly 1 bin; every taper widens it.
+  EXPECT_GE(equivalent_noise_bandwidth(GetParam(), 256), 1.0 - 1e-12);
+}
+
+TEST_P(WindowProperties, HasAName) {
+  EXPECT_FALSE(window_name(GetParam()).empty());
+  EXPECT_NE(window_name(GetParam()), "unknown");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WindowProperties,
+                         ::testing::Values(WindowKind::kRect, WindowKind::kHann,
+                                           WindowKind::kHamming, WindowKind::kBlackman,
+                                           WindowKind::kBlackmanHarris,
+                                           WindowKind::kFlatTop));
+
+TEST(Window, KnownEnbwValues) {
+  EXPECT_NEAR(equivalent_noise_bandwidth(WindowKind::kRect, 1024), 1.0, 1e-9);
+  EXPECT_NEAR(equivalent_noise_bandwidth(WindowKind::kHann, 4096), 1.5, 1e-2);
+  EXPECT_NEAR(equivalent_noise_bandwidth(WindowKind::kBlackmanHarris, 4096), 2.0, 0.05);
+}
+
+TEST(Window, HannEndpointsNearZero) {
+  const auto w = make_window(WindowKind::kHann, 64);
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+}
+
+TEST(Window, ZeroLengthThrows) {
+  EXPECT_THROW(make_window(WindowKind::kHann, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfmix::mathx

@@ -1,0 +1,61 @@
+// 1 dB compression tests on an analytic compressive nonlinearity.
+#include "rf/compression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::rf {
+namespace {
+
+using mathx::dbm_from_sine_amplitude;
+using mathx::sine_amplitude_from_dbm;
+
+/// Compressive cubic: y = a1 x - a3 x^3. Gain compresses 1 dB when
+/// (3/4)(a3/a1) A^2 = 1 - 10^(-1/20) => A1dB = sqrt(0.145 * 4/3 * a1/a3).
+double cubic_pout(double pin_dbm, double a1, double a3) {
+  const double a = sine_amplitude_from_dbm(pin_dbm);
+  const double fund = a1 * a - 0.75 * a3 * a * a * a;
+  return dbm_from_sine_amplitude(std::max(fund, 1e-30));
+}
+
+TEST(Compression, MatchesAnalyticP1db) {
+  const double a1 = 10.0, a3 = 100.0;
+  std::vector<double> pins;
+  for (double p = -40.0; p <= 5.0; p += 0.5) pins.push_back(p);
+  const CompressionResult r =
+      find_p1db(pins, [&](double pin) { return cubic_pout(pin, a1, a3); });
+  ASSERT_TRUE(r.found);
+  const double delta = 1.0 - std::pow(10.0, -1.0 / 20.0);
+  const double a_1db = std::sqrt(delta * 4.0 / 3.0 * a1 / a3);
+  EXPECT_NEAR(r.p1db_in_dbm, dbm_from_sine_amplitude(a_1db), 0.1);
+  EXPECT_NEAR(r.small_signal_gain_db, 20.0, 0.05);
+  EXPECT_NEAR(r.p1db_out_dbm, r.p1db_in_dbm + 19.0, 0.1);
+}
+
+TEST(Compression, LinearDeviceNeverCompresses) {
+  std::vector<double> pins{-30, -20, -10, 0, 10};
+  const CompressionResult r = find_p1db(pins, [](double pin) { return pin + 6.0; });
+  EXPECT_FALSE(r.found);
+  EXPECT_NEAR(r.small_signal_gain_db, 6.0, 1e-9);
+}
+
+TEST(Compression, P1dbScalesWithLinearity) {
+  std::vector<double> pins;
+  for (double p = -40.0; p <= 10.0; p += 0.5) pins.push_back(p);
+  auto p1 = find_p1db(pins, [&](double pin) { return cubic_pout(pin, 10.0, 50.0); });
+  auto p2 = find_p1db(pins, [&](double pin) { return cubic_pout(pin, 10.0, 500.0); });
+  ASSERT_TRUE(p1.found);
+  ASSERT_TRUE(p2.found);
+  EXPECT_NEAR(p1.p1db_in_dbm - p2.p1db_in_dbm, 10.0, 0.2);
+}
+
+TEST(Compression, SweepTooShortThrows) {
+  EXPECT_THROW(find_p1db({-10.0, -5.0}, [](double p) { return p; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfmix::rf

@@ -1,0 +1,73 @@
+// NF helper and console table tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mathx/units.hpp"
+#include "rf/nf.hpp"
+#include "rf/table.hpp"
+
+namespace rfmix::rf {
+namespace {
+
+TEST(NfHelpers, NoiselessNetworkHasZeroNf) {
+  // Output noise exactly equal to amplified source noise -> F = 1 -> 0 dB.
+  const double rs = 50.0, av = 10.0;
+  const double sout = 4.0 * mathx::kBoltzmann * mathx::kT0 * rs * av * av;
+  EXPECT_NEAR(nf_db_from_output_noise(sout, av, rs), 0.0, 1e-9);
+}
+
+TEST(NfHelpers, ThreeDbWhenNoiseDoubles) {
+  const double rs = 50.0, av = 4.0;
+  const double source = 4.0 * mathx::kBoltzmann * mathx::kT0 * rs * av * av;
+  EXPECT_NEAR(nf_db_from_output_noise(2.0 * source, av, rs), 3.0103, 1e-3);
+}
+
+TEST(NfHelpers, InputReferredDensity) {
+  EXPECT_NEAR(input_referred_density(1e-16, 10.0), 1e-9, 1e-15);
+  EXPECT_THROW(input_referred_density(1e-16, 0.0), std::invalid_argument);
+}
+
+TEST(NfHelpers, SsbIsDsbPlus3dB) {
+  EXPECT_NEAR(ssb_nf_from_dsb(7.6), 10.61, 0.01);
+}
+
+TEST(NfHelpers, InvalidInputsThrow) {
+  EXPECT_THROW(nf_db_from_output_noise(-1.0, 1.0, 50.0), std::invalid_argument);
+  EXPECT_THROW(nf_db_from_output_noise(1.0, 0.0, 50.0), std::invalid_argument);
+  EXPECT_THROW(nf_db_from_output_noise(1.0, 1.0, -50.0), std::invalid_argument);
+}
+
+TEST(ConsoleTable, AlignsAndPrints) {
+  ConsoleTable t({"Param", "Active", "Passive"});
+  t.add_row({"Gain (dB)", ConsoleTable::num(29.2, 1), ConsoleTable::num(25.5, 1)});
+  t.add_row({"NF (dB)", "7.6", "10.2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Gain (dB)"), std::string::npos);
+  EXPECT_NE(s.find("29.2"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(ConsoleTable, CsvOutput) {
+  ConsoleTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ConsoleTable, Validation) {
+  EXPECT_THROW(ConsoleTable({}), std::invalid_argument);
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, NumFormatsNan) {
+  EXPECT_EQ(ConsoleTable::num(std::nan(""), 2), "n/a");
+  EXPECT_EQ(ConsoleTable::num(1.23456, 3), "1.235");
+}
+
+}  // namespace
+}  // namespace rfmix::rf

@@ -1,0 +1,123 @@
+// Spectrum measurement tests with synthetic waveforms of known content.
+#include "rf/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::rf {
+namespace {
+
+using mathx::kTwoPi;
+
+SampledWaveform make_tone(double amp, double freq, double fs, std::size_t n,
+                          double phase = 0.0) {
+  SampledWaveform w;
+  w.sample_rate_hz = fs;
+  w.samples.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    w.samples[i] = amp * std::cos(kTwoPi * freq * static_cast<double>(i) / fs + phase);
+  return w;
+}
+
+TEST(Spectrum, ToneAmplitudeCoherent) {
+  // 5 MHz tone, fs = 1 GHz, 2000 samples = 10 full periods: coherent.
+  const auto w = make_tone(0.25, 5e6, 1e9, 2000);
+  EXPECT_NEAR(tone_amplitude(w, 5e6), 0.25, 1e-9);
+}
+
+TEST(Spectrum, ToneAmplitudeRejectsOtherTones) {
+  auto w = make_tone(0.25, 5e6, 1e9, 2000);
+  const auto w2 = make_tone(1.0, 25e6, 1e9, 2000);
+  for (std::size_t i = 0; i < w.samples.size(); ++i) w.samples[i] += w2.samples[i];
+  EXPECT_NEAR(tone_amplitude(w, 5e6), 0.25, 1e-9);
+  EXPECT_NEAR(tone_amplitude(w, 25e6), 1.0, 1e-9);
+  EXPECT_NEAR(tone_amplitude(w, 15e6), 0.0, 1e-9);
+}
+
+TEST(Spectrum, TonePhaseRecovered) {
+  const auto w = make_tone(1.0, 10e6, 1e9, 1000, 0.7);
+  // cos(wt + 0.7) as measured with exp(-jwt) correlation: phase = +0.7.
+  EXPECT_NEAR(std::arg(tone_phasor(w, 10e6)), 0.7, 1e-6);
+}
+
+TEST(Spectrum, TonePowerDbmAnchor) {
+  // 316.2 mV peak across 50 ohm is 0 dBm.
+  const auto w = make_tone(0.3162277, 5e6, 1e9, 2000);
+  EXPECT_NEAR(tone_power_dbm(w, 5e6), 0.0, 1e-4);
+}
+
+TEST(Spectrum, DcComponentHandled) {
+  auto w = make_tone(0.1, 5e6, 1e9, 2000);
+  for (auto& s : w.samples) s += 0.6;
+  EXPECT_NEAR(tone_amplitude(w, 0.0), 0.6, 1e-9);
+  EXPECT_NEAR(tone_amplitude(w, 5e6), 0.1, 1e-9);
+}
+
+TEST(Spectrum, AmplitudeSpectrumFindsPeaks) {
+  auto w = make_tone(0.5, 50e6, 1e9, 4096);
+  const auto w2 = make_tone(0.05, 150e6, 1e9, 4096);
+  for (std::size_t i = 0; i < w.samples.size(); ++i) w.samples[i] += w2.samples[i];
+  const auto spec = amplitude_spectrum(w, mathx::WindowKind::kBlackmanHarris);
+  const auto p1 = peak_in_band(spec, 30e6, 70e6);
+  const auto p2 = peak_in_band(spec, 130e6, 170e6);
+  EXPECT_NEAR(p1.freq_hz, 50e6, 1e9 / 4096.0);
+  EXPECT_NEAR(p1.amplitude, 0.5, 0.02);
+  EXPECT_NEAR(p2.amplitude, 0.05, 0.005);
+}
+
+TEST(Spectrum, PeakInEmptyBandThrows) {
+  const auto w = make_tone(0.5, 50e6, 1e9, 1024);
+  const auto spec = amplitude_spectrum(w, mathx::WindowKind::kHann);
+  EXPECT_THROW(peak_in_band(spec, 2e9, 3e9), std::invalid_argument);
+}
+
+TEST(Spectrum, TrimKeepsIntegerPeriods) {
+  // 1.5 MHz fundamental, fs 300 MHz -> 200 samples/period; 3000 samples.
+  const auto w = make_tone(1.0, 1.5e6, 300e6, 3000);
+  const auto t = trim_to_coherent_window(w, 0.30, 1.5e6);
+  // After skipping 900 samples, 2100 remain; 10 periods = 2000 samples kept.
+  EXPECT_EQ(t.samples.size(), 2000u);
+  EXPECT_NEAR(tone_amplitude(t, 1.5e6), 1.0, 1e-9);
+}
+
+TEST(Spectrum, TrimValidation) {
+  const auto w = make_tone(1.0, 1e6, 100e6, 1000);
+  EXPECT_THROW(trim_to_coherent_window(w, 1.5, 1e6), std::invalid_argument);
+  EXPECT_THROW(trim_to_coherent_window(w, 0.0, 1e3), std::invalid_argument);
+}
+
+TEST(Spectrum, EmptyWaveformThrows) {
+  SampledWaveform w;
+  w.sample_rate_hz = 1e9;
+  EXPECT_THROW(tone_amplitude(w, 1e6), std::invalid_argument);
+  EXPECT_THROW(amplitude_spectrum(w, mathx::WindowKind::kHann), std::invalid_argument);
+}
+
+TEST(Sfdr, CleanToneHasHighSfdr) {
+  const auto w = make_tone(1.0, 50e6, 1e9, 4096);
+  EXPECT_GT(sfdr_db(w, 50e6, 5e6), 80.0);
+}
+
+TEST(Sfdr, SpurLimitsSfdr) {
+  auto w = make_tone(1.0, 50e6, 1e9, 4096);
+  const auto spur = make_tone(0.01, 150e6, 1e9, 4096);  // -40 dBc spur
+  for (std::size_t i = 0; i < w.samples.size(); ++i) w.samples[i] += spur.samples[i];
+  EXPECT_NEAR(sfdr_db(w, 50e6, 5e6), 40.0, 1.5);
+}
+
+TEST(Sfdr, ExclusionWindowIgnoresSkirt) {
+  auto w = make_tone(1.0, 50e6, 1e9, 4096);
+  const auto close_spur = make_tone(0.1, 52e6, 1e9, 4096);
+  for (std::size_t i = 0; i < w.samples.size(); ++i)
+    w.samples[i] += close_spur.samples[i];
+  // With the 5 MHz exclusion the 52 MHz tone is "part of the signal".
+  EXPECT_GT(sfdr_db(w, 50e6, 5e6), 60.0);
+  // With a 1 MHz exclusion it counts as a spur (-20 dBc).
+  EXPECT_NEAR(sfdr_db(w, 50e6, 1e6), 20.0, 1.5);
+}
+
+}  // namespace
+}  // namespace rfmix::rf

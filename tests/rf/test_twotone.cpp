@@ -1,0 +1,90 @@
+// Intercept-point extraction tests using an analytic memoryless
+// polynomial nonlinearity, where IIP3/IIP2 have closed forms.
+#include "rf/twotone.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::rf {
+namespace {
+
+using mathx::dbm_from_sine_amplitude;
+using mathx::sine_amplitude_from_dbm;
+
+/// y = a1 x + a2 x^2 + a3 x^3 driven by two equal tones of amplitude A:
+///   fundamental: a1 A (small-signal), IM3: (3/4) a3 A^3, IM2: a2 A^2.
+/// Closed forms: AIIP3 = sqrt(4/3 * |a1/a3|), AIIP2 = |a1/a2|.
+ToneLevels polynomial_two_tone(double pin_dbm, double a1, double a2, double a3) {
+  const double a = sine_amplitude_from_dbm(pin_dbm);
+  ToneLevels t;
+  t.pin_dbm = pin_dbm;
+  t.fund_dbm = dbm_from_sine_amplitude(a1 * a);
+  t.im3_dbm = dbm_from_sine_amplitude(0.75 * std::abs(a3) * a * a * a);
+  t.im2_dbm = dbm_from_sine_amplitude(std::abs(a2) * a * a);
+  return t;
+}
+
+TEST(TwoTone, RecoversAnalyticIip3) {
+  const double a1 = 10.0, a3 = -300.0;
+  std::vector<double> pins;
+  for (double p = -45.0; p <= -25.0; p += 2.0) pins.push_back(p);
+  const InterceptResult r = sweep_and_extract(
+      pins, [&](double pin) { return polynomial_two_tone(pin, a1, 0.0, a3); });
+  const double aiip3 = std::sqrt(4.0 / 3.0 * std::abs(a1 / a3));
+  const double iip3_expected = dbm_from_sine_amplitude(aiip3);
+  EXPECT_NEAR(r.iip3_dbm, iip3_expected, 0.05);
+  EXPECT_NEAR(r.gain_db, 20.0, 0.01);  // 20*log10(a1)
+  EXPECT_NEAR(r.oip3_dbm, r.iip3_dbm + r.gain_db, 1e-9);
+  EXPECT_FALSE(r.has_iip2);
+  EXPECT_LT(r.fund_fit_rms, 0.01);
+  EXPECT_LT(r.im3_fit_rms, 0.01);
+}
+
+TEST(TwoTone, RecoversAnalyticIip2) {
+  const double a1 = 5.0, a2 = 0.5, a3 = -50.0;
+  std::vector<double> pins;
+  for (double p = -50.0; p <= -30.0; p += 2.5) pins.push_back(p);
+  const InterceptResult r = sweep_and_extract(
+      pins, [&](double pin) { return polynomial_two_tone(pin, a1, a2, a3); });
+  ASSERT_TRUE(r.has_iip2);
+  const double aiip2 = std::abs(a1 / a2);
+  EXPECT_NEAR(r.iip2_dbm, dbm_from_sine_amplitude(aiip2), 0.05);
+}
+
+TEST(TwoTone, HigherIip3ForMoreLinearDevice) {
+  std::vector<double> pins{-45, -40, -35, -30};
+  auto iip3_of = [&](double a3) {
+    return sweep_and_extract(pins, [&](double pin) {
+             return polynomial_two_tone(pin, 10.0, 0.0, a3);
+           }).iip3_dbm;
+  };
+  EXPECT_GT(iip3_of(-30.0), iip3_of(-300.0));
+  EXPECT_NEAR(iip3_of(-30.0) - iip3_of(-300.0), 10.0, 0.1);  // 10x a3 = 10 dB
+}
+
+TEST(TwoTone, FloorExcludesGarbagePoints) {
+  std::vector<ToneLevels> sweep;
+  for (double p = -45.0; p <= -25.0; p += 5.0)
+    sweep.push_back(polynomial_two_tone(p, 10.0, 0.0, -300.0));
+  // Append a garbage point below the floor; it must not affect the result.
+  ToneLevels junk;
+  junk.pin_dbm = -20.0;
+  junk.fund_dbm = -300.0;
+  junk.im3_dbm = -300.0;
+  sweep.push_back(junk);
+  const InterceptResult with_junk = extract_intercepts(sweep, -250.0);
+  sweep.pop_back();
+  const InterceptResult without = extract_intercepts(sweep, -250.0);
+  EXPECT_NEAR(with_junk.iip3_dbm, without.iip3_dbm, 1e-9);
+}
+
+TEST(TwoTone, TooFewPointsThrows) {
+  std::vector<ToneLevels> sweep{polynomial_two_tone(-40.0, 10.0, 0.0, -300.0)};
+  EXPECT_THROW(extract_intercepts(sweep), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfmix::rf

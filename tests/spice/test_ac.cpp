@@ -1,0 +1,158 @@
+// AC analysis tests: RC/RL poles, resonance, controlled sources, MOS
+// amplifier small-signal gain vs hand analysis.
+#include "spice/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_sources.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/op.hpp"
+#include "spice/tech65.hpp"
+
+namespace rfmix::spice {
+namespace {
+
+TEST(Ac, RcLowPassPole) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  const double r = 1e3, c = 1e-9;  // fc = 159 kHz
+  ckt.add<Resistor>("r1", in, out, r);
+  ckt.add<Capacitor>("c1", out, kGround, c);
+  const Solution op = dc_operating_point(ckt);
+  const double fc = 1.0 / (mathx::kTwoPi * r * c);
+  const AcResult res = ac_sweep(ckt, op, {fc / 100.0, fc, fc * 100.0});
+
+  EXPECT_NEAR(std::abs(res.v(0, out)), 1.0, 1e-3);
+  EXPECT_NEAR(std::abs(res.v(1, out)), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(std::abs(res.v(2, out)), 0.01, 1e-3);
+  // Phase at the pole is -45 degrees.
+  EXPECT_NEAR(std::arg(res.v(1, out)), -mathx::kPi / 4.0, 1e-3);
+}
+
+TEST(Ac, RlHighPass) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  const double r = 100.0, l = 1e-6;  // fc = R/(2*pi*L) ~ 15.9 MHz
+  ckt.add<Resistor>("r1", in, out, r);
+  ckt.add<Inductor>("l1", out, kGround, l);
+  const Solution op = dc_operating_point(ckt);
+  const double fc = r / (mathx::kTwoPi * l);
+  const AcResult res = ac_sweep(ckt, op, {fc / 100.0, fc, fc * 100.0});
+  EXPECT_NEAR(std::abs(res.v(0, out)), 0.01, 1e-3);
+  EXPECT_NEAR(std::abs(res.v(1, out)), 1.0 / std::sqrt(2.0), 1e-3);
+  EXPECT_NEAR(std::abs(res.v(2, out)), 1.0, 1e-3);
+}
+
+TEST(Ac, SeriesRlcResonance) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId a = ckt.node("a");
+  const NodeId out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  const double r = 10.0, l = 100e-9, c = 100e-12;
+  ckt.add<Resistor>("r1", in, a, r);
+  ckt.add<Inductor>("l1", a, out, l);
+  ckt.add<Capacitor>("c1", out, kGround, c);
+  const Solution op = dc_operating_point(ckt);
+  const double f0 = 1.0 / (mathx::kTwoPi * std::sqrt(l * c));
+  const AcResult res = ac_sweep(ckt, op, {f0});
+  // At resonance the L and C cancel; all drive lands across C with Q = Z0/R.
+  const double q = std::sqrt(l / c) / r;
+  EXPECT_NEAR(std::abs(res.v(0, out)), q, q * 0.01);
+}
+
+TEST(Ac, VcvsGain) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  ckt.add<Vcvs>("e1", out, kGround, in, kGround, -7.5);
+  ckt.add<Resistor>("rl", out, kGround, 1e3);
+  const Solution op = dc_operating_point(ckt);
+  const AcResult res = ac_sweep(ckt, op, {1e6});
+  EXPECT_NEAR(std::abs(res.v(0, out)), 7.5, 1e-6);
+  EXPECT_NEAR(std::abs(std::arg(res.v(0, out))), mathx::kPi, 1e-6);  // inverted
+}
+
+TEST(Ac, VccsIntoLoadResistor) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  // gm = 2 mS pulling current out of `out`: gain = -gm*RL = -4.
+  ckt.add<Vccs>("g1", out, kGround, in, kGround, 2e-3);
+  ckt.add<Resistor>("rl", out, kGround, 2e3);
+  const Solution op = dc_operating_point(ckt);
+  const AcResult res = ac_sweep(ckt, op, {1e6});
+  EXPECT_NEAR(std::abs(res.v(0, out)), 4.0, 1e-6);
+}
+
+TEST(Ac, CommonSourceGainMatchesGmRout) {
+  // Transistor-level small-signal gain must equal -gm*(RL||ro) computed from
+  // the model's own operating point.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId g = ckt.node("g");
+  const NodeId d = ckt.node("d");
+  ckt.add<VoltageSource>("vdd", vdd, kGround, Waveform::dc(1.2));
+  auto& vg = ckt.add<VoltageSource>("vg", g, kGround, Waveform::dc(0.5));
+  vg.set_ac(1.0);
+  const double rl = 500.0;  // keeps the device in saturation at this bias
+  ckt.add<Resistor>("rl", vdd, d, rl);
+  Mosfet& m = ckt.add<Mosfet>("m1", d, g, kGround, kGround, tech65::nmos(10e-6));
+  const Solution op = dc_operating_point(ckt);
+  const MosOperatingPoint mop = m.evaluate(op);
+  const double rout = 1.0 / (1.0 / rl + mop.gds);
+  const double av_expected = mop.gm * rout;
+
+  // Low frequency: parasitic caps negligible.
+  const AcResult res = ac_sweep(ckt, op, {1e4});
+  EXPECT_NEAR(std::abs(res.v(0, d)), av_expected, 0.01 * av_expected);
+  EXPECT_GT(av_expected, 2.0);  // sanity: this stage actually has gain
+}
+
+TEST(Ac, GainRollsOffWithParasiticCaps) {
+  // The same stage must lose gain at tens of GHz due to the MOS caps.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId g = ckt.node("g");
+  const NodeId d = ckt.node("d");
+  ckt.add<VoltageSource>("vdd", vdd, kGround, Waveform::dc(1.2));
+  auto& vg = ckt.add<VoltageSource>("vg", g, kGround, Waveform::dc(0.45));
+  vg.set_ac(1.0);
+  ckt.add<Resistor>("rl", vdd, d, 800.0);
+  ckt.add<Mosfet>("m1", d, g, kGround, kGround, tech65::nmos(20e-6));
+  const Solution op = dc_operating_point(ckt);
+  const AcResult res = ac_sweep(ckt, op, {1e5, 5e10});
+  EXPECT_GT(std::abs(res.v(0, d)), 2.0);  // real gain at low frequency
+  EXPECT_LT(std::abs(res.v(1, d)), 0.5 * std::abs(res.v(0, d)));
+}
+
+TEST(Ac, FrequencyGridHelpers) {
+  const auto lg = log_space(1.0, 1000.0, 4);
+  ASSERT_EQ(lg.size(), 4u);
+  EXPECT_NEAR(lg[0], 1.0, 1e-12);
+  EXPECT_NEAR(lg[1], 10.0, 1e-9);
+  EXPECT_NEAR(lg[3], 1000.0, 1e-9);
+  const auto ln = lin_space(0.0, 10.0, 5);
+  ASSERT_EQ(ln.size(), 5u);
+  EXPECT_NEAR(ln[2], 5.0, 1e-12);
+  EXPECT_EQ(log_space(5.0, 50.0, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace rfmix::spice

@@ -1,0 +1,80 @@
+// DC sweep tests: transfer curves and I-V characteristics.
+#include "spice/dcsweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/circuit.hpp"
+#include "spice/devices_diode.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/tech65.hpp"
+
+namespace rfmix::spice {
+namespace {
+
+TEST(DcSweep, LinearCircuitScalesLinearly) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId mid = ckt.node("mid");
+  auto& src = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  ckt.add<Resistor>("r1", in, mid, 3e3);
+  ckt.add<Resistor>("r2", mid, kGround, 1e3);
+  const DcSweepResult res = dc_sweep(ckt, src, 0.0, 4.0, 5);
+  ASSERT_EQ(res.size(), 5u);
+  const auto vm = res.v(mid);
+  for (std::size_t i = 0; i < res.size(); ++i)
+    EXPECT_NEAR(vm[i], res.values[i] / 4.0, 1e-6);
+}
+
+TEST(DcSweep, DiodeIvCurveIsExponential) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  auto& src = ckt.add<VoltageSource>("v1", a, kGround, Waveform::dc(0.0));
+  ckt.add<Diode>("d1", a, kGround);
+  const DcSweepResult res = dc_sweep(ckt, src, 0.55, 0.75, 9);
+  const auto i = res.source_current(src);
+  // Current through the source is negative (flows out of +); magnitude
+  // should grow ~ a decade per 60 mV.
+  const double ratio = i.back() / i[0];
+  EXPECT_GT(ratio, 100.0);   // 200 mV ~ >3 decades for n=1... at least 2
+  EXPECT_LT(i.back(), 0.0);
+  EXPECT_LT(i[0], 0.0);
+}
+
+TEST(DcSweep, MosTransferCurveMonotone) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId g = ckt.node("g");
+  const NodeId d = ckt.node("d");
+  ckt.add<VoltageSource>("vdd", vdd, kGround, Waveform::dc(1.2));
+  auto& vg = ckt.add<VoltageSource>("vg", g, kGround, Waveform::dc(0.0));
+  ckt.add<Resistor>("rl", vdd, d, 1e3);
+  ckt.add<Mosfet>("m1", d, g, kGround, kGround, tech65::nmos(10e-6));
+  const DcSweepResult res = dc_sweep(ckt, vg, 0.0, 1.2, 25);
+  const auto vd_trace = res.v(d);
+  // Output falls monotonically from ~VDD as the gate rises.
+  EXPECT_GT(vd_trace.front(), 1.15);
+  EXPECT_LT(vd_trace.back(), 0.4);
+  for (std::size_t i = 1; i < vd_trace.size(); ++i)
+    EXPECT_LE(vd_trace[i], vd_trace[i - 1] + 1e-9);
+}
+
+TEST(DcSweep, RestoresSourceWaveform) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  auto& src = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(2.5));
+  ckt.add<Resistor>("r1", in, kGround, 1e3);
+  (void)dc_sweep(ckt, src, 0.0, 1.0, 3);
+  EXPECT_DOUBLE_EQ(src.waveform().dc_value(), 2.5);
+}
+
+TEST(DcSweep, TooFewPointsThrows) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  auto& src = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  ckt.add<Resistor>("r1", in, kGround, 1e3);
+  EXPECT_THROW(dc_sweep(ckt, src, 0.0, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfmix::spice

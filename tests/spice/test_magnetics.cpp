@@ -1,0 +1,141 @@
+// Coupled-inductor and balun tests.
+#include "spice/devices_magnetics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_sources.hpp"
+#include "spice/op.hpp"
+#include "spice/tran.hpp"
+
+namespace rfmix::spice {
+namespace {
+
+TEST(CoupledInductors, ParameterValidation) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a"), b = ckt.node("b");
+  EXPECT_THROW(ckt.add<CoupledInductors>("t", a, kGround, b, kGround, -1e-9, 1e-9, 0.9),
+               std::invalid_argument);
+  EXPECT_THROW(ckt.add<CoupledInductors>("t", a, kGround, b, kGround, 1e-9, 1e-9, 1.0),
+               std::invalid_argument);
+  auto& t = ckt.add<CoupledInductors>("t", a, kGround, b, kGround, 4e-9, 1e-9, 0.5);
+  EXPECT_NEAR(t.mutual(), 0.5 * std::sqrt(4e-9 * 1e-9), 1e-15);
+}
+
+TEST(CoupledInductors, AcTransformerVoltageRatio) {
+  // Tightly coupled 4:1 inductance ratio -> 2:1 voltage ratio (open
+  // secondary, k ~ 1).
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId sec = ckt.node("sec");
+  auto& vs = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  ckt.add<CoupledInductors>("t1", in, kGround, sec, kGround, 4e-9, 1e-9, 0.999);
+  ckt.add<Resistor>("rl", sec, kGround, 1e6);  // ~open
+  const Solution op = dc_operating_point(ckt);
+  const AcResult res = ac_sweep(ckt, op, {1e9});
+  EXPECT_NEAR(std::abs(res.v(0, sec)), 0.5, 0.01);
+}
+
+TEST(CoupledInductors, ImpedanceTransformation) {
+  // Loaded ideal-ish transformer reflects the load as n^2 * RL to the
+  // primary; check via the primary input current.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId sec = ckt.node("sec");
+  auto& vs = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  // L1/L2 = 4 -> n = 2 (primary:secondary = 2:1), RL = 50 -> Zin ~ 200.
+  ckt.add<CoupledInductors>("t1", in, kGround, sec, kGround, 400e-9, 100e-9, 0.9999);
+  ckt.add<Resistor>("rl", sec, kGround, 50.0);
+  const Solution op = dc_operating_point(ckt);
+  // High frequency so the magnetizing reactance is >> reflected load.
+  const AcResult res = ac_sweep(ckt, op, {10e9});
+  const int ub = res.layout.branch_unknown(
+      ckt.find_device("t1")->branch_base());
+  const std::complex<double> i1 = res.solutions[0][static_cast<std::size_t>(ub)];
+  EXPECT_NEAR(1.0 / std::abs(i1), 200.0, 25.0);
+}
+
+TEST(CoupledInductors, DcBothWindingsShort) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(1.0));
+  ckt.add<Resistor>("r1", in, a, 1e3);
+  ckt.add<CoupledInductors>("t1", a, kGround, b, kGround, 1e-9, 1e-9, 0.9);
+  ckt.add<Resistor>("r2", b, kGround, 1e3);
+  const Solution op = dc_operating_point(ckt);
+  // Near-shorts: only the 0.1 ohm winding resistance remains.
+  EXPECT_NEAR(op.v(a), 0.0, 1e-3);
+  EXPECT_NEAR(op.v(b), 0.0, 1e-3);
+}
+
+TEST(Balun, ProducesBalancedAntiphaseOutputs) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId ct = ckt.node("ct");
+  auto& vs = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  ckt.add<VoltageSource>("vct", ct, kGround, Waveform::dc(0.6));  // common mode
+  const BalunNodes out = add_balun(ckt, "balun", in, ct);
+  ckt.add<Resistor>("rl_p", out.out_p, ct, 200.0);
+  ckt.add<Resistor>("rl_m", out.out_m, ct, 200.0);
+  const Solution op = dc_operating_point(ckt);
+  const AcResult res = ac_sweep(ckt, op, {2.45e9});
+  const std::complex<double> vp = res.v(0, out.out_p);
+  const std::complex<double> vm = res.v(0, out.out_m);
+  // Anti-phase and amplitude-balanced.
+  EXPECT_NEAR(std::abs(vp), std::abs(vm), 0.02 * std::abs(vp));
+  EXPECT_NEAR(std::abs(std::arg(vp) - std::arg(vm)), mathx::kPi, 0.15);
+  // Differential output actually carries signal.
+  EXPECT_GT(std::abs(vp - vm), 0.2);
+}
+
+TEST(Balun, DcOutputsSitAtCenterTap) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId ct = ckt.node("ct");
+  ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  ckt.add<VoltageSource>("vct", ct, kGround, Waveform::dc(0.6));
+  const BalunNodes out = add_balun(ckt, "balun", in, ct);
+  ckt.add<Resistor>("rl_p", out.out_p, ct, 200.0);
+  ckt.add<Resistor>("rl_m", out.out_m, ct, 200.0);
+  const Solution op = dc_operating_point(ckt);
+  EXPECT_NEAR(op.v(out.out_p), 0.6, 1e-6);
+  EXPECT_NEAR(op.v(out.out_m), 0.6, 1e-6);
+}
+
+TEST(CoupledInductors, TransientEnergyTransfer) {
+  // Drive a step into the primary; the secondary responds with the coupled
+  // voltage transient.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId sec = ckt.node("sec");
+  PulseWave pw;
+  pw.v1 = 0.0;
+  pw.v2 = 1.0;
+  pw.rise_s = 1e-10;
+  pw.width_s = 1.0;
+  ckt.add<VoltageSource>("v1", in, kGround, Waveform(pw));
+  ckt.add<Resistor>("rs", in, ckt.node("p"), 50.0);
+  ckt.add<CoupledInductors>("t1", ckt.find_node("p"), kGround, sec, kGround, 10e-9,
+                            10e-9, 0.95);
+  ckt.add<Resistor>("rl", sec, kGround, 50.0);
+  const TranResult res =
+      transient(ckt, 2e-9, 1e-12, {{sec, kGround, "sec"}});
+  double peak = 0.0;
+  for (const double v : res.waveform(0)) peak = std::max(peak, std::abs(v));
+  EXPECT_GT(peak, 0.2);  // real coupling
+  // And it decays as the step settles (L/R time constant).
+  EXPECT_LT(std::abs(res.waveform(0).back()), peak * 0.5);
+}
+
+}  // namespace
+}  // namespace rfmix::spice

@@ -1,0 +1,95 @@
+// Monte-Carlo mismatch and process-corner model tests.
+#include "spice/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/tech65.hpp"
+
+namespace rfmix::spice::tech65 {
+namespace {
+
+TEST(Mismatch, SigmaScalesWithInverseSqrtArea) {
+  // Pelgrom: doubling W*L shrinks sigma by sqrt(2). Estimate sigma from a
+  // sample of draws at two geometries.
+  auto sigma_vt = [](double w, double l, std::uint64_t seed) {
+    mathx::Rng rng(seed);
+    const MosParams nom = nmos(w, l);
+    double s = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      const MosParams p = with_mismatch(nom, rng);
+      const double d = p.vto - nom.vto;
+      s += d * d;
+    }
+    return std::sqrt(s / n);
+  };
+  const double s_small = sigma_vt(1e-6, 65e-9, 11);
+  const double s_big = sigma_vt(4e-6, 65e-9, 12);
+  EXPECT_NEAR(s_small / s_big, 2.0, 0.15);  // 4x area -> 2x smaller sigma
+  // Absolute anchor: 3.5 mV*um coefficient at W*L = 1um * 65nm.
+  const double expected = 3.5e-9 / std::sqrt(1e-6 * 65e-9);
+  EXPECT_NEAR(s_small, expected, expected * 0.1);
+}
+
+TEST(Mismatch, MeanIsUnbiased) {
+  mathx::Rng rng(21);
+  const MosParams nom = nmos(10e-6);
+  double sum_vt = 0.0, sum_kp = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const MosParams p = with_mismatch(nom, rng);
+    sum_vt += p.vto - nom.vto;
+    sum_kp += p.kp / nom.kp - 1.0;
+  }
+  EXPECT_NEAR(sum_vt / n, 0.0, 2e-4);
+  EXPECT_NEAR(sum_kp / n, 0.0, 2e-3);
+}
+
+TEST(Mismatch, DrawsAreIndependent) {
+  mathx::Rng rng(31);
+  const MosParams nom = nmos(10e-6);
+  const MosParams a = with_mismatch(nom, rng);
+  const MosParams b = with_mismatch(nom, rng);
+  EXPECT_NE(a.vto, b.vto);
+}
+
+TEST(Corners, TtIsIdentity) {
+  const MosParams nom = nmos(5e-6);
+  const MosParams tt = at_corner(nom, Corner::kTT);
+  EXPECT_DOUBLE_EQ(tt.vto, nom.vto);
+  EXPECT_DOUBLE_EQ(tt.kp, nom.kp);
+}
+
+TEST(Corners, SlowFastShiftDirections) {
+  const MosParams nom = nmos(5e-6);
+  const MosParams ss = at_corner(nom, Corner::kSS);
+  const MosParams ff = at_corner(nom, Corner::kFF);
+  EXPECT_GT(ss.vto, nom.vto);  // slow: higher threshold
+  EXPECT_LT(ss.kp, nom.kp);    //       less drive
+  EXPECT_LT(ff.vto, nom.vto);
+  EXPECT_GT(ff.kp, nom.kp);
+}
+
+TEST(Corners, CrossCornersSplitByPolarity) {
+  const MosParams n = nmos(5e-6);
+  const MosParams p = pmos(5e-6);
+  // SF: slow NMOS, fast PMOS.
+  EXPECT_GT(at_corner(n, Corner::kSF).vto, n.vto);
+  EXPECT_LT(at_corner(p, Corner::kSF).vto, p.vto);
+  // FS: the reverse.
+  EXPECT_LT(at_corner(n, Corner::kFS).vto, n.vto);
+  EXPECT_GT(at_corner(p, Corner::kFS).vto, p.vto);
+}
+
+TEST(Corners, NamesAreDistinct) {
+  EXPECT_STREQ(corner_name(Corner::kTT), "TT");
+  EXPECT_STREQ(corner_name(Corner::kSS), "SS");
+  EXPECT_STREQ(corner_name(Corner::kFF), "FF");
+  EXPECT_STREQ(corner_name(Corner::kSF), "SF");
+  EXPECT_STREQ(corner_name(Corner::kFS), "FS");
+}
+
+}  // namespace
+}  // namespace rfmix::spice::tech65

@@ -1,0 +1,124 @@
+// Passive device tests: parameter validation, switch behaviour, power.
+#include "spice/devices_passive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices_sources.hpp"
+#include "spice/op.hpp"
+
+namespace rfmix::spice {
+namespace {
+
+TEST(Resistor, RejectsNonPositiveValues) {
+  Circuit ckt;
+  const NodeId n = ckt.node("n");
+  EXPECT_THROW(ckt.add<Resistor>("r", n, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add<Resistor>("r", n, kGround, -5.0), std::invalid_argument);
+}
+
+TEST(Resistor, SetResistanceValidates) {
+  Circuit ckt;
+  auto& r = ckt.add<Resistor>("r", ckt.node("n"), kGround, 100.0);
+  r.set_resistance(200.0);
+  EXPECT_DOUBLE_EQ(r.resistance(), 200.0);
+  EXPECT_THROW(r.set_resistance(0.0), std::invalid_argument);
+}
+
+TEST(Resistor, DissipatedPowerVSquaredOverR) {
+  Circuit ckt;
+  const NodeId n = ckt.node("n");
+  ckt.add<VoltageSource>("v", n, kGround, Waveform::dc(2.0));
+  auto& r = ckt.add<Resistor>("r", n, kGround, 100.0);
+  const Solution op = dc_operating_point(ckt);
+  EXPECT_NEAR(r.dissipated_power(op), 4.0 / 100.0, 1e-12);
+}
+
+TEST(Capacitor, RejectsNegativeValue) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add<Capacitor>("c", ckt.node("n"), kGround, -1e-12),
+               std::invalid_argument);
+}
+
+TEST(Inductor, RejectsNonPositiveValue) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add<Inductor>("l", ckt.node("n"), kGround, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Inductor, DcActsAsShort) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("v", in, kGround, Waveform::dc(1.0));
+  ckt.add<Inductor>("l", in, out, 1e-6);
+  ckt.add<Resistor>("r", out, kGround, 1e3);
+  const Solution op = dc_operating_point(ckt);
+  EXPECT_NEAR(op.v(out), 1.0, 1e-9);
+}
+
+TEST(IdealSwitch, OnOffStatesFollowControl) {
+  for (const double vctl : {0.0, 1.0}) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    const NodeId ctl = ckt.node("ctl");
+    ckt.add<VoltageSource>("v", in, kGround, Waveform::dc(1.0));
+    ckt.add<VoltageSource>("vc", ctl, kGround, Waveform::dc(vctl));
+    ckt.add<IdealSwitch>("s", in, out, ctl, kGround, 0.5, 10.0, 1e9);
+    ckt.add<Resistor>("rl", out, kGround, 1e3);
+    const Solution op = dc_operating_point(ckt);
+    if (vctl > 0.5) {
+      EXPECT_NEAR(op.v(out), 1e3 / (1e3 + 10.0), 1e-6);
+    } else {
+      EXPECT_LT(op.v(out), 1e-4);
+    }
+  }
+}
+
+TEST(IdealSwitch, AcUsesOperatingPointState) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  const NodeId ctl = ckt.node("ctl");
+  auto& v = ckt.add<VoltageSource>("v", in, kGround, Waveform::dc(0.0));
+  v.set_ac(1.0);
+  ckt.add<VoltageSource>("vc", ctl, kGround, Waveform::dc(1.0));
+  ckt.add<IdealSwitch>("s", in, out, ctl, kGround, 0.5, 10.0, 1e9);
+  ckt.add<Resistor>("rl", out, kGround, 1e3);
+  const Solution op = dc_operating_point(ckt);
+  const AcResult res = ac_sweep(ckt, op, {1e6});
+  EXPECT_NEAR(std::abs(res.v(0, out)), 1e3 / 1010.0, 1e-4);
+}
+
+TEST(Circuit, NodeNamesAndLookup) {
+  Circuit ckt;
+  const NodeId a = ckt.node("alpha");
+  EXPECT_EQ(ckt.node("alpha"), a);           // idempotent
+  EXPECT_EQ(ckt.find_node("alpha"), a);
+  EXPECT_EQ(ckt.node("gnd"), kGround);
+  EXPECT_EQ(ckt.node("0"), kGround);
+  EXPECT_TRUE(ckt.has_node("alpha"));
+  EXPECT_FALSE(ckt.has_node("beta"));
+  EXPECT_THROW(ckt.find_node("beta"), std::invalid_argument);
+  EXPECT_EQ(ckt.node_name(a), "alpha");
+}
+
+TEST(Circuit, FindDeviceByName) {
+  Circuit ckt;
+  ckt.add<Resistor>("r42", ckt.node("x"), kGround, 1.0);
+  EXPECT_NE(ckt.find_device("r42"), nullptr);
+  EXPECT_EQ(ckt.find_device("nope"), nullptr);
+}
+
+TEST(Circuit, LayoutBeforeFinalizeThrows) {
+  Circuit ckt;
+  ckt.add<Resistor>("r", ckt.node("x"), kGround, 1.0);
+  EXPECT_THROW(ckt.layout(), std::logic_error);
+  ckt.finalize();
+  EXPECT_EQ(ckt.layout().num_nodes, 2);
+}
+
+}  // namespace
+}  // namespace rfmix::spice

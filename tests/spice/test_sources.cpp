@@ -1,0 +1,159 @@
+// Source and waveform tests.
+#include "spice/devices_sources.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/op.hpp"
+#include "spice/tran.hpp"
+#include "spice/waveform.hpp"
+
+namespace rfmix::spice {
+namespace {
+
+TEST(Waveform, DcValue) {
+  const Waveform w = Waveform::dc(3.3);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.value(1.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.dc_value(), 3.3);
+}
+
+TEST(Waveform, SineShape) {
+  const Waveform w = Waveform::sine(2.0, 1e6, 0.5);
+  EXPECT_NEAR(w.value(0.0), 0.5, 1e-12);                 // sin(0) = 0 + offset
+  EXPECT_NEAR(w.value(0.25e-6), 2.5, 1e-9);              // quarter period peak
+  EXPECT_NEAR(w.value(0.75e-6), -1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(w.dc_value(), 0.5);
+}
+
+TEST(Waveform, SineDelayHoldsInitialValue) {
+  const Waveform w = Waveform::sine(1.0, 1e6, 0.0, 0.0, 1e-6);
+  EXPECT_NEAR(w.value(0.5e-6), 0.0, 1e-12);
+  EXPECT_NEAR(w.value(1.25e-6), 1.0, 1e-9);
+}
+
+TEST(Waveform, MultiToneSumsTones) {
+  MultiToneWave mt;
+  mt.offset = 0.1;
+  mt.tones.push_back({1.0, 1e6, mathx::kPi / 2.0});  // cos
+  mt.tones.push_back({0.5, 2e6, mathx::kPi / 2.0});
+  const Waveform w{mt};
+  EXPECT_NEAR(w.value(0.0), 0.1 + 1.0 + 0.5, 1e-12);
+}
+
+TEST(Waveform, PulseTimings) {
+  PulseWave p;
+  p.v1 = 0.0;
+  p.v2 = 1.0;
+  p.delay_s = 1e-9;
+  p.rise_s = 1e-9;
+  p.width_s = 3e-9;
+  p.fall_s = 1e-9;
+  p.period_s = 10e-9;
+  const Waveform w{p};
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+  EXPECT_NEAR(w.value(1.5e-9), 0.5, 1e-9);   // mid-rise
+  EXPECT_DOUBLE_EQ(w.value(3e-9), 1.0);       // flat top
+  EXPECT_NEAR(w.value(5.5e-9), 0.5, 1e-9);    // mid-fall
+  EXPECT_DOUBLE_EQ(w.value(8e-9), 0.0);       // low
+  EXPECT_NEAR(w.value(11.5e-9), 0.5, 1e-9);   // second period mid-rise
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  PwlWave p;
+  p.points = {{0.0, 0.0}, {1.0, 2.0}, {3.0, -2.0}};
+  const Waveform w{p};
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(w.value(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(5.0), -2.0);
+}
+
+TEST(Sources, CccsMirrorsAmmeterCurrent) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  const NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("v1", a, kGround, Waveform::dc(1.0));
+  auto& ammeter = ckt.add<VoltageSource>("vam", a, b, Waveform::dc(0.0));
+  ckt.add<Resistor>("r1", b, kGround, 1e3);  // 1 mA through the ammeter
+  ckt.add<Cccs>("f1", kGround, out, &ammeter, 2.0);
+  ckt.add<Resistor>("rl", out, kGround, 1e3);
+  const Solution op = dc_operating_point(ckt);
+  // Ammeter current = +1 mA (a->b). CCCS drives 2 mA from gnd to out.
+  EXPECT_NEAR(op.v(out), 2.0, 1e-6);
+}
+
+TEST(Sources, CcvsProducesProportionalVoltage) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  const NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("v1", a, kGround, Waveform::dc(2.0));
+  auto& ammeter = ckt.add<VoltageSource>("vam", a, b, Waveform::dc(0.0));
+  ckt.add<Resistor>("r1", b, kGround, 1e3);  // 2 mA
+  ckt.add<Ccvs>("h1", out, kGround, &ammeter, 500.0);
+  ckt.add<Resistor>("rl", out, kGround, 1e6);
+  const Solution op = dc_operating_point(ckt);
+  EXPECT_NEAR(op.v(out), 1.0, 1e-6);  // 500 * 2 mA
+}
+
+TEST(Sources, ControlMustOwnBranch) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  auto& r = ckt.add<Resistor>("r1", a, kGround, 1.0);
+  EXPECT_THROW(ckt.add<Cccs>("f", a, kGround, &r, 1.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add<Ccvs>("h", a, kGround, &r, 1.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add<Cccs>("f", a, kGround, nullptr, 1.0), std::invalid_argument);
+}
+
+TEST(Sources, SourceDeliversPowerNegative) {
+  Circuit ckt;
+  const NodeId n = ckt.node("n");
+  auto& v = ckt.add<VoltageSource>("v", n, kGround, Waveform::dc(2.0));
+  ckt.add<Resistor>("r", n, kGround, 100.0);
+  const Solution op = dc_operating_point(ckt);
+  EXPECT_LT(v.dissipated_power(op), 0.0);
+  EXPECT_NEAR(v.dissipated_power(op), -0.04, 1e-9);
+}
+
+TEST(Sources, TransientSineSourceDrivesCircuit) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  ckt.add<VoltageSource>("v", in, kGround, Waveform::sine(1.0, 1e6));
+  ckt.add<Resistor>("r", in, kGround, 50.0);
+  const TranResult res = transient(ckt, 1e-6, 1e-9, {{in, kGround, "in"}});
+  // Peak near 1.0 at quarter period.
+  double peak = 0.0;
+  for (const double v : res.waveform(0)) peak = std::max(peak, v);
+  EXPECT_NEAR(peak, 1.0, 1e-3);
+}
+
+TEST(Sources, CccsAndCcvsInAcAnalysis) {
+  // The controlled-source AC stamps must mirror the DC behaviour.
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  const NodeId o1 = ckt.node("o1");
+  const NodeId o2 = ckt.node("o2");
+  auto& vin = ckt.add<VoltageSource>("vin", a, kGround, Waveform::dc(0.0));
+  vin.set_ac(1.0);
+  auto& ammeter = ckt.add<VoltageSource>("vam", a, b, Waveform::dc(0.0));
+  ckt.add<Resistor>("r1", b, kGround, 1e3);  // 1 mA/V of AC drive
+  ckt.add<Cccs>("f1", kGround, o1, &ammeter, 2.0);
+  ckt.add<Resistor>("rl1", o1, kGround, 1e3);
+  ckt.add<Ccvs>("h1", o2, kGround, &ammeter, 500.0);
+  ckt.add<Resistor>("rl2", o2, kGround, 1e6);
+  const Solution op = dc_operating_point(ckt);
+  const AcResult res = ac_sweep(ckt, op, {1e6});
+  EXPECT_NEAR(std::abs(res.v(0, o1)), 2.0, 1e-6);   // 2 mA into 1k
+  EXPECT_NEAR(std::abs(res.v(0, o2)), 0.5, 1e-6);   // 500 * 1 mA
+}
+
+}  // namespace
+}  // namespace rfmix::spice

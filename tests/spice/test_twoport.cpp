@@ -1,0 +1,99 @@
+// Two-port S-parameter tests against closed-form networks.
+#include "spice/twoport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mathx/units.hpp"
+#include "spice/circuit.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_sources.hpp"
+#include "spice/op.hpp"
+
+namespace rfmix::spice {
+namespace {
+
+TwoPortResult measure(Circuit& ckt, NodeId in, NodeId out, double f = 1e9) {
+  const Solution op = dc_operating_point(ckt);
+  return measure_two_port(ckt, op, {in, kGround, 50.0}, {out, kGround, 50.0}, {f});
+}
+
+TEST(TwoPort, SeriesResistor) {
+  // Series R between 50-ohm ports: S11 = R/(R+2Z0), S21 = 2Z0/(R+2Z0).
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  const double r = 100.0;
+  ckt.add<Resistor>("r1", in, out, r);
+  const TwoPortResult res = measure(ckt, in, out);
+  EXPECT_NEAR(std::abs(res.points[0].s[0][0]), r / (r + 100.0), 1e-4);
+  EXPECT_NEAR(std::abs(res.points[0].s[1][0]), 100.0 / (r + 100.0), 1e-4);
+}
+
+TEST(TwoPort, ShuntResistor) {
+  // Shunt R at the junction of both ports: S11 = -Z0/(2R+Z0),
+  // S21 = 2R/(2R+Z0).
+  Circuit ckt;
+  const NodeId n = ckt.node("n");
+  const double r = 100.0;
+  ckt.add<Resistor>("r1", n, kGround, r);
+  const TwoPortResult res = measure(ckt, n, n);
+  EXPECT_NEAR(std::abs(res.points[0].s[0][0]), 50.0 / (2.0 * r + 50.0), 1e-4);
+  EXPECT_NEAR(std::abs(res.points[0].s[1][0]), 2.0 * r / (2.0 * r + 50.0), 1e-4);
+}
+
+TEST(TwoPort, MatchedPiAttenuator) {
+  // Classic 6 dB pi pad in 50 ohm: R_shunt = 150.48, R_series = 37.35.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add<Resistor>("rp1", in, kGround, 150.48);
+  ckt.add<Resistor>("rs", in, out, 37.35);
+  ckt.add<Resistor>("rp2", out, kGround, 150.48);
+  const TwoPortResult res = measure(ckt, in, out);
+  EXPECT_LT(res.s_db(0, 0, 0), -35.0);        // matched input
+  EXPECT_NEAR(res.s_db(1, 0, 0), -6.0, 0.05);  // 6 dB loss
+}
+
+TEST(TwoPort, ReciprocityOfPassiveNetwork) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId mid = ckt.node("mid");
+  const NodeId out = ckt.node("out");
+  ckt.add<Resistor>("r1", in, mid, 80.0);
+  ckt.add<Capacitor>("c1", mid, kGround, 2e-12);
+  ckt.add<Resistor>("r2", mid, out, 120.0);
+  const TwoPortResult res = measure(ckt, in, out, 2e9);
+  EXPECT_NEAR(std::abs(res.points[0].s[0][1] - res.points[0].s[1][0]), 0.0, 1e-6);
+}
+
+TEST(TwoPort, LosslessNetworkConservesPower) {
+  // Series L + shunt C (lossless): |S11|^2 + |S21|^2 = 1.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add<Inductor>("l1", in, out, 3e-9);
+  ckt.add<Capacitor>("c1", out, kGround, 1e-12);
+  const TwoPortResult res = measure(ckt, in, out, 3e9);
+  const double p = std::norm(res.points[0].s[0][0]) + std::norm(res.points[0].s[1][0]);
+  EXPECT_NEAR(p, 1.0, 1e-3);
+}
+
+TEST(TwoPort, UnequalReferenceImpedances) {
+  // A through connection between a 50-ohm and a 200-ohm port: the
+  // well-known mismatch |S11| = |(Z2 - Z1)/(Z2 + Z1)| = 0.6.
+  Circuit ckt;
+  const NodeId n = ckt.node("n");
+  ckt.add<Resistor>("rbig", n, kGround, 1e9);  // keep the node referenced
+  const Solution op = dc_operating_point(ckt);
+  const TwoPortResult res = measure_two_port(ckt, op, {n, kGround, 50.0},
+                                             {n, kGround, 200.0}, {1e9});
+  EXPECT_NEAR(std::abs(res.points[0].s[0][0]), 0.6, 1e-3);
+  // Power conservation through the lossless junction.
+  const double p = std::norm(res.points[0].s[0][0]) + std::norm(res.points[0].s[1][0]);
+  EXPECT_NEAR(p, 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace rfmix::spice
