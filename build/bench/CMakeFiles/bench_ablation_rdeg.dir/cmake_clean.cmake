@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rdeg.dir/bench_ablation_rdeg.cpp.o"
+  "CMakeFiles/bench_ablation_rdeg.dir/bench_ablation_rdeg.cpp.o.d"
+  "bench_ablation_rdeg"
+  "bench_ablation_rdeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rdeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

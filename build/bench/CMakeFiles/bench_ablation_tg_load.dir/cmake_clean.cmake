@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tg_load.dir/bench_ablation_tg_load.cpp.o"
+  "CMakeFiles/bench_ablation_tg_load.dir/bench_ablation_tg_load.cpp.o.d"
+  "bench_ablation_tg_load"
+  "bench_ablation_tg_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tg_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tia_rf.dir/bench_ablation_tia_rf.cpp.o"
+  "CMakeFiles/bench_ablation_tia_rf.dir/bench_ablation_tia_rf.cpp.o.d"
+  "bench_ablation_tia_rf"
+  "bench_ablation_tia_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tia_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

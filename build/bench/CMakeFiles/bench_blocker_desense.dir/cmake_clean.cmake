@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocker_desense.dir/bench_blocker_desense.cpp.o"
+  "CMakeFiles/bench_blocker_desense.dir/bench_blocker_desense.cpp.o.d"
+  "bench_blocker_desense"
+  "bench_blocker_desense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocker_desense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

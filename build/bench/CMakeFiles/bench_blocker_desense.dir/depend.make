@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_blocker_desense.
+# This may be replaced when dependencies are built.

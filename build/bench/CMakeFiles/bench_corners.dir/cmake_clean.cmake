@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corners.dir/bench_corners.cpp.o"
+  "CMakeFiles/bench_corners.dir/bench_corners.cpp.o.d"
+  "bench_corners"
+  "bench_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gain_vs_rf.dir/bench_fig8_gain_vs_rf.cpp.o"
+  "CMakeFiles/bench_fig8_gain_vs_rf.dir/bench_fig8_gain_vs_rf.cpp.o.d"
+  "bench_fig8_gain_vs_rf"
+  "bench_fig8_gain_vs_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gain_vs_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

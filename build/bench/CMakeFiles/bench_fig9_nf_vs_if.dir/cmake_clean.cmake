@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_nf_vs_if.dir/bench_fig9_nf_vs_if.cpp.o"
+  "CMakeFiles/bench_fig9_nf_vs_if.dir/bench_fig9_nf_vs_if.cpp.o.d"
+  "bench_fig9_nf_vs_if"
+  "bench_fig9_nf_vs_if.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_nf_vs_if.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

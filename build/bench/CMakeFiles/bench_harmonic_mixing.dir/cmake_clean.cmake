@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_harmonic_mixing.dir/bench_harmonic_mixing.cpp.o"
+  "CMakeFiles/bench_harmonic_mixing.dir/bench_harmonic_mixing.cpp.o.d"
+  "bench_harmonic_mixing"
+  "bench_harmonic_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harmonic_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

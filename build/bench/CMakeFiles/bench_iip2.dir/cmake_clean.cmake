@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iip2.dir/bench_iip2.cpp.o"
+  "CMakeFiles/bench_iip2.dir/bench_iip2.cpp.o.d"
+  "bench_iip2"
+  "bench_iip2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iip2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iip2_mismatch.dir/bench_iip2_mismatch.cpp.o"
+  "CMakeFiles/bench_iip2_mismatch.dir/bench_iip2_mismatch.cpp.o.d"
+  "bench_iip2_mismatch"
+  "bench_iip2_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iip2_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

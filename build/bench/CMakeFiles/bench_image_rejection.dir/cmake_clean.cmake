@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_image_rejection.dir/bench_image_rejection.cpp.o"
+  "CMakeFiles/bench_image_rejection.dir/bench_image_rejection.cpp.o.d"
+  "bench_image_rejection"
+  "bench_image_rejection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_image_rejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_image_rejection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_input_impedance.dir/bench_input_impedance.cpp.o"
+  "CMakeFiles/bench_input_impedance.dir/bench_input_impedance.cpp.o.d"
+  "bench_input_impedance"
+  "bench_input_impedance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_input_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

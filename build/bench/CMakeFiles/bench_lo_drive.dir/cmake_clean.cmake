@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lo_drive.dir/bench_lo_drive.cpp.o"
+  "CMakeFiles/bench_lo_drive.dir/bench_lo_drive.cpp.o.d"
+  "bench_lo_drive"
+  "bench_lo_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lo_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

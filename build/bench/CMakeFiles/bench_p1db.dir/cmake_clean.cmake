@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p1db.dir/bench_p1db.cpp.o"
+  "CMakeFiles/bench_p1db.dir/bench_p1db.cpp.o.d"
+  "bench_p1db"
+  "bench_p1db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p1db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_temperature.dir/bench_temperature.cpp.o"
+  "CMakeFiles/bench_temperature.dir/bench_temperature.cpp.o.d"
+  "bench_temperature"
+  "bench_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

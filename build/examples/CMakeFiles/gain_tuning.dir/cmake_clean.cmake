@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gain_tuning.dir/gain_tuning.cpp.o"
+  "CMakeFiles/gain_tuning.dir/gain_tuning.cpp.o.d"
+  "gain_tuning"
+  "gain_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gain_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

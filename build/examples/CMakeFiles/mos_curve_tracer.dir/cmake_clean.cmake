@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mos_curve_tracer.dir/mos_curve_tracer.cpp.o"
+  "CMakeFiles/mos_curve_tracer.dir/mos_curve_tracer.cpp.o.d"
+  "mos_curve_tracer"
+  "mos_curve_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mos_curve_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

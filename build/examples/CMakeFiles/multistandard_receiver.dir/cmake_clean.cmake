@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistandard_receiver.dir/multistandard_receiver.cpp.o"
+  "CMakeFiles/multistandard_receiver.dir/multistandard_receiver.cpp.o.d"
+  "multistandard_receiver"
+  "multistandard_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistandard_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

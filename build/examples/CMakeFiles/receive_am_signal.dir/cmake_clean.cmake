@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receive_am_signal.dir/receive_am_signal.cpp.o"
+  "CMakeFiles/receive_am_signal.dir/receive_am_signal.cpp.o.d"
+  "receive_am_signal"
+  "receive_am_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receive_am_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

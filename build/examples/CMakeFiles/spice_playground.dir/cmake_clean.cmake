@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_playground.dir/spice_playground.cpp.o"
+  "CMakeFiles/spice_playground.dir/spice_playground.cpp.o.d"
+  "spice_playground"
+  "spice_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

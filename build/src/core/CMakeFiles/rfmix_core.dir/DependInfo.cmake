@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/rfmix_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/rfmix_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/behavioral.cpp" "src/core/CMakeFiles/rfmix_core.dir/behavioral.cpp.o" "gcc" "src/core/CMakeFiles/rfmix_core.dir/behavioral.cpp.o.d"
+  "/root/repo/src/core/circuits.cpp" "src/core/CMakeFiles/rfmix_core.dir/circuits.cpp.o" "gcc" "src/core/CMakeFiles/rfmix_core.dir/circuits.cpp.o.d"
+  "/root/repo/src/core/image_reject.cpp" "src/core/CMakeFiles/rfmix_core.dir/image_reject.cpp.o" "gcc" "src/core/CMakeFiles/rfmix_core.dir/image_reject.cpp.o.d"
+  "/root/repo/src/core/lptv_model.cpp" "src/core/CMakeFiles/rfmix_core.dir/lptv_model.cpp.o" "gcc" "src/core/CMakeFiles/rfmix_core.dir/lptv_model.cpp.o.d"
+  "/root/repo/src/core/measurements.cpp" "src/core/CMakeFiles/rfmix_core.dir/measurements.cpp.o" "gcc" "src/core/CMakeFiles/rfmix_core.dir/measurements.cpp.o.d"
+  "/root/repo/src/core/pac_transistor.cpp" "src/core/CMakeFiles/rfmix_core.dir/pac_transistor.cpp.o" "gcc" "src/core/CMakeFiles/rfmix_core.dir/pac_transistor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/rfmix_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/lptv/CMakeFiles/rfmix_lptv.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfmix_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/rfmix_frontend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

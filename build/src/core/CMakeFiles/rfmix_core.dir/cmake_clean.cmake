@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfmix_core.dir/baselines.cpp.o"
+  "CMakeFiles/rfmix_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/rfmix_core.dir/behavioral.cpp.o"
+  "CMakeFiles/rfmix_core.dir/behavioral.cpp.o.d"
+  "CMakeFiles/rfmix_core.dir/circuits.cpp.o"
+  "CMakeFiles/rfmix_core.dir/circuits.cpp.o.d"
+  "CMakeFiles/rfmix_core.dir/image_reject.cpp.o"
+  "CMakeFiles/rfmix_core.dir/image_reject.cpp.o.d"
+  "CMakeFiles/rfmix_core.dir/lptv_model.cpp.o"
+  "CMakeFiles/rfmix_core.dir/lptv_model.cpp.o.d"
+  "CMakeFiles/rfmix_core.dir/measurements.cpp.o"
+  "CMakeFiles/rfmix_core.dir/measurements.cpp.o.d"
+  "CMakeFiles/rfmix_core.dir/pac_transistor.cpp.o"
+  "CMakeFiles/rfmix_core.dir/pac_transistor.cpp.o.d"
+  "librfmix_core.a"
+  "librfmix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfmix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/cascade.cpp" "src/frontend/CMakeFiles/rfmix_frontend.dir/cascade.cpp.o" "gcc" "src/frontend/CMakeFiles/rfmix_frontend.dir/cascade.cpp.o.d"
+  "/root/repo/src/frontend/planner.cpp" "src/frontend/CMakeFiles/rfmix_frontend.dir/planner.cpp.o" "gcc" "src/frontend/CMakeFiles/rfmix_frontend.dir/planner.cpp.o.d"
+  "/root/repo/src/frontend/standards.cpp" "src/frontend/CMakeFiles/rfmix_frontend.dir/standards.cpp.o" "gcc" "src/frontend/CMakeFiles/rfmix_frontend.dir/standards.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfmix_frontend.dir/cascade.cpp.o"
+  "CMakeFiles/rfmix_frontend.dir/cascade.cpp.o.d"
+  "CMakeFiles/rfmix_frontend.dir/planner.cpp.o"
+  "CMakeFiles/rfmix_frontend.dir/planner.cpp.o.d"
+  "CMakeFiles/rfmix_frontend.dir/standards.cpp.o"
+  "CMakeFiles/rfmix_frontend.dir/standards.cpp.o.d"
+  "librfmix_frontend.a"
+  "librfmix_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfmix_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lptv/lptv.cpp" "src/lptv/CMakeFiles/rfmix_lptv.dir/lptv.cpp.o" "gcc" "src/lptv/CMakeFiles/rfmix_lptv.dir/lptv.cpp.o.d"
+  "/root/repo/src/lptv/matrix_conversion.cpp" "src/lptv/CMakeFiles/rfmix_lptv.dir/matrix_conversion.cpp.o" "gcc" "src/lptv/CMakeFiles/rfmix_lptv.dir/matrix_conversion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

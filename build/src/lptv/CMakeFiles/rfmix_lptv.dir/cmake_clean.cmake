@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfmix_lptv.dir/lptv.cpp.o"
+  "CMakeFiles/rfmix_lptv.dir/lptv.cpp.o.d"
+  "CMakeFiles/rfmix_lptv.dir/matrix_conversion.cpp.o"
+  "CMakeFiles/rfmix_lptv.dir/matrix_conversion.cpp.o.d"
+  "librfmix_lptv.a"
+  "librfmix_lptv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfmix_lptv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rfmix_lptv.
+# This may be replaced when dependencies are built.

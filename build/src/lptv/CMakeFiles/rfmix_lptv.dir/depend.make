@@ -1,0 +1,2 @@
+# Empty dependencies file for rfmix_lptv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mathx/fft.cpp" "src/mathx/CMakeFiles/rfmix_mathx.dir/fft.cpp.o" "gcc" "src/mathx/CMakeFiles/rfmix_mathx.dir/fft.cpp.o.d"
+  "/root/repo/src/mathx/polyfit.cpp" "src/mathx/CMakeFiles/rfmix_mathx.dir/polyfit.cpp.o" "gcc" "src/mathx/CMakeFiles/rfmix_mathx.dir/polyfit.cpp.o.d"
+  "/root/repo/src/mathx/sparse.cpp" "src/mathx/CMakeFiles/rfmix_mathx.dir/sparse.cpp.o" "gcc" "src/mathx/CMakeFiles/rfmix_mathx.dir/sparse.cpp.o.d"
+  "/root/repo/src/mathx/window.cpp" "src/mathx/CMakeFiles/rfmix_mathx.dir/window.cpp.o" "gcc" "src/mathx/CMakeFiles/rfmix_mathx.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

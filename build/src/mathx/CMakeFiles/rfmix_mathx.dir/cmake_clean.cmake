@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfmix_mathx.dir/fft.cpp.o"
+  "CMakeFiles/rfmix_mathx.dir/fft.cpp.o.d"
+  "CMakeFiles/rfmix_mathx.dir/polyfit.cpp.o"
+  "CMakeFiles/rfmix_mathx.dir/polyfit.cpp.o.d"
+  "CMakeFiles/rfmix_mathx.dir/sparse.cpp.o"
+  "CMakeFiles/rfmix_mathx.dir/sparse.cpp.o.d"
+  "CMakeFiles/rfmix_mathx.dir/window.cpp.o"
+  "CMakeFiles/rfmix_mathx.dir/window.cpp.o.d"
+  "librfmix_mathx.a"
+  "librfmix_mathx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfmix_mathx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

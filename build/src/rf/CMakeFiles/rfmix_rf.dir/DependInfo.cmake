@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/compression.cpp" "src/rf/CMakeFiles/rfmix_rf.dir/compression.cpp.o" "gcc" "src/rf/CMakeFiles/rfmix_rf.dir/compression.cpp.o.d"
+  "/root/repo/src/rf/spectrum.cpp" "src/rf/CMakeFiles/rfmix_rf.dir/spectrum.cpp.o" "gcc" "src/rf/CMakeFiles/rfmix_rf.dir/spectrum.cpp.o.d"
+  "/root/repo/src/rf/table.cpp" "src/rf/CMakeFiles/rfmix_rf.dir/table.cpp.o" "gcc" "src/rf/CMakeFiles/rfmix_rf.dir/table.cpp.o.d"
+  "/root/repo/src/rf/twotone.cpp" "src/rf/CMakeFiles/rfmix_rf.dir/twotone.cpp.o" "gcc" "src/rf/CMakeFiles/rfmix_rf.dir/twotone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfmix_rf.dir/compression.cpp.o"
+  "CMakeFiles/rfmix_rf.dir/compression.cpp.o.d"
+  "CMakeFiles/rfmix_rf.dir/spectrum.cpp.o"
+  "CMakeFiles/rfmix_rf.dir/spectrum.cpp.o.d"
+  "CMakeFiles/rfmix_rf.dir/table.cpp.o"
+  "CMakeFiles/rfmix_rf.dir/table.cpp.o.d"
+  "CMakeFiles/rfmix_rf.dir/twotone.cpp.o"
+  "CMakeFiles/rfmix_rf.dir/twotone.cpp.o.d"
+  "librfmix_rf.a"
+  "librfmix_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfmix_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/spice/CMakeFiles/rfmix_spice.dir/ac.cpp.o" "gcc" "src/spice/CMakeFiles/rfmix_spice.dir/ac.cpp.o.d"
+  "/root/repo/src/spice/dcsweep.cpp" "src/spice/CMakeFiles/rfmix_spice.dir/dcsweep.cpp.o" "gcc" "src/spice/CMakeFiles/rfmix_spice.dir/dcsweep.cpp.o.d"
+  "/root/repo/src/spice/mosfet.cpp" "src/spice/CMakeFiles/rfmix_spice.dir/mosfet.cpp.o" "gcc" "src/spice/CMakeFiles/rfmix_spice.dir/mosfet.cpp.o.d"
+  "/root/repo/src/spice/noise.cpp" "src/spice/CMakeFiles/rfmix_spice.dir/noise.cpp.o" "gcc" "src/spice/CMakeFiles/rfmix_spice.dir/noise.cpp.o.d"
+  "/root/repo/src/spice/op.cpp" "src/spice/CMakeFiles/rfmix_spice.dir/op.cpp.o" "gcc" "src/spice/CMakeFiles/rfmix_spice.dir/op.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/rfmix_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/rfmix_spice.dir/parser.cpp.o.d"
+  "/root/repo/src/spice/pss.cpp" "src/spice/CMakeFiles/rfmix_spice.dir/pss.cpp.o" "gcc" "src/spice/CMakeFiles/rfmix_spice.dir/pss.cpp.o.d"
+  "/root/repo/src/spice/tran.cpp" "src/spice/CMakeFiles/rfmix_spice.dir/tran.cpp.o" "gcc" "src/spice/CMakeFiles/rfmix_spice.dir/tran.cpp.o.d"
+  "/root/repo/src/spice/twoport.cpp" "src/spice/CMakeFiles/rfmix_spice.dir/twoport.cpp.o" "gcc" "src/spice/CMakeFiles/rfmix_spice.dir/twoport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfmix_spice.dir/ac.cpp.o"
+  "CMakeFiles/rfmix_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/rfmix_spice.dir/dcsweep.cpp.o"
+  "CMakeFiles/rfmix_spice.dir/dcsweep.cpp.o.d"
+  "CMakeFiles/rfmix_spice.dir/mosfet.cpp.o"
+  "CMakeFiles/rfmix_spice.dir/mosfet.cpp.o.d"
+  "CMakeFiles/rfmix_spice.dir/noise.cpp.o"
+  "CMakeFiles/rfmix_spice.dir/noise.cpp.o.d"
+  "CMakeFiles/rfmix_spice.dir/op.cpp.o"
+  "CMakeFiles/rfmix_spice.dir/op.cpp.o.d"
+  "CMakeFiles/rfmix_spice.dir/parser.cpp.o"
+  "CMakeFiles/rfmix_spice.dir/parser.cpp.o.d"
+  "CMakeFiles/rfmix_spice.dir/pss.cpp.o"
+  "CMakeFiles/rfmix_spice.dir/pss.cpp.o.d"
+  "CMakeFiles/rfmix_spice.dir/tran.cpp.o"
+  "CMakeFiles/rfmix_spice.dir/tran.cpp.o.d"
+  "CMakeFiles/rfmix_spice.dir/twoport.cpp.o"
+  "CMakeFiles/rfmix_spice.dir/twoport.cpp.o.d"
+  "librfmix_spice.a"
+  "librfmix_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfmix_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

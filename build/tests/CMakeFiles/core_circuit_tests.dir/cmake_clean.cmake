@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_circuit_tests.dir/core/test_circuits.cpp.o"
+  "CMakeFiles/core_circuit_tests.dir/core/test_circuits.cpp.o.d"
+  "CMakeFiles/core_circuit_tests.dir/core/test_pac.cpp.o"
+  "CMakeFiles/core_circuit_tests.dir/core/test_pac.cpp.o.d"
+  "CMakeFiles/core_circuit_tests.dir/core/test_variation.cpp.o"
+  "CMakeFiles/core_circuit_tests.dir/core/test_variation.cpp.o.d"
+  "core_circuit_tests"
+  "core_circuit_tests.pdb"
+  "core_circuit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_circuit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/test_baselines.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_baselines.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_behavioral.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_behavioral.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_image_reject.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_image_reject.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_lptv_model.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_lptv_model.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lptv_tests.dir/lptv/test_lptv.cpp.o"
+  "CMakeFiles/lptv_tests.dir/lptv/test_lptv.cpp.o.d"
+  "CMakeFiles/lptv_tests.dir/lptv/test_matrix_conversion.cpp.o"
+  "CMakeFiles/lptv_tests.dir/lptv/test_matrix_conversion.cpp.o.d"
+  "lptv_tests"
+  "lptv_tests.pdb"
+  "lptv_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lptv_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mathx/test_fft.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_fft.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_fft.cpp.o.d"
+  "/root/repo/tests/mathx/test_interp.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_interp.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_interp.cpp.o.d"
+  "/root/repo/tests/mathx/test_lu.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_lu.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_lu.cpp.o.d"
+  "/root/repo/tests/mathx/test_matrix.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_matrix.cpp.o.d"
+  "/root/repo/tests/mathx/test_polyfit.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_polyfit.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_polyfit.cpp.o.d"
+  "/root/repo/tests/mathx/test_rng.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_rng.cpp.o.d"
+  "/root/repo/tests/mathx/test_sparse.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_sparse.cpp.o.d"
+  "/root/repo/tests/mathx/test_stats.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_stats.cpp.o.d"
+  "/root/repo/tests/mathx/test_units.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_units.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_units.cpp.o.d"
+  "/root/repo/tests/mathx/test_window.cpp" "tests/CMakeFiles/mathx_tests.dir/mathx/test_window.cpp.o" "gcc" "tests/CMakeFiles/mathx_tests.dir/mathx/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/rfmix_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/lptv/CMakeFiles/rfmix_lptv.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfmix_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/rfmix_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfmix_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mathx_tests.dir/mathx/test_fft.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_fft.cpp.o.d"
+  "CMakeFiles/mathx_tests.dir/mathx/test_interp.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_interp.cpp.o.d"
+  "CMakeFiles/mathx_tests.dir/mathx/test_lu.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_lu.cpp.o.d"
+  "CMakeFiles/mathx_tests.dir/mathx/test_matrix.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_matrix.cpp.o.d"
+  "CMakeFiles/mathx_tests.dir/mathx/test_polyfit.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_polyfit.cpp.o.d"
+  "CMakeFiles/mathx_tests.dir/mathx/test_rng.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_rng.cpp.o.d"
+  "CMakeFiles/mathx_tests.dir/mathx/test_sparse.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_sparse.cpp.o.d"
+  "CMakeFiles/mathx_tests.dir/mathx/test_stats.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_stats.cpp.o.d"
+  "CMakeFiles/mathx_tests.dir/mathx/test_units.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_units.cpp.o.d"
+  "CMakeFiles/mathx_tests.dir/mathx/test_window.cpp.o"
+  "CMakeFiles/mathx_tests.dir/mathx/test_window.cpp.o.d"
+  "mathx_tests"
+  "mathx_tests.pdb"
+  "mathx_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mathx_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

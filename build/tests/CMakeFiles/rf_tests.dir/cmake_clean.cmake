@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_tests.dir/rf/test_compression.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_compression.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_nf_table.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_nf_table.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_spectrum.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_spectrum.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/test_twotone.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/test_twotone.cpp.o.d"
+  "rf_tests"
+  "rf_tests.pdb"
+  "rf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spice/test_ac.cpp" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_ac.cpp.o" "gcc" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_ac.cpp.o.d"
+  "/root/repo/tests/spice/test_dc.cpp" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_dc.cpp.o" "gcc" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_dc.cpp.o.d"
+  "/root/repo/tests/spice/test_dcsweep.cpp" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_dcsweep.cpp.o" "gcc" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_dcsweep.cpp.o.d"
+  "/root/repo/tests/spice/test_magnetics.cpp" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_magnetics.cpp.o" "gcc" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_magnetics.cpp.o.d"
+  "/root/repo/tests/spice/test_noise.cpp" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_noise.cpp.o" "gcc" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_noise.cpp.o.d"
+  "/root/repo/tests/spice/test_properties.cpp" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_properties.cpp.o" "gcc" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_properties.cpp.o.d"
+  "/root/repo/tests/spice/test_pss.cpp" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_pss.cpp.o" "gcc" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_pss.cpp.o.d"
+  "/root/repo/tests/spice/test_tran.cpp" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_tran.cpp.o" "gcc" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_tran.cpp.o.d"
+  "/root/repo/tests/spice/test_twoport.cpp" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_twoport.cpp.o" "gcc" "tests/CMakeFiles/spice_analysis_tests.dir/spice/test_twoport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/rfmix_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/lptv/CMakeFiles/rfmix_lptv.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfmix_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/rfmix_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfmix_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

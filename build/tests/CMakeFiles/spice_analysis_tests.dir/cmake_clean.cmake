@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_ac.cpp.o"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_ac.cpp.o.d"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_dc.cpp.o"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_dc.cpp.o.d"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_dcsweep.cpp.o"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_dcsweep.cpp.o.d"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_magnetics.cpp.o"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_magnetics.cpp.o.d"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_noise.cpp.o"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_noise.cpp.o.d"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_properties.cpp.o"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_properties.cpp.o.d"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_pss.cpp.o"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_pss.cpp.o.d"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_tran.cpp.o"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_tran.cpp.o.d"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_twoport.cpp.o"
+  "CMakeFiles/spice_analysis_tests.dir/spice/test_twoport.cpp.o.d"
+  "spice_analysis_tests"
+  "spice_analysis_tests.pdb"
+  "spice_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_device_tests.dir/spice/test_montecarlo.cpp.o"
+  "CMakeFiles/spice_device_tests.dir/spice/test_montecarlo.cpp.o.d"
+  "CMakeFiles/spice_device_tests.dir/spice/test_mosfet.cpp.o"
+  "CMakeFiles/spice_device_tests.dir/spice/test_mosfet.cpp.o.d"
+  "CMakeFiles/spice_device_tests.dir/spice/test_parser.cpp.o"
+  "CMakeFiles/spice_device_tests.dir/spice/test_parser.cpp.o.d"
+  "CMakeFiles/spice_device_tests.dir/spice/test_passive.cpp.o"
+  "CMakeFiles/spice_device_tests.dir/spice/test_passive.cpp.o.d"
+  "CMakeFiles/spice_device_tests.dir/spice/test_sources.cpp.o"
+  "CMakeFiles/spice_device_tests.dir/spice/test_sources.cpp.o.d"
+  "spice_device_tests"
+  "spice_device_tests.pdb"
+  "spice_device_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_device_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mathx_tests[1]_include.cmake")
+include("/root/repo/build/tests/spice_device_tests[1]_include.cmake")
+include("/root/repo/build/tests/spice_analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/lptv_tests[1]_include.cmake")
+include("/root/repo/build/tests/rf_tests[1]_include.cmake")
+include("/root/repo/build/tests/frontend_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_circuit_tests[1]_include.cmake")
