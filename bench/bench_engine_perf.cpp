@@ -9,6 +9,9 @@
 #include "mathx/lu.hpp"
 #include "mathx/rng.hpp"
 #include "mathx/sparse.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "spice/montecarlo.hpp"
 #include "spice/op.hpp"
 #include "spice/tran.hpp"
 
@@ -104,6 +107,55 @@ void BM_LptvNoise(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LptvNoise);
+
+// ---- runtime pool kernels ------------------------------------------------
+
+// Pure scheduling overhead: a parallel_for over trivial bodies, at the
+// pool's thread count (arg) — the cost floor every parallel analysis pays.
+void BM_ParallelForOverhead(benchmark::State& state) {
+  runtime::ScopedPool scoped(static_cast<int>(state.range(0)));
+  std::vector<double> out(4096);
+  for (auto _ : state) {
+    runtime::parallel_for(0, out.size(),
+                          [&](std::size_t i) { out[i] = static_cast<double>(i) * 0.5; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(2)->Arg(4);
+
+// Monte-Carlo mismatch trials through the deterministic driver: the kernel
+// behind bench_iip2_mismatch, with a cheap (operating-point) trial body.
+void BM_MonteCarloMismatchTrials(benchmark::State& state) {
+  runtime::ScopedPool scoped(static_cast<int>(state.range(0)));
+  core::MixerConfig cfg;
+  cfg.mode = core::MixerMode::kPassive;
+  for (auto _ : state) {
+    const auto vdd_currents = spice::tech65::monte_carlo_trials(
+        8, 42u, [&](int, mathx::Rng& rng) {
+          core::DeviceVariation var;
+          var.mismatch_rng = &rng;
+          auto mixer = core::build_transistor_mixer(cfg, var);
+          const spice::Solution op = spice::dc_operating_point(mixer->circuit);
+          return mixer->vdd->current(op);
+        });
+    benchmark::DoNotOptimize(vdd_currents);
+  }
+}
+BENCHMARK(BM_MonteCarloMismatchTrials)->Arg(1)->Arg(4);
+
+// Fig. 9 batch kernel: one NF point per pool lane (each point = one LPTV
+// factorization pair since ConversionAnalysis::factor).
+void BM_LptvNfSweepBatch(benchmark::State& state) {
+  runtime::ScopedPool scoped(static_cast<int>(state.range(0)));
+  core::MixerConfig cfg;
+  cfg.mode = core::MixerMode::kPassive;
+  const std::vector<double> ifs = {100e3, 1e6, 5e6, 10e6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lptv_nf_sweep(cfg, ifs));
+  }
+}
+BENCHMARK(BM_LptvNfSweepBatch)->Arg(1)->Arg(4);
 
 }  // namespace
 

@@ -251,8 +251,21 @@ bench/CMakeFiles/bench_engine_perf.dir/bench_engine_perf.cpp.o: \
  /root/repo/src/spice/devices_sources.hpp \
  /root/repo/src/spice/waveform.hpp /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/spice/montecarlo.hpp /root/repo/src/spice/mosfet.hpp \
- /root/repo/src/spice/devices_passive.hpp \
+ /root/repo/src/spice/montecarlo.hpp \
+ /root/repo/src/runtime/parallel_for.hpp \
+ /root/repo/src/runtime/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/spice/mosfet.hpp /root/repo/src/spice/devices_passive.hpp \
  /root/repo/src/core/lptv_model.hpp /root/repo/src/lptv/lptv.hpp \
  /root/repo/src/mathx/fft.hpp /root/repo/src/mathx/lu.hpp \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \

@@ -247,7 +247,21 @@ examples/CMakeFiles/receive_am_signal.dir/receive_am_signal.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/spice/montecarlo.hpp /root/repo/src/spice/mosfet.hpp \
- /root/repo/src/spice/devices_passive.hpp /root/repo/src/rf/spectrum.hpp \
- /root/repo/src/mathx/window.hpp /root/repo/src/rf/table.hpp \
- /root/repo/src/spice/tran.hpp /root/repo/src/spice/op.hpp
+ /root/repo/src/spice/montecarlo.hpp \
+ /root/repo/src/runtime/parallel_for.hpp \
+ /root/repo/src/runtime/thread_pool.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
+ /root/repo/src/spice/mosfet.hpp /root/repo/src/spice/devices_passive.hpp \
+ /root/repo/src/rf/spectrum.hpp /root/repo/src/mathx/window.hpp \
+ /root/repo/src/rf/table.hpp /root/repo/src/spice/tran.hpp \
+ /root/repo/src/spice/op.hpp

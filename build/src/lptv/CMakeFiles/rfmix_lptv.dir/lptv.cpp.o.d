@@ -234,7 +234,10 @@ src/lptv/CMakeFiles/rfmix_lptv.dir/lptv.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/mathx/fft.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/mathx/fft.hpp \
  /root/repo/src/mathx/sparse.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/mathx/matrix.hpp /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/mathx/units.hpp

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfmix_runtime.dir/parallel_for.cpp.o"
+  "CMakeFiles/rfmix_runtime.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/rfmix_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/rfmix_runtime.dir/thread_pool.cpp.o.d"
+  "librfmix_runtime.a"
+  "librfmix_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfmix_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

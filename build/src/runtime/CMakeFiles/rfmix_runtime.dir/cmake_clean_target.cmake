@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfmix_runtime.a"
+)

@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
   "/root/repo/build/src/spice/CMakeFiles/rfmix_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rfmix_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/lptv/CMakeFiles/rfmix_lptv.dir/DependInfo.cmake"
   "/root/repo/build/src/rf/CMakeFiles/rfmix_rf.dir/DependInfo.cmake"
   "/root/repo/build/src/frontend/CMakeFiles/rfmix_frontend.dir/DependInfo.cmake"

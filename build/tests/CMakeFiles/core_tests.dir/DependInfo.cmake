@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/test_baselines.cpp" "tests/CMakeFiles/core_tests.dir/core/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_baselines.cpp.o.d"
   "/root/repo/tests/core/test_behavioral.cpp" "tests/CMakeFiles/core_tests.dir/core/test_behavioral.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_behavioral.cpp.o.d"
+  "/root/repo/tests/core/test_golden_metrics.cpp" "tests/CMakeFiles/core_tests.dir/core/test_golden_metrics.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_golden_metrics.cpp.o.d"
   "/root/repo/tests/core/test_image_reject.cpp" "tests/CMakeFiles/core_tests.dir/core/test_image_reject.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_image_reject.cpp.o.d"
   "/root/repo/tests/core/test_lptv_model.cpp" "tests/CMakeFiles/core_tests.dir/core/test_lptv_model.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_lptv_model.cpp.o.d"
   )
@@ -18,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
   "/root/repo/build/src/spice/CMakeFiles/rfmix_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rfmix_runtime.dir/DependInfo.cmake"
   "/root/repo/build/src/lptv/CMakeFiles/rfmix_lptv.dir/DependInfo.cmake"
   "/root/repo/build/src/rf/CMakeFiles/rfmix_rf.dir/DependInfo.cmake"
   "/root/repo/build/src/frontend/CMakeFiles/rfmix_frontend.dir/DependInfo.cmake"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/core_tests.dir/core/test_baselines.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/test_behavioral.cpp.o"
   "CMakeFiles/core_tests.dir/core/test_behavioral.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/test_golden_metrics.cpp.o"
+  "CMakeFiles/core_tests.dir/core/test_golden_metrics.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/test_image_reject.cpp.o"
   "CMakeFiles/core_tests.dir/core/test_image_reject.cpp.o.d"
   "CMakeFiles/core_tests.dir/core/test_lptv_model.cpp.o"

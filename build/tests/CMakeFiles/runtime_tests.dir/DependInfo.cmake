@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_determinism.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/test_determinism.cpp.o.d"
+  "/root/repo/tests/runtime/test_pool.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/test_pool.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/test_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mathx/CMakeFiles/rfmix_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/rfmix_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rfmix_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/lptv/CMakeFiles/rfmix_lptv.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/rfmix_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/rfmix_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfmix_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

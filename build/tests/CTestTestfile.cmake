@@ -4,6 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/runtime_tests[1]_include.cmake")
 include("/root/repo/build/tests/mathx_tests[1]_include.cmake")
 include("/root/repo/build/tests/spice_device_tests[1]_include.cmake")
 include("/root/repo/build/tests/spice_analysis_tests[1]_include.cmake")

@@ -5,6 +5,7 @@
 
 #include "mathx/units.hpp"
 #include "rf/nf.hpp"
+#include "runtime/parallel_for.hpp"
 
 namespace rfmix::core {
 
@@ -251,13 +252,15 @@ LptvNfPoint lptv_nf_dsb(const MixerConfig& cfg, double f_if_hz) {
   const auto model = build_lptv_mixer(cfg);
   lptv::ConversionAnalysis an(model->circuit, conversion_options(cfg));
 
-  const lptv::Complex h_up = an.conversion_transimpedance(
-      f_if_hz, 0, model->in, +1, model->out_p, model->out_m, 0);
-  const lptv::Complex h_dn = an.conversion_transimpedance(
-      f_if_hz, 0, model->in, -1, model->out_p, model->out_m, 0);
+  // Factor the block system once; both sideband injections reuse the forward
+  // LU and the noise solve reuses the adjoint LU (2 factorizations, not 6).
+  const lptv::ConversionAnalysis::Factored sys = an.factor(f_if_hz);
+  const lptv::Complex h_up = sys.solve_current_injection(0, model->in, +1)
+                                 .vd(0, model->out_p, model->out_m);
+  const lptv::Complex h_dn = sys.solve_current_injection(0, model->in, -1)
+                                 .vd(0, model->out_p, model->out_m);
 
-  const lptv::LptvNoiseResult noise =
-      an.output_noise(f_if_hz, model->out_p, model->out_m);
+  const lptv::LptvNoiseResult noise = sys.output_noise(model->out_p, model->out_m);
 
   // DSB noise figure: the signal is taken as arriving in both sidebands
   // (|H+1|^2 + |H-1|^2 in the denominator).
@@ -273,6 +276,23 @@ LptvNfPoint lptv_nf_dsb(const MixerConfig& cfg, double f_if_hz) {
   pt.nf_dsb_db =
       mathx::db_from_power_ratio(noise.total_output_psd_v2_hz / source_part);
   return pt;
+}
+
+std::vector<double> lptv_gain_vs_rf_sweep_db(const MixerConfig& cfg,
+                                             const std::vector<double>& f_rf_hz,
+                                             double f_if_hz) {
+  // Each point retunes the LO and builds a private model, so points are
+  // independent and run concurrently on the runtime pool.
+  return runtime::parallel_map(f_rf_hz.size(), [&](std::size_t i) {
+    return lptv_conversion_gain_at_rf_db(cfg, f_rf_hz[i], f_if_hz);
+  });
+}
+
+std::vector<LptvNfPoint> lptv_nf_sweep(const MixerConfig& cfg,
+                                       const std::vector<double>& f_if_hz) {
+  return runtime::parallel_map(f_if_hz.size(), [&](std::size_t i) {
+    return lptv_nf_dsb(cfg, f_if_hz[i]);
+  });
 }
 
 }  // namespace rfmix::core

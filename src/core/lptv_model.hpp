@@ -53,4 +53,16 @@ struct LptvNfPoint {
 /// config.f_lo_hz + f_if.
 LptvNfPoint lptv_nf_dsb(const MixerConfig& config, double f_if_hz);
 
+/// Fig. 8 batch: conversion gain at each RF frequency, every point solved
+/// concurrently on the runtime pool (one model + factorization per point).
+/// Bit-identical to calling lptv_conversion_gain_at_rf_db point by point.
+std::vector<double> lptv_gain_vs_rf_sweep_db(const MixerConfig& config,
+                                             const std::vector<double>& f_rf_hz,
+                                             double f_if_hz = 5e6);
+
+/// Fig. 9 batch: NF/gain at each IF frequency, points solved concurrently.
+/// Bit-identical to calling lptv_nf_dsb point by point.
+std::vector<LptvNfPoint> lptv_nf_sweep(const MixerConfig& config,
+                                       const std::vector<double>& f_if_hz);
+
 }  // namespace rfmix::core

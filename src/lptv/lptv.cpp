@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 
 #include "mathx/fft.hpp"
@@ -112,11 +113,27 @@ Complex PacSolution::v(int k, int node) const {
 
 // ---------------------------------------------------------------------------
 
-struct ConversionAnalysis::Assembled {
-  mathx::SparseLu<Complex> lu;
-  mathx::SparseLu<Complex> lu_transposed;
-  Assembled(const mathx::CscMatrix<Complex>& a, const mathx::CscMatrix<Complex>& at)
-      : lu(a), lu_transposed(at) {}
+/// Assembled block system at one base frequency. The forward and adjoint
+/// factorizations are built lazily (and thread-safely) on first use: a
+/// gain-only point never pays for the adjoint factor, and a noise-only
+/// point never pays for the forward one.
+struct ConversionAnalysis::Factored::System {
+  mathx::CscMatrix<Complex> a;
+  mathx::CscMatrix<Complex> at;
+  mutable std::once_flag once_fwd, once_adj;
+  mutable std::unique_ptr<mathx::SparseLu<Complex>> fwd, adj;
+
+  System(mathx::CscMatrix<Complex> a_in, mathx::CscMatrix<Complex> at_in)
+      : a(std::move(a_in)), at(std::move(at_in)) {}
+
+  const mathx::SparseLu<Complex>& forward() const {
+    std::call_once(once_fwd, [&] { fwd = std::make_unique<mathx::SparseLu<Complex>>(a); });
+    return *fwd;
+  }
+  const mathx::SparseLu<Complex>& adjoint() const {
+    std::call_once(once_adj, [&] { adj = std::make_unique<mathx::SparseLu<Complex>>(at); });
+    return *adj;
+  }
 };
 
 ConversionAnalysis::ConversionAnalysis(const LptvCircuit& ckt, ConversionOptions opts)
@@ -145,10 +162,15 @@ std::vector<Complex> ConversionAnalysis::fourier_coeffs(const PeriodicWave& w) c
   return coeffs;
 }
 
-std::unique_ptr<ConversionAnalysis::Assembled> ConversionAnalysis::assemble(
-    double f_base) const {
-  const int k_hi = opts_.harmonics;
-  const int n = n_unknowns_;
+ConversionAnalysis::Factored::Factored(const ConversionAnalysis* an, double f_base)
+    : an_(an), f_base_(f_base) {
+  const ConversionAnalysis& self = *an;
+  const int k_hi = self.opts_.harmonics;
+  const int n = self.n_unknowns_;
+  const int block_count_ = self.block_count_;
+  const ConversionOptions& opts_ = self.opts_;
+  const LptvCircuit& ckt_ = self.ckt_;
+  auto fourier_coeffs = [&self](const PeriodicWave& w) { return self.fourier_coeffs(w); };
   const std::size_t dim = static_cast<std::size_t>(block_count_ * n);
   mathx::TripletMatrix<Complex> a(dim, dim);
   mathx::TripletMatrix<Complex> at(dim, dim);
@@ -209,20 +231,29 @@ std::unique_ptr<ConversionAnalysis::Assembled> ConversionAnalysis::assemble(
       }
   }
 
-  return std::make_unique<Assembled>(mathx::CscMatrix<Complex>(a),
-                                     mathx::CscMatrix<Complex>(at));
+  sys_ = std::make_shared<System>(mathx::CscMatrix<Complex>(a),
+                                  mathx::CscMatrix<Complex>(at));
 }
 
-PacSolution ConversionAnalysis::solve_current_injection(double f_base, int p, int m,
-                                                        int k_in) const {
-  if (std::abs(k_in) > opts_.harmonics)
+ConversionAnalysis::Factored::~Factored() = default;
+ConversionAnalysis::Factored::Factored(Factored&&) noexcept = default;
+ConversionAnalysis::Factored& ConversionAnalysis::Factored::operator=(
+    Factored&&) noexcept = default;
+
+ConversionAnalysis::Factored ConversionAnalysis::factor(double f_base) const {
+  return Factored(this, f_base);
+}
+
+PacSolution ConversionAnalysis::Factored::solve_current_injection(int p, int m,
+                                                                  int k_in) const {
+  const ConversionAnalysis& self = *an_;
+  if (std::abs(k_in) > self.opts_.harmonics)
     throw std::invalid_argument("k_in outside retained harmonics");
-  const auto sys = assemble(f_base);
-  const int n = n_unknowns_;
-  std::vector<Complex> b(static_cast<std::size_t>(block_count_ * n), Complex{});
+  const int n = self.n_unknowns_;
+  std::vector<Complex> b(static_cast<std::size_t>(self.block_count_ * n), Complex{});
   auto unknown = [&](int k, int node) -> int {
     if (node == 0) return -1;
-    return (k + opts_.harmonics) * n + (node - 1);
+    return (k + self.opts_.harmonics) * n + (node - 1);
   };
   // Unit current from p to m through the source: leaves p, enters m.
   const int up = unknown(k_in, p);
@@ -231,12 +262,17 @@ PacSolution ConversionAnalysis::solve_current_injection(double f_base, int p, in
   if (um >= 0) b[static_cast<std::size_t>(um)] += 1.0;
 
   PacSolution sol;
-  sol.harmonics = opts_.harmonics;
-  sol.f_base = f_base;
-  sol.f_lo = opts_.f_lo;
-  sol.num_nodes = ckt_.num_nodes();
-  sol.x = sys->lu.solve(b);
+  sol.harmonics = self.opts_.harmonics;
+  sol.f_base = f_base_;
+  sol.f_lo = self.opts_.f_lo;
+  sol.num_nodes = self.ckt_.num_nodes();
+  sol.x = sys_->forward().solve(b);
   return sol;
+}
+
+PacSolution ConversionAnalysis::solve_current_injection(double f_base, int p, int m,
+                                                        int k_in) const {
+  return factor(f_base).solve_current_injection(p, m, k_in);
 }
 
 Complex ConversionAnalysis::conversion_transimpedance(double f_base, int in_p, int in_m,
@@ -246,11 +282,11 @@ Complex ConversionAnalysis::conversion_transimpedance(double f_base, int in_p, i
   return sol.vd(k_out, out_p, out_m);
 }
 
-LptvNoiseResult ConversionAnalysis::output_noise(double f_base, int out_p,
-                                                 int out_m) const {
-  const auto sys = assemble(f_base);
-  const int n = n_unknowns_;
-  const int k_hi = opts_.harmonics;
+LptvNoiseResult ConversionAnalysis::Factored::output_noise(int out_p, int out_m) const {
+  const ConversionAnalysis& self = *an_;
+  const double f_base = f_base_;
+  const int n = self.n_unknowns_;
+  const int k_hi = self.opts_.harmonics;
   auto unknown = [&](int k, int node) -> int {
     if (node == 0) return -1;
     return (k + k_hi) * n + (node - 1);
@@ -258,12 +294,12 @@ LptvNoiseResult ConversionAnalysis::output_noise(double f_base, int out_p,
 
   // Adjoint solve: A^T y = e_out with e_out selecting the differential
   // output at sideband 0.
-  std::vector<Complex> e(static_cast<std::size_t>(block_count_ * n), Complex{});
+  std::vector<Complex> e(static_cast<std::size_t>(self.block_count_ * n), Complex{});
   const int up = unknown(0, out_p);
   const int um = unknown(0, out_m);
   if (up >= 0) e[static_cast<std::size_t>(up)] += 1.0;
   if (um >= 0) e[static_cast<std::size_t>(um)] -= 1.0;
-  const std::vector<Complex> y = sys->lu_transposed.solve(e);
+  const std::vector<Complex> y = sys_->adjoint().solve(e);
 
   // Transfer from a unit current injected (p -> m) at sideband k to the
   // output: T_k = y[m,k] - y[p,k] (rhs convention: -1 at p, +1 at m).
@@ -281,10 +317,10 @@ LptvNoiseResult ConversionAnalysis::output_noise(double f_base, int out_p,
 
   // Stationary sources: uncorrelated across sidebands; PSD evaluated at the
   // absolute sideband frequency.
-  for (const auto& src : ckt_.stationary_noise()) {
+  for (const auto& src : self.ckt_.stationary_noise()) {
     double psd_out = 0.0;
     for (int k = -k_hi; k <= k_hi; ++k) {
-      const double f_k = std::abs(f_base + k * opts_.f_lo);
+      const double f_k = std::abs(f_base + k * self.opts_.f_lo);
       psd_out += std::norm(transfer(k, src.p, src.m)) * src.psd(f_k);
     }
     result.total_output_psd_v2_hz += psd_out;
@@ -293,8 +329,8 @@ LptvNoiseResult ConversionAnalysis::output_noise(double f_base, int out_p,
 
   // Cyclostationary white sources: S_out = sum_{k,l} T_k T_l^* S_{k-l},
   // where S_m are the Fourier coefficients of the periodic intensity.
-  for (const auto& src : ckt_.cyclo_noise()) {
-    const auto cf = fourier_coeffs(src.s);
+  for (const auto& src : self.ckt_.cyclo_noise()) {
+    const auto cf = self.fourier_coeffs(src.s);
     const int m_max = 2 * k_hi;
     Complex acc{};
     for (int k = -k_hi; k <= k_hi; ++k) {
@@ -314,6 +350,11 @@ LptvNoiseResult ConversionAnalysis::output_noise(double f_base, int out_p,
   }
 
   return result;
+}
+
+LptvNoiseResult ConversionAnalysis::output_noise(double f_base, int out_p,
+                                                 int out_m) const {
+  return factor(f_base).output_noise(out_p, out_m);
 }
 
 }  // namespace rfmix::lptv

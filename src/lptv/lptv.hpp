@@ -148,6 +148,39 @@ class ConversionAnalysis {
  public:
   ConversionAnalysis(const LptvCircuit& ckt, ConversionOptions opts);
 
+  /// The assembled block system at one base frequency, reusable across any
+  /// number of injection and adjoint solves. Forward and adjoint LU
+  /// factorizations are built lazily on first use, so a gain point pays
+  /// one factorization and a gain + noise point two — instead of one per
+  /// solve. Move-only; cheap to return by value.
+  class Factored {
+   public:
+    ~Factored();
+    Factored(Factored&&) noexcept;
+    Factored& operator=(Factored&&) noexcept;
+
+    /// Unit AC current from p to m at sideband k_in (cf. the analysis-level
+    /// wrapper of the same name).
+    PacSolution solve_current_injection(int p, int m, int k_in) const;
+
+    /// Output noise at (out_p, out_m), sideband 0 (one adjoint solve).
+    LptvNoiseResult output_noise(int out_p, int out_m) const;
+
+    double f_base() const { return f_base_; }
+
+   private:
+    friend class ConversionAnalysis;
+    Factored(const ConversionAnalysis* an, double f_base);
+
+    const ConversionAnalysis* an_;
+    double f_base_;
+    struct System;
+    std::shared_ptr<System> sys_;
+  };
+
+  /// Assemble the block system once at f_base; solve against it repeatedly.
+  Factored factor(double f_base) const;
+
   /// Solve with a unit AC current injected from node p to node m at sideband
   /// k_in, at baseband frequency f_base. Returns all node voltages at all
   /// sidebands (transimpedances, V/A).
@@ -166,9 +199,6 @@ class ConversionAnalysis {
   double f_lo() const { return opts_.f_lo; }
 
  private:
-  struct Assembled;
-  /// Assemble the block system (and its transpose) at f_base.
-  std::unique_ptr<Assembled> assemble(double f_base) const;
 
   /// Fourier coefficients of a periodic waveform, index m in [-2K, 2K].
   std::vector<Complex> fourier_coeffs(const PeriodicWave& w) const;

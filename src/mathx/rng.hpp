@@ -13,7 +13,7 @@ namespace rfmix::mathx {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : seed_(seed) {
     // SplitMix64 expansion of the seed into the xoshiro state.
     std::uint64_t x = seed;
     for (auto& s : state_) {
@@ -66,11 +66,33 @@ class Rng {
   /// Uniform integer in [0, n).
   std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
 
+  /// Counter-based stream splitter: derive an independent generator for
+  /// `index` from this generator's *original seed*, not its current state.
+  /// fork(i) therefore yields the same stream no matter how many draws the
+  /// parent has taken or which thread calls it — the property that lets
+  /// Monte-Carlo trial i run anywhere in a pool and still produce the
+  /// bit-identical result of the serial loop.
+  Rng fork(std::uint64_t index) const {
+    // Two SplitMix64 finalizer rounds over (seed, index); the +1 offset
+    // keeps fork(0) from collapsing onto the parent stream.
+    std::uint64_t z = seed_ + (index + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// The seed this generator (and any fork of it) derives from.
+  std::uint64_t seed() const { return seed_; }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
 
+  std::uint64_t seed_;
   std::uint64_t state_[4];
   bool have_spare_ = false;
   double spare_ = 0.0;

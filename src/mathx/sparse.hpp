@@ -26,9 +26,12 @@ class TripletMatrix {
   std::size_t cols() const { return cols_; }
   std::size_t entry_count() const { return rows_idx_.size(); }
 
+  /// Exact-zero values are kept as structural entries: a slot stamped T{}
+  /// (e.g. a device whose conductance is zero at this Newton iterate) stays
+  /// in the sparsity pattern, so the pattern cannot change between
+  /// factorizations when the value later becomes nonzero.
   void add(std::size_t r, std::size_t c, T v) {
     if (r >= rows_ || c >= cols_) throw std::out_of_range("TripletMatrix::add out of range");
-    if (v == T{}) return;
     rows_idx_.push_back(r);
     cols_idx_.push_back(c);
     values_.push_back(v);

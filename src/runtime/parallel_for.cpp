@@ -1,0 +1,88 @@
+#include "runtime/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace rfmix::runtime {
+
+namespace {
+
+// Shared between the caller and its helper jobs; kept alive by shared_ptr
+// so helpers that start after the loop already drained can still exit
+// cleanly through the claim counter.
+struct ForState {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t n_chunks = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done = 0;  // guarded by mu
+  std::exception_ptr error;
+};
+
+void drain(const std::shared_ptr<ForState>& st) {
+  for (;;) {
+    const std::size_t c = st->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= st->n_chunks) return;
+    if (!st->failed.load(std::memory_order_acquire)) {
+      const std::size_t lo = st->begin + c * st->grain;
+      const std::size_t hi = std::min(st->end, lo + st->grain);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) (*st->body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(st->mu);
+        if (!st->error) st->error = std::current_exception();
+        st->failed.store(true, std::memory_order_release);
+      }
+    }
+    std::lock_guard<std::mutex> lk(st->mu);
+    if (++st->done == st->n_chunks) st->cv.notify_all();
+  }
+}
+
+}  // namespace
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  const ParallelOptions& opts) {
+  if (end <= begin) return;
+  ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::current();
+  const std::size_t grain = std::max<std::size_t>(opts.grain, 1);
+  const std::size_t n_chunks = (end - begin + grain - 1) / grain;
+
+  if (pool.worker_count() == 0 || n_chunks == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  auto st = std::make_shared<ForState>();
+  st->begin = begin;
+  st->end = end;
+  st->grain = grain;
+  st->n_chunks = n_chunks;
+  st->body = &body;
+
+  // One helper per worker (capped by the chunks the caller won't take);
+  // helpers and caller race on the claim counter, so an oversubscribed or
+  // busy pool just means the caller does more of the work itself.
+  const std::size_t helpers =
+      std::min<std::size_t>(static_cast<std::size_t>(pool.worker_count()), n_chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) pool.submit([st] { drain(st); });
+
+  drain(st);
+  {
+    std::unique_lock<std::mutex> lk(st->mu);
+    st->cv.wait(lk, [&] { return st->done == st->n_chunks; });
+  }
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+}  // namespace rfmix::runtime

@@ -1,0 +1,103 @@
+// Work-stealing thread pool shared by every parallel analysis in the repo.
+//
+// One pool, sized once from RFMIX_THREADS (or hardware concurrency), runs
+// the Monte-Carlo trials, DC/AC/noise sweep points and LPTV solves that are
+// embarrassingly parallel across the benches. A pool of `threads` provides
+// `threads` lanes of concurrency: `threads - 1` workers plus the calling
+// thread, which always participates in parallel_for — so RFMIX_THREADS=1
+// spawns no threads at all and every loop degrades to its plain serial
+// form.
+//
+// Scheduling never influences results: the job APIs in parallel_for.hpp
+// write each index's output to a fixed slot, and randomized analyses derive
+// per-trial streams with mathx::Rng::fork. See docs/runtime.md for the
+// determinism contract.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfmix::runtime {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total concurrency (callers + workers); the pool
+  /// spawns `threads - 1` worker threads. Values below 1 are clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of spawned worker threads (0 in serial fallback).
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+  /// Total concurrency: workers plus the submitting thread.
+  int concurrency() const { return worker_count() + 1; }
+
+  /// Enqueue a job. From a worker thread the job lands on that worker's own
+  /// deque (LIFO pop keeps nested submissions live); from outside, deques
+  /// are fed round-robin and idle workers steal FIFO from each other. With
+  /// no workers the job runs inline before submit returns.
+  void submit(std::function<void()> job);
+
+  /// The process-wide pool, sized from RFMIX_THREADS or, when unset,
+  /// std::thread::hardware_concurrency(). Built on first use.
+  static ThreadPool& global();
+
+  /// The pool parallel_for uses by default: the innermost ScopedPool
+  /// override if one is active, else global().
+  static ThreadPool& current();
+
+  /// Concurrency global() would be built with (env override applied).
+  static int configured_threads();
+
+  /// True when called from one of this pool's worker threads.
+  bool on_worker_thread() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> jobs;
+  };
+
+  friend class ScopedPool;
+
+  void worker_main(int id);
+  /// Pop (own deque, back) or steal (other deques, front) and run one job.
+  bool try_run_one(int id);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<int> pending_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<unsigned> next_queue_{0};
+};
+
+/// RAII override of ThreadPool::current() — lets tests and tools pin the
+/// concurrency of everything downstream without touching the environment:
+///
+///   runtime::ScopedPool serial(1);   // all parallel_for calls now inline
+class ScopedPool {
+ public:
+  explicit ScopedPool(int threads);
+  ~ScopedPool();
+
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  ThreadPool pool_;
+  ThreadPool* saved_;
+};
+
+}  // namespace rfmix::runtime

@@ -4,6 +4,7 @@
 
 #include "mathx/lu.hpp"
 #include "mathx/units.hpp"
+#include "runtime/parallel_for.hpp"
 #include "spice/mna.hpp"
 
 namespace rfmix::spice {
@@ -42,16 +43,20 @@ AcResult ac_sweep(Circuit& ckt, const Solution& op, const std::vector<double>& f
   AcResult result;
   result.freqs_hz = freqs_hz;
   result.layout = layout;
-  result.solutions.reserve(freqs_hz.size());
+  result.solutions.resize(freqs_hz.size());
 
-  for (const double f : freqs_hz) {
-    const double omega = mathx::kTwoPi * f;
+  // Frequency points are independent: stamping is const on the finalized
+  // circuit, and each point writes only its own solution slot, so the
+  // parallel run is bit-identical to the serial loop.
+  const Circuit& stamped = ckt;
+  runtime::parallel_for(0, freqs_hz.size(), [&](std::size_t i) {
+    const double omega = mathx::kTwoPi * freqs_hz[i];
     mathx::TripletMatrix<std::complex<double>> y(n, n);
     mathx::VectorC b(n, std::complex<double>{});
-    assemble_ac(ckt, op, omega, gmin, y, b);
-    result.solutions.push_back(
-        mathx::LuFactorization<std::complex<double>>(y.to_dense()).solve(b));
-  }
+    assemble_ac(stamped, op, omega, gmin, y, b);
+    result.solutions[i] =
+        mathx::LuFactorization<std::complex<double>>(y.to_dense()).solve(b);
+  });
   return result;
 }
 

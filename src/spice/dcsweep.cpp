@@ -1,25 +1,27 @@
 #include "spice/dcsweep.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "runtime/parallel_for.hpp"
 
 namespace rfmix::spice {
 
-DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double start, double stop,
-                       int points, const OpOptions& opts) {
-  if (points < 2) throw std::invalid_argument("dc_sweep: need at least 2 points");
-  const Waveform saved = source.waveform();
+namespace {
 
-  DcSweepResult result;
-  result.values.reserve(static_cast<std::size_t>(points));
-  result.solutions.reserve(static_cast<std::size_t>(points));
-
+/// Solve sweep points [i0, i1) on `ckt`, warm-starting within the range
+/// from a cold first point, writing each result into its fixed slot. This
+/// is the unit of work both overloads share: identical inputs produce
+/// identical solutions whether ranges run in sequence or concurrently.
+void sweep_range(Circuit& ckt, VoltageSource& source, double start, double stop,
+                 int points, const OpOptions& opts, int i0, int i1,
+                 DcSweepResult& result) {
   const MnaLayout layout = ckt.finalize();
   StampParams params;
   params.mode = AnalysisMode::kDc;
 
   Solution guess = Solution::zeros(layout);
-  bool have_guess = false;
-  for (int i = 0; i < points; ++i) {
+  for (int i = i0; i < i1; ++i) {
     const double v = start + (stop - start) * i / (points - 1);
     source.set_waveform(Waveform::dc(v));
     NewtonResult nr = solve_newton(ckt, guess, params, opts.newton);
@@ -27,19 +29,54 @@ DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double start, double
       // Cold restart through the full homotopy machinery.
       try {
         nr.solution = dc_operating_point(ckt, opts);
-        nr.converged = true;
       } catch (const ConvergenceError&) {
-        source.set_waveform(saved);
         throw ConvergenceError("dc_sweep: no convergence at value " + std::to_string(v));
       }
     }
     guess = nr.solution;
-    have_guess = true;
-    result.values.push_back(v);
-    result.solutions.push_back(nr.solution);
+    result.values[static_cast<std::size_t>(i)] = v;
+    result.solutions[static_cast<std::size_t>(i)] = std::move(nr.solution);
   }
-  (void)have_guess;
+}
+
+DcSweepResult make_result(int points) {
+  if (points < 2) throw std::invalid_argument("dc_sweep: need at least 2 points");
+  DcSweepResult result;
+  result.values.resize(static_cast<std::size_t>(points));
+  result.solutions.resize(static_cast<std::size_t>(points));
+  return result;
+}
+
+}  // namespace
+
+DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double start, double stop,
+                       int points, const OpOptions& opts) {
+  DcSweepResult result = make_result(points);
+  const Waveform saved = source.waveform();
+  try {
+    for (int i0 = 0; i0 < points; i0 += kDcSweepChunk)
+      sweep_range(ckt, source, start, stop, points, opts, i0,
+                  std::min(points, i0 + kDcSweepChunk), result);
+  } catch (...) {
+    source.set_waveform(saved);
+    throw;
+  }
   source.set_waveform(saved);
+  return result;
+}
+
+DcSweepResult dc_sweep(const DcSweepFactory& make, double start, double stop,
+                       int points, const OpOptions& opts) {
+  DcSweepResult result = make_result(points);
+  const int chunks = (points + kDcSweepChunk - 1) / kDcSweepChunk;
+  runtime::parallel_for(0, static_cast<std::size_t>(chunks), [&](std::size_t c) {
+    DcSweepInstance inst = make();
+    if (!inst.circuit || inst.source == nullptr)
+      throw std::invalid_argument("dc_sweep: factory must supply a circuit and its source");
+    const int i0 = static_cast<int>(c) * kDcSweepChunk;
+    sweep_range(*inst.circuit, *inst.source, start, stop, points, opts, i0,
+                std::min(points, i0 + kDcSweepChunk), result);
+  });
   return result;
 }
 

@@ -1,8 +1,16 @@
 // DC sweep analysis: step a source through a range of values, warm-starting
 // each Newton solve from the previous solution — the standard way to trace
 // I-V curves and transfer characteristics.
+//
+// The sweep is cut into fixed chunks of kDcSweepChunk points; warm starts
+// chain only within a chunk and every chunk begins cold. That makes chunks
+// independent of one another, so the parallel overload (which runs chunks
+// concurrently on private circuit copies) is bit-identical to the serial
+// one at any thread count.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,11 +43,32 @@ struct DcSweepResult {
   }
 };
 
+/// Points per warm-start chain; chosen small enough that a cold restart at
+/// a chunk head converges from the homotopy machinery, large enough that
+/// chunk startup cost amortizes.
+inline constexpr int kDcSweepChunk = 8;
+
 /// Sweep the DC value of `source` over [start, stop] in `points` steps.
 /// The source's waveform is replaced by DC values during the sweep and
 /// restored afterwards. Throws ConvergenceError if any point fails after
-/// the warm start and a cold restart.
+/// the warm start and a cold restart. Runs chunks serially on this one
+/// circuit; use the factory overload to run them concurrently.
 DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double start, double stop,
+                       int points, const OpOptions& opts = {});
+
+/// A private circuit plus a pointer to its swept source, built fresh for
+/// each parallel chunk so chunks never share mutable device state.
+struct DcSweepInstance {
+  std::shared_ptr<Circuit> circuit;
+  VoltageSource* source = nullptr;  // must belong to `circuit`
+};
+
+using DcSweepFactory = std::function<DcSweepInstance()>;
+
+/// Parallel sweep: chunks of kDcSweepChunk points run concurrently on the
+/// runtime pool, each on a circuit freshly built by `make`. Results are
+/// bit-identical to the serial overload applied to the same circuit.
+DcSweepResult dc_sweep(const DcSweepFactory& make, double start, double stop,
                        int points, const OpOptions& opts = {});
 
 }  // namespace rfmix::spice

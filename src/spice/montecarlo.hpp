@@ -8,7 +8,11 @@
 // machinery (see bench_iip2_mismatch).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "mathx/rng.hpp"
+#include "runtime/parallel_for.hpp"
 #include "spice/mosfet.hpp"
 
 namespace rfmix::spice::tech65 {
@@ -67,6 +71,23 @@ inline MosParams at_corner(const MosParams& nominal, Corner corner) {
     case Corner::kFS: is_nmos ? fast() : slow(); break;
   }
   return p;
+}
+
+/// Deterministic parallel Monte-Carlo driver. Trial i computes
+/// fn(i, rng_i) with rng_i = Rng(seed).fork(i): every trial owns an
+/// independent counter-derived stream and writes one fixed output slot, so
+/// the returned vector is bit-identical for any thread count or schedule
+/// (the contract tests/runtime/test_determinism.cpp enforces). `fn` must
+/// not share mutable state across trials — build a fresh circuit inside.
+template <typename Fn>
+auto monte_carlo_trials(int n_trials, std::uint64_t seed, Fn&& fn)
+    -> std::vector<decltype(fn(0, std::declval<mathx::Rng&>()))> {
+  const mathx::Rng base(seed);
+  return runtime::parallel_map(
+      static_cast<std::size_t>(n_trials < 0 ? 0 : n_trials), [&](std::size_t i) {
+        mathx::Rng rng = base.fork(i);
+        return fn(static_cast<int>(i), rng);
+      });
 }
 
 }  // namespace rfmix::spice::tech65

@@ -4,6 +4,7 @@
 
 #include "mathx/lu.hpp"
 #include "mathx/units.hpp"
+#include "runtime/parallel_for.hpp"
 #include "spice/mna.hpp"
 
 namespace rfmix::spice {
@@ -29,9 +30,13 @@ NoiseResult noise_analysis(Circuit& ckt, const Solution& op, NodeId out_p, NodeI
   for (const auto& dev : ckt.devices()) dev->append_noise(sources, op);
 
   NoiseResult result;
-  result.points.reserve(freqs_hz.size());
+  result.points.resize(freqs_hz.size());
 
-  for (const double f : freqs_hz) {
+  // Each frequency point assembles and solves independently (stamping and
+  // the source PSD callbacks are const), so points run concurrently and
+  // land in fixed slots — bit-identical to the serial loop.
+  runtime::parallel_for(0, freqs_hz.size(), [&](std::size_t fi) {
+    const double f = freqs_hz[fi];
     const double omega = mathx::kTwoPi * f;
     mathx::TripletMatrix<std::complex<double>> y(n, n);
     mathx::VectorC b_unused(n, std::complex<double>{});
@@ -62,8 +67,8 @@ NoiseResult noise_analysis(Circuit& ckt, const Solution& op, NodeId out_p, NodeI
       point.total_output_psd_v2_hz += psd;
       point.contributions.push_back(NoiseContribution{src.label, psd});
     }
-    result.points.push_back(std::move(point));
-  }
+    result.points[fi] = std::move(point);
+  });
   return result;
 }
 

@@ -20,6 +20,36 @@ TEST(Triplet, DuplicatesMergeInCsc) {
   EXPECT_DOUBLE_EQ(d(1, 1), 4.0);
 }
 
+TEST(Triplet, KeepsStructuralZeros) {
+  // Regression: add() used to silently drop exact-zero values, which let
+  // the sparsity pattern depend on the numerical values being stamped — a
+  // device whose conductance passes through 0.0 during a Newton iteration
+  // would change the matrix structure between factorizations.
+  TripletMatrix<double> t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 0.0);  // structural zero: must stay in the pattern
+  t.add(1, 1, 2.0);
+  EXPECT_EQ(t.entry_count(), 3u);
+  const CscMatrix<double> csc(t);
+  EXPECT_EQ(csc.nnz(), 3u);
+  const MatrixD d = csc.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 2.0);
+}
+
+TEST(Triplet, ZeroEntriesStillMergeWithDuplicates) {
+  // A zero followed by a value at the same position must sum, exactly as
+  // two nonzero duplicates would.
+  TripletMatrix<double> t(2, 2);
+  t.add(0, 0, 0.0);
+  t.add(0, 0, 5.0);
+  t.add(1, 1, 1.0);
+  const CscMatrix<double> csc(t);
+  const MatrixD d = csc.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 5.0);
+}
+
 TEST(Triplet, OutOfRangeThrows) {
   TripletMatrix<double> t(2, 2);
   EXPECT_THROW(t.add(2, 0, 1.0), std::out_of_range);

@@ -1,0 +1,164 @@
+// The determinism contract: every parallel analysis is bit-identical to its
+// serial form, for any thread count and across repeated runs. These tests
+// compare raw doubles with EXPECT_EQ on purpose — "close enough" would hide
+// exactly the schedule-dependent drift the runtime is designed to exclude.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "mathx/rng.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/dcsweep.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_sources.hpp"
+#include "spice/montecarlo.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/op.hpp"
+#include "spice/tech65.hpp"
+
+namespace rfmix::spice {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+// ---------------------------------------------------------------- Rng::fork
+
+TEST(RngFork, IndependentOfParentState) {
+  mathx::Rng fresh(42);
+  mathx::Rng advanced(42);
+  for (int i = 0; i < 100; ++i) (void)advanced.next_u64();
+  // fork derives from the original seed, not the evolved state.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    mathx::Rng a = fresh.fork(i);
+    mathx::Rng b = advanced.fork(i);
+    for (int k = 0; k < 16; ++k) EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(RngFork, StreamsAreDistinct) {
+  const mathx::Rng base(7);
+  EXPECT_NE(base.fork(0).next_u64(), base.fork(1).next_u64());
+  EXPECT_NE(base.fork(1).next_u64(), base.fork(2).next_u64());
+  // fork(0) must not collapse onto the parent stream.
+  mathx::Rng parent(7);
+  EXPECT_NE(base.fork(0).next_u64(), parent.next_u64());
+}
+
+// ------------------------------------------------------ Monte-Carlo trials
+
+// A representative mismatch trial: draw a mismatched device and reduce it to
+// one number whose bits depend on the exact draw sequence.
+double mismatch_trial(mathx::Rng& rng) {
+  const MosParams p = tech65::with_mismatch(tech65::nmos(20e-6), rng);
+  return p.vto + 1e3 * p.kp + rng.normal();
+}
+
+TEST(Determinism, MonteCarloTrialsMatchSerialLoop) {
+  constexpr int kTrials = 64;
+  constexpr std::uint64_t kSeed = 1234;
+
+  // The ground truth: a plain serial loop over counter-forked streams.
+  std::vector<double> serial;
+  const mathx::Rng base(kSeed);
+  for (int i = 0; i < kTrials; ++i) {
+    mathx::Rng rng = base.fork(static_cast<std::uint64_t>(i));
+    serial.push_back(mismatch_trial(rng));
+  }
+
+  for (const int threads : kThreadCounts) {
+    runtime::ScopedPool scoped(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      const std::vector<double> got = tech65::monte_carlo_trials(
+          kTrials, kSeed, [](int, mathx::Rng& rng) { return mismatch_trial(rng); });
+      ASSERT_EQ(got.size(), serial.size());
+      for (int i = 0; i < kTrials; ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], serial[static_cast<std::size_t>(i)])
+            << "trial " << i << " threads " << threads << " rep " << rep;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ DC sweep
+
+// MOS transfer curve: a nonlinear circuit whose Newton iteration count (and
+// thus float rounding) would differ between warm and cold starts if the
+// chunking were schedule-dependent.
+DcSweepInstance make_mos_transfer() {
+  auto ckt = std::make_shared<Circuit>();
+  const NodeId vdd = ckt->node("vdd");
+  const NodeId g = ckt->node("g");
+  const NodeId d = ckt->node("d");
+  ckt->add<VoltageSource>("vdd", vdd, kGround, Waveform::dc(1.2));
+  auto& vg = ckt->add<VoltageSource>("vg", g, kGround, Waveform::dc(0.0));
+  ckt->add<Resistor>("rl", vdd, d, 1e3);
+  ckt->add<Mosfet>("m1", d, g, kGround, kGround, tech65::nmos(10e-6));
+  return DcSweepInstance{ckt, &vg};
+}
+
+TEST(Determinism, DcSweepParallelMatchesSerial) {
+  constexpr int kPoints = 41;  // 6 chunks, last one ragged
+
+  DcSweepInstance serial_inst = make_mos_transfer();
+  const DcSweepResult serial =
+      dc_sweep(*serial_inst.circuit, *serial_inst.source, 0.0, 1.2, kPoints);
+  const NodeId d_serial = serial_inst.circuit->node("d");
+  const std::vector<double> want = serial.v(d_serial);
+
+  for (const int threads : kThreadCounts) {
+    runtime::ScopedPool scoped(threads);
+    const DcSweepResult par = dc_sweep(make_mos_transfer, 0.0, 1.2, kPoints);
+    ASSERT_EQ(par.size(), serial.size());
+    for (std::size_t i = 0; i < par.size(); ++i)
+      EXPECT_EQ(par.values[i], serial.values[i]);
+    // Node ids are assigned in creation order, so "d" matches across builds.
+    DcSweepInstance probe = make_mos_transfer();
+    const NodeId d_par = probe.circuit->node("d");
+    const std::vector<double> got = par.v(d_par);
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i], want[i]) << "point " << i << " threads " << threads;
+  }
+}
+
+// ------------------------------------------------------------------ AC sweep
+
+TEST(Determinism, AcSweepBitIdenticalAcrossThreadCounts) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId mid = ckt.node("mid");
+  const NodeId out = ckt.node("out");
+  auto& vs = ckt.add<VoltageSource>("v1", in, kGround, Waveform::dc(0.0));
+  vs.set_ac(1.0);
+  ckt.add<Resistor>("r1", in, mid, 1e3);
+  ckt.add<Capacitor>("c1", mid, kGround, 1e-9);
+  ckt.add<Resistor>("r2", mid, out, 10e3);
+  ckt.add<Capacitor>("c2", out, kGround, 100e-12);
+  const Solution op = dc_operating_point(ckt);
+  const std::vector<double> freqs = log_space(1e3, 1e9, 121);
+
+  std::vector<std::complex<double>> want;
+  {
+    runtime::ScopedPool scoped(1);
+    const AcResult res = ac_sweep(ckt, op, freqs);
+    for (std::size_t i = 0; i < freqs.size(); ++i) want.push_back(res.v(i, out));
+  }
+
+  for (const int threads : kThreadCounts) {
+    runtime::ScopedPool scoped(threads);
+    for (int rep = 0; rep < 2; ++rep) {
+      const AcResult res = ac_sweep(ckt, op, freqs);
+      ASSERT_EQ(res.solutions.size(), freqs.size());
+      for (std::size_t i = 0; i < freqs.size(); ++i) {
+        const std::complex<double> got = res.v(i, out);
+        EXPECT_EQ(got.real(), want[i].real()) << "f " << freqs[i] << " threads " << threads;
+        EXPECT_EQ(got.imag(), want[i].imag()) << "f " << freqs[i] << " threads " << threads;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfmix::spice
