@@ -14,6 +14,7 @@
 
 #include "core/circuits.hpp"
 #include "core/measurements.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 #include "rf/twotone.hpp"
 
@@ -39,10 +40,12 @@ rf::InterceptResult measure_iip3(const MixerConfig& cfg) {
 
 }  // namespace
 
-int main() {
-  std::cout << "=== ABL3: passive-mode linearity vs degeneration ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_ablation_rdeg");
+  std::ostream& out = cli.out();
+  out << "=== ABL3: passive-mode linearity vs degeneration ===\n\n";
 
-  std::cout << "(a) PMOS Sw1-2 width sweep (the switch IS the resistor):\n";
+  out << "(a) PMOS Sw1-2 width sweep (the switch IS the resistor):\n";
   rf::ConsoleTable ta({"Sw1-2 width (um)", "gain (dB)", "IIP3 (dBm)"});
   std::vector<double> iip3_w;
   for (const double w_um : {10.0, 30.0, 90.0}) {
@@ -54,11 +57,11 @@ int main() {
     ta.add_row({rf::ConsoleTable::num(w_um, 0), rf::ConsoleTable::num(r.gain_db, 1),
                 rf::ConsoleTable::num(r.iip3_dbm, 1)});
   }
-  ta.print(std::cout);
-  std::cout << "  -> wider PMOS = more linear series resistance = better IIP3: "
+  ta.print(out);
+  out << "  -> wider PMOS = more linear series resistance = better IIP3: "
             << (iip3_w.back() > iip3_w.front() ? "yes" : "NO") << "\n\n";
 
-  std::cout << "(b) Ideal series degeneration at fixed wide PMOS (90 um):\n";
+  out << "(b) Ideal series degeneration at fixed wide PMOS (90 um):\n";
   rf::ConsoleTable tb({"extra Rdeg (ohm)", "gain (dB)", "IIP3 (dBm)"});
   std::vector<double> gain_r, iip3_r;
   for (const double r_extra : {0.0, 100.0, 300.0}) {
@@ -72,10 +75,10 @@ int main() {
     tb.add_row({rf::ConsoleTable::num(r_extra, 0), rf::ConsoleTable::num(r.gain_db, 1),
                 rf::ConsoleTable::num(r.iip3_dbm, 1)});
   }
-  tb.print(std::cout);
-  std::cout << "  -> linear degeneration trades gain ("
+  tb.print(out);
+  out << "  -> linear degeneration trades gain ("
             << rf::ConsoleTable::num(gain_r.front() - gain_r.back(), 1)
             << " dB lost) for linearity (IIP3 moves "
             << rf::ConsoleTable::num(iip3_r.back() - iip3_r.front(), 1) << " dB)\n";
-  return 0;
+  return cli.finish();
 }

@@ -10,14 +10,17 @@
 
 #include "core/lptv_model.hpp"
 #include "mathx/units.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 
 using namespace rfmix;
 using core::MixerConfig;
 using core::MixerMode;
 
-int main() {
-  std::cout << "=== ABL1: active-mode gain vs transmission-gate load resistance ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_ablation_tg_load");
+  std::ostream& out = cli.out();
+  out << "=== ABL1: active-mode gain vs transmission-gate load resistance ===\n\n";
 
   MixerConfig base;
   base.mode = MixerMode::kActive;
@@ -40,11 +43,11 @@ int main() {
     if (scale > 0.25 && gain <= prev_gain) monotone = false;
     prev_gain = gain;
   }
-  table.print(std::cout);
+  table.print(out);
 
-  std::cout << "\nChecks: gain rises monotonically with Rtol ("
+  out << "\nChecks: gain rises monotonically with Rtol ("
             << (monotone ? "yes" : "NO")
             << "); each doubling adds ~6 dB; the fixed offset from the ideal\n"
                "slope is the input-network loss (band-shaping + commutation).\n";
-  return 0;
+  return cli.finish();
 }

@@ -10,14 +10,17 @@
 
 #include "core/lptv_model.hpp"
 #include "mathx/units.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 
 using namespace rfmix;
 using core::MixerConfig;
 using core::MixerMode;
 
-int main() {
-  std::cout << "=== ABL2: passive-mode gain vs TIA feedback resistor RF ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_ablation_tia_rf");
+  std::ostream& out = cli.out();
+  out << "=== ABL2: passive-mode gain vs TIA feedback resistor RF ===\n\n";
 
   MixerConfig base;
   base.mode = MixerMode::kPassive;
@@ -40,12 +43,12 @@ int main() {
                    rf::ConsoleTable::num(gain, 2), rf::ConsoleTable::num(formula, 2),
                    rf::ConsoleTable::num(loss, 2)});
   }
-  table.print(std::cout);
+  table.print(out);
 
-  std::cout << "\nChecks: measured gain tracks the paper's eq. (3) with a roughly constant\n"
+  out << "\nChecks: measured gain tracks the paper's eq. (3) with a roughly constant\n"
                "implementation loss (spread "
             << rf::ConsoleTable::num(max_loss - min_loss, 2)
             << " dB across a 16x RF range) from input-network shaping and\n"
                "current division in the commutated path.\n";
-  return 0;
+  return cli.finish();
 }

@@ -10,6 +10,7 @@
 #include "core/circuits.hpp"
 #include "core/measurements.hpp"
 #include "mathx/units.hpp"
+#include "obs/cli.hpp"
 #include "rf/spectrum.hpp"
 #include "spice/tran.hpp"
 #include "rf/table.hpp"
@@ -64,8 +65,10 @@ double wanted_gain_db(const MixerConfig& cfg, double blocker_dbm) {
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Blocker desensitization: wanted-tone gain vs blocker power ===\n"
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_blocker_desense");
+  std::ostream& out = cli.out();
+  out << "=== Blocker desensitization: wanted-tone gain vs blocker power ===\n"
                "    wanted: LO+5 MHz @ -45 dBm; blocker: LO+40 MHz, swept\n\n";
 
   rf::ConsoleTable table({"blocker (dBm)", "active gain (dB)", "active drop (dB)",
@@ -87,11 +90,11 @@ int main() {
                    rf::ConsoleTable::num(g0a - ga, 2), rf::ConsoleTable::num(gp, 2),
                    rf::ConsoleTable::num(g0p - gp, 2)});
   }
-  table.print(std::cout);
-  std::cout << "\n1 dB blocker desensitization point: active ~ "
+  table.print(out);
+  out << "\n1 dB blocker desensitization point: active ~ "
             << (a_1db > 98 ? "> -15" : rf::ConsoleTable::num(a_1db, 0)) << " dBm, passive ~ "
             << (p_1db > 98 ? "> -15" : rf::ConsoleTable::num(p_1db, 0)) << " dBm\n";
-  std::cout << "Shape check: the passive mode tolerates a stronger blocker before\n"
+  out << "Shape check: the passive mode tolerates a stronger blocker before\n"
                "desensitizing (higher P1dB/IIP3), matching Fig. 1's trade-off.\n";
-  return 0;
+  return cli.finish();
 }

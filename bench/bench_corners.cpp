@@ -9,6 +9,7 @@
 
 #include "core/circuits.hpp"
 #include "core/measurements.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
@@ -29,9 +30,11 @@ struct CornerRow {
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Process-corner sweep: conversion gain and operating point ===\n\n";
-  std::cout << "runtime: " << runtime::ThreadPool::current().concurrency()
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_corners");
+  std::ostream& out = cli.out();
+  out << "=== Process-corner sweep: conversion gain and operating point ===\n\n";
+  out << "runtime: " << runtime::ThreadPool::current().concurrency()
             << " lanes (RFMIX_THREADS to override)\n\n";
 
   core::TransientMeasureOptions topt;
@@ -46,7 +49,7 @@ int main() {
   for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
     MixerConfig cfg;
     cfg.mode = mode;
-    std::cout << "--- " << frontend::mode_name(mode) << " mode ---\n";
+    out << "--- " << frontend::mode_name(mode) << " mode ---\n";
 
     // Corners are independent simulations; run them concurrently, each on
     // its own transistor circuit, then print in the fixed corner order.
@@ -76,15 +79,15 @@ int main() {
                      rf::ConsoleTable::num(row.gain, 2), rf::ConsoleTable::num(row.vif, 3),
                      rf::ConsoleTable::num(row.idd, 2)});
     }
-    table.print(std::cout);
-    std::cout << "  gain spread across corners: " << rf::ConsoleTable::num(g_max - g_min, 2)
+    table.print(out);
+    out << "  gain spread across corners: " << rf::ConsoleTable::num(g_max - g_min, 2)
               << " dB  (" << corners.size() << " corners in "
               << rf::ConsoleTable::num(secs, 2) << " s)\n\n";
   }
 
-  std::cout << "Reading: the passive mode's gain is set by resistor/TIA ratios and the\n"
+  out << "Reading: the passive mode's gain is set by resistor/TIA ratios and the\n"
                "commutation duty cycle, so it moves less across corners than the active\n"
                "mode, whose gm and load operating point both shift — one more argument\n"
                "for reconfigurability in an IoT part that cannot be binned.\n";
-  return 0;
+  return cli.finish();
 }

@@ -7,10 +7,12 @@
 //  * transistor-level transient + FFT: independent physics check of the
 //    ordering (passive must beat active).
 #include <iostream>
+#include <string>
 
 #include "core/behavioral.hpp"
 #include "core/circuits.hpp"
 #include "core/measurements.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 #include "rf/twotone.hpp"
 
@@ -19,8 +21,10 @@ using core::BehavioralMixer;
 using core::MixerConfig;
 using core::MixerMode;
 
-int main() {
-  std::cout << "=== FIG10: two-tone IIP3, LO = 2.4 GHz, tones at LO+5/LO+6 MHz ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_fig10_iip3");
+  std::ostream& out = cli.out();
+  out << "=== FIG10: two-tone IIP3, LO = 2.4 GHz, tones at LO+5/LO+6 MHz ===\n\n";
 
   for (const MixerMode mode : {MixerMode::kPassive, MixerMode::kActive}) {
     MixerConfig cfg;
@@ -28,7 +32,7 @@ int main() {
     const BehavioralMixer beh(cfg);
     const char* figure = mode == MixerMode::kPassive ? "Fig. 10(a) passive"
                                                      : "Fig. 10(b) active";
-    std::cout << "--- " << figure << " ---\n";
+    out << "--- " << figure << " ---\n";
 
     // Behavioral series (the paper's plotted lines).
     rf::ConsoleTable table({"Pin/tone (dBm)", "fund beh (dBm)", "IM3 beh (dBm)",
@@ -52,19 +56,23 @@ int main() {
                      rf::ConsoleTable::num(xtor_sweep.back().fund_dbm, 1),
                      rf::ConsoleTable::num(xtor_sweep.back().im3_dbm, 1)});
     }
-    table.print(std::cout);
+    table.print(out);
 
     const rf::InterceptResult rb = rf::extract_intercepts(beh_sweep);
     const rf::InterceptResult rx = rf::extract_intercepts(xtor_sweep);
     const double paper = mode == MixerMode::kPassive ? 6.57 : -11.9;
-    std::cout << "  IIP3 behavioral:       " << rf::ConsoleTable::num(rb.iip3_dbm, 2)
+    const std::string tag = mode == MixerMode::kPassive ? "passive" : "active";
+    cli.add_metric("iip3_beh_" + tag + "_dbm", rb.iip3_dbm);
+    cli.add_metric("iip3_xtor_" + tag + "_dbm", rx.iip3_dbm);
+    cli.add_metric("gain_xtor_" + tag + "_db", rx.gain_db);
+    out << "  IIP3 behavioral:       " << rf::ConsoleTable::num(rb.iip3_dbm, 2)
               << " dBm (paper " << paper << ")\n";
-    std::cout << "  IIP3 transistor-level: " << rf::ConsoleTable::num(rx.iip3_dbm, 2)
+    out << "  IIP3 transistor-level: " << rf::ConsoleTable::num(rx.iip3_dbm, 2)
               << " dBm (gain " << rf::ConsoleTable::num(rx.gain_db, 1) << " dB)\n\n";
   }
 
-  std::cout << "Shape check: passive-mode IIP3 exceeds active-mode IIP3 in both engines\n"
+  out << "Shape check: passive-mode IIP3 exceeds active-mode IIP3 in both engines\n"
                "(paper separation: 18.5 dB; transistor-level engine shows the same\n"
                "ordering with a smaller separation, see EXPERIMENTS.md).\n";
-  return 0;
+  return cli.finish();
 }

@@ -9,9 +9,12 @@
 #include <string>
 
 #include "core/behavioral.hpp"
+#include "core/circuits.hpp"
 #include "core/lptv_model.hpp"
 #include "mathx/interp.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
+#include "spice/op.hpp"
 
 using namespace rfmix;
 using core::BehavioralMixer;
@@ -19,8 +22,10 @@ using core::MixerConfig;
 using core::MixerMode;
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
-  if (!csv) std::cout << "=== FIG8: conversion gain vs RF frequency (IF = 5 MHz) ===\n\n";
+  obs::BenchCli cli(argc, argv, "bench_fig8_gain_vs_rf");
+  std::ostream& out = cli.out();
+  const bool csv = cli.csv();
+  if (!csv) out << "=== FIG8: conversion gain vs RF frequency (IF = 5 MHz) ===\n\n";
 
   MixerConfig active;
   active.mode = MixerMode::kActive;
@@ -49,12 +54,6 @@ int main(int argc, char** argv) {
                    rf::ConsoleTable::num(gp_b.back(), 2),
                    rf::ConsoleTable::num(gp_l[i], 2)});
   }
-  if (csv) {
-    table.print_csv(std::cout);
-    return 0;
-  }
-  table.print(std::cout);
-
   // Band-edge extraction from the LPTV series.
   auto edges = [&](const std::vector<double>& g) {
     double peak = -1e9;
@@ -69,14 +68,42 @@ int main(int argc, char** argv) {
   const auto [alo, ahi] = edges(ga_l);
   const auto [plo, phi] = edges(gp_l);
 
-  std::cout << "\nSummary (LPTV engine vs paper):\n";
-  std::cout << "  active:  gain@2.45G = " << rf::ConsoleTable::num(
+  // Transistor-engine cross-check: DC bias of the active-mode mixer. This
+  // exercises the full Newton/LU path, so the run report carries solver
+  // telemetry from all three engines.
+  auto mixer = core::build_transistor_mixer(active);
+  const spice::Solution bias = spice::dc_operating_point(mixer->circuit);
+  const double bias_power_mw =
+      spice::total_dissipated_power(mixer->circuit, bias) * 1e3;
+
+  cli.set_config("f_rf_start_hz", freqs.front());
+  cli.set_config("f_rf_stop_hz", freqs.back());
+  cli.set_config("points", static_cast<double>(freqs.size()));
+  cli.set_config("f_if_hz", 5e6);
+  cli.add_metric("gain_active_lptv_2g45_db",
+                 core::lptv_conversion_gain_at_rf_db(active, 2.45e9));
+  cli.add_metric("gain_passive_lptv_2g45_db",
+                 core::lptv_conversion_gain_at_rf_db(passive, 2.45e9));
+  cli.add_metric("band_active_lo_ghz", alo / 1e9);
+  cli.add_metric("band_active_hi_ghz", ahi / 1e9);
+  cli.add_metric("band_passive_lo_ghz", plo / 1e9);
+  cli.add_metric("band_passive_hi_ghz", phi / 1e9);
+  cli.add_metric("bias_power_active_xtor_mw", bias_power_mw);
+
+  if (csv) {
+    table.print_csv(out);
+    return cli.finish();
+  }
+  table.print(out);
+
+  out << "\nSummary (LPTV engine vs paper):\n";
+  out << "  active:  gain@2.45G = " << rf::ConsoleTable::num(
                    core::lptv_conversion_gain_at_rf_db(active, 2.45e9), 2)
             << " dB (paper 29.2), band " << rf::ConsoleTable::num(alo / 1e9, 2) << "-"
             << rf::ConsoleTable::num(ahi / 1e9, 2) << " GHz (paper 1.0-5.5)\n";
-  std::cout << "  passive: gain@2.45G = " << rf::ConsoleTable::num(
+  out << "  passive: gain@2.45G = " << rf::ConsoleTable::num(
                    core::lptv_conversion_gain_at_rf_db(passive, 2.45e9), 2)
             << " dB (paper 25.5), band " << rf::ConsoleTable::num(plo / 1e9, 2) << "-"
             << rf::ConsoleTable::num(phi / 1e9, 2) << " GHz (paper 0.5-5.1)\n";
-  return 0;
+  return cli.finish();
 }

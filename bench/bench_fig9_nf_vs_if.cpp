@@ -9,6 +9,7 @@
 #include "core/behavioral.hpp"
 #include "core/lptv_model.hpp"
 #include "mathx/interp.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 
 using namespace rfmix;
@@ -17,8 +18,10 @@ using core::MixerConfig;
 using core::MixerMode;
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
-  if (!csv) std::cout << "=== FIG9: DSB NF and conversion gain vs IF frequency (RF = 2.45 GHz) ===\n\n";
+  obs::BenchCli cli(argc, argv, "bench_fig9_nf_vs_if");
+  std::ostream& out = cli.out();
+  const bool csv = cli.csv();
+  if (!csv) out << "=== FIG9: DSB NF and conversion gain vs IF frequency (RF = 2.45 GHz) ===\n\n";
 
   MixerConfig active;
   active.mode = MixerMode::kActive;
@@ -53,10 +56,10 @@ int main(int argc, char** argv) {
                    rf::ConsoleTable::num(p.gain_db, 2)});
   }
   if (csv) {
-    table.print_csv(std::cout);
-    return 0;
+    table.print_csv(out);
+    return cli.finish();
   }
-  table.print(std::cout);
+  table.print(out);
 
   // Flicker corner: IF where NF has risen 3 dB above its white floor.
   auto corner = [&](const std::vector<double>& nf) {
@@ -66,13 +69,20 @@ int main(int argc, char** argv) {
     return mathx::first_crossing(rev_f, rev_nf, floor_db + 3.0);
   };
 
-  std::cout << "\nSummary (LPTV engine vs paper):\n";
-  std::cout << "  active:  NF@5MHz = " << rf::ConsoleTable::num(nf_a[8], 2)
+  cli.set_config("f_rf_hz", 2.45e9);
+  cli.set_config("if_points", static_cast<double>(ifs.size()));
+  cli.add_metric("nf_active_lptv_5mhz_db", nf_a[8]);
+  cli.add_metric("nf_passive_lptv_5mhz_db", nf_p[8]);
+  cli.add_metric("flicker_corner_active_hz", corner(nf_a));
+  cli.add_metric("flicker_corner_passive_hz", corner(nf_p));
+
+  out << "\nSummary (LPTV engine vs paper):\n";
+  out << "  active:  NF@5MHz = " << rf::ConsoleTable::num(nf_a[8], 2)
             << " dB (paper 7.6), 1/f corner ~ "
             << rf::ConsoleTable::num(corner(nf_a) / 1e3, 0) << " kHz\n";
-  std::cout << "  passive: NF@5MHz = " << rf::ConsoleTable::num(nf_p[8], 2)
+  out << "  passive: NF@5MHz = " << rf::ConsoleTable::num(nf_p[8], 2)
             << " dB (paper 10.2), 1/f corner ~ "
             << rf::ConsoleTable::num(corner(nf_p) / 1e3, 0)
             << " kHz (paper: < 100 kHz)\n";
-  return 0;
+  return cli.finish();
 }

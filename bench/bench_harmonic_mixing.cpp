@@ -10,14 +10,17 @@
 #include "core/lptv_model.hpp"
 #include "lptv/lptv.hpp"
 #include "mathx/units.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 
 using namespace rfmix;
 using core::MixerConfig;
 using core::MixerMode;
 
-int main() {
-  std::cout << "=== Harmonic mixing: conversion gain from sideband m*f_lo + f_if ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_harmonic_mixing");
+  std::ostream& out = cli.out();
+  out << "=== Harmonic mixing: conversion gain from sideband m*f_lo + f_if ===\n\n";
 
   for (const MixerMode mode : {MixerMode::kActive, MixerMode::kPassive}) {
     MixerConfig cfg;
@@ -25,7 +28,7 @@ int main() {
     const auto model = core::build_lptv_mixer(cfg);
     lptv::ConversionAnalysis an(model->circuit, {cfg.f_lo_hz, 8});
 
-    std::cout << "--- " << frontend::mode_name(mode) << " mode (f_lo = 2.4 GHz) ---\n";
+    out << "--- " << frontend::mode_name(mode) << " mode (f_lo = 2.4 GHz) ---\n";
     rf::ConsoleTable table({"input at", "sideband m", "gain (dB)", "rel. fundamental (dB)"});
     const double g1 = std::abs(an.conversion_transimpedance(
         5e6, 0, model->in, 1, model->out_p, model->out_m, 0));
@@ -37,15 +40,15 @@ int main() {
                      rf::ConsoleTable::num(mathx::db_from_voltage_ratio(g), 1),
                      rf::ConsoleTable::num(mathx::db_from_voltage_ratio(g / g1), 1)});
     }
-    table.print(std::cout);
-    std::cout << "\n";
+    table.print(out);
+    out << "\n";
   }
 
-  std::cout << "Reading: odd harmonics convert at roughly -1/m (minus the input\n"
+  out << "Reading: odd harmonics convert at roughly -1/m (minus the input\n"
                "network's roll-off at m*f_lo); even harmonics are suppressed by the\n"
                "double-balanced topology. A 7.205 GHz blocker still reaches the IF\n"
                "~10-15 dB below the wanted channel — the harmonic-rejection cost of a\n"
                "square-wave-switched wide-band receiver, which the paper's front end\n"
                "would address with pre-filtering.\n";
-  return 0;
+  return cli.finish();
 }

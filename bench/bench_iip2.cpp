@@ -5,10 +5,12 @@
 // circuit, which is limited only by numerical residue and the systematic
 // balance of the topology.
 #include <iostream>
+#include <string>
 
 #include "core/behavioral.hpp"
 #include "core/circuits.hpp"
 #include "core/measurements.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 #include "rf/twotone.hpp"
 
@@ -16,8 +18,10 @@ using namespace rfmix;
 using core::MixerConfig;
 using core::MixerMode;
 
-int main() {
-  std::cout << "=== TXT1: IIP2 ('IIP2 > 65 dBm for both cases', section IV) ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_iip2");
+  std::ostream& out = cli.out();
+  out << "=== TXT1: IIP2 ('IIP2 > 65 dBm for both cases', section IV) ===\n\n";
 
   rf::ConsoleTable table({"Mode", "IIP2 behavioral (dBm)", "IIP2 transistor (dBm)",
                           "paper"});
@@ -42,14 +46,17 @@ int main() {
     }
     const rf::InterceptResult rb = rf::extract_intercepts(beh_sweep);
     const rf::InterceptResult rx = rf::extract_intercepts(xtor_sweep);
+    const std::string tag = frontend::mode_name(mode);
+    cli.add_metric("iip2_beh_" + tag + "_dbm", rb.iip2_dbm);
+    if (rx.has_iip2) cli.add_metric("iip2_xtor_" + tag + "_dbm", rx.iip2_dbm);
     table.add_row({frontend::mode_name(mode), rf::ConsoleTable::num(rb.iip2_dbm, 1),
                    rx.has_iip2 ? rf::ConsoleTable::num(rx.iip2_dbm, 1) : "n/a",
                    "> 65"});
   }
-  table.print(std::cout);
-  std::cout << "\nNote: the transistor-level IM2 of a perfectly matched (typical-corner)\n"
+  table.print(out);
+  out << "\nNote: the transistor-level IM2 of a perfectly matched (typical-corner)\n"
                "differential circuit reflects systematic balance only; silicon IIP2 is\n"
                "mismatch-limited, which simulation without Monte-Carlo mismatch cannot\n"
                "capture (same limitation as the paper's simulated > 65 dBm claim).\n";
-  return 0;
+  return cli.finish();
 }

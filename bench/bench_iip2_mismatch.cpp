@@ -13,6 +13,7 @@
 #include "core/circuits.hpp"
 #include "core/measurements.hpp"
 #include "mathx/rng.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 #include "rf/twotone.hpp"
 #include "runtime/thread_pool.hpp"
@@ -46,9 +47,11 @@ double measure_iip2(const MixerConfig& cfg, const core::DeviceVariation& var) {
 
 }  // namespace
 
-int main() {
-  std::cout << "=== Monte-Carlo IIP2 under Pelgrom mismatch (extends TXT1) ===\n\n";
-  std::cout << "runtime: " << runtime::ThreadPool::current().concurrency()
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_iip2_mismatch");
+  std::ostream& out = cli.out();
+  out << "=== Monte-Carlo IIP2 under Pelgrom mismatch (extends TXT1) ===\n\n";
+  out << "runtime: " << runtime::ThreadPool::current().concurrency()
             << " lanes (RFMIX_THREADS to override)\n\n";
 
   const int n_instances = 8;
@@ -73,20 +76,20 @@ int main() {
       table.add_row({std::to_string(i),
                      rf::ConsoleTable::num(iip2[static_cast<std::size_t>(i)], 1)});
     std::sort(iip2.begin(), iip2.end());
-    std::cout << "--- " << frontend::mode_name(mode) << " mode ---\n";
-    table.print(std::cout);
-    std::cout << "  worst: " << rf::ConsoleTable::num(iip2.front(), 1)
+    out << "--- " << frontend::mode_name(mode) << " mode ---\n";
+    table.print(out);
+    out << "  worst: " << rf::ConsoleTable::num(iip2.front(), 1)
               << " dBm, median: "
               << rf::ConsoleTable::num(iip2[iip2.size() / 2], 1)
               << " dBm  (paper claim: > 65 dBm, typical corner)\n";
-    std::cout << "  " << n_instances << " trials in " << rf::ConsoleTable::num(secs, 2)
+    out << "  " << n_instances << " trials in " << rf::ConsoleTable::num(secs, 2)
               << " s\n\n";
   }
 
-  std::cout << "Reading: with realistic 65 nm matching, the worst-case instances fall\n"
+  out << "Reading: with realistic 65 nm matching, the worst-case instances fall\n"
                "well below the typical-corner IIP2 — the usual reason production parts\n"
                "add IIP2 calibration. The paper's claim holds for its simulation\n"
                "methodology (typical corner, ideal matching), reproduced here by the\n"
                "behavioral engine and the matched transistor run in bench_iip2.\n";
-  return 0;
+  return cli.finish();
 }

@@ -9,6 +9,7 @@
 
 #include "core/circuits.hpp"
 #include "mathx/units.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 #include "spice/ac.hpp"
 #include "spice/op.hpp"
@@ -17,8 +18,10 @@ using namespace rfmix;
 using core::MixerConfig;
 using core::MixerMode;
 
-int main() {
-  std::cout << "=== TXT3: RF input impedance of the gm stage across the band ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_input_impedance");
+  std::ostream& out = cli.out();
+  out << "=== TXT3: RF input impedance of the gm stage across the band ===\n\n";
 
   rf::ConsoleTable table({"f (GHz)", "|Zin| active (ohm)", "|Zin| passive (ohm)"});
   bool high_z = true;
@@ -49,11 +52,11 @@ int main() {
                    rf::ConsoleTable::num(zin[0][i], 0),
                    rf::ConsoleTable::num(zin[1][i], 0)});
   }
-  table.print(std::cout);
+  table.print(out);
 
   // S11 the gate would present to a 100-ohm differential system, from the
   // measured |Zin| (capacitive, so |S11| = |(Z - Z0)/(Z + Z0)| with Z ~ -jX).
-  std::cout << "\n|S11| of the differential RF port vs 100 ohm (active mode):\n";
+  out << "\n|S11| of the differential RF port vs 100 ohm (active mode):\n";
   rf::ConsoleTable s11({"f (GHz)", "|S11| (dB)"});
   for (std::size_t i = 0; i < freqs.size(); ++i) {
     const std::complex<double> z(0.0, -zin[0][i]);  // capacitive reactance
@@ -61,13 +64,13 @@ int main() {
     s11.add_row({rf::ConsoleTable::num(freqs[i] / 1e9, 2),
                  rf::ConsoleTable::num(mathx::db_from_voltage_ratio(mag), 2)});
   }
-  s11.print(std::cout);
-  std::cout << "  (near 0 dB: the capacitive gate reflects almost everything — by\n"
+  s11.print(out);
+  out << "  (near 0 dB: the capacitive gate reflects almost everything — by\n"
                  "   design, since the paper's LNA provides the 50-ohm match.)\n";
 
-  std::cout << "\nCheck: |Zin| >> 50 ohm (>10x) across 0.5-7 GHz in both modes: "
+  out << "\nCheck: |Zin| >> 50 ohm (>10x) across 0.5-7 GHz in both modes: "
             << (high_z ? "yes" : "NO")
             << "\nThe input is the gm-stage gate (capacitive), so the preceding\n"
                "balun/LNA sees a negligible load — the paper's section II argument.\n";
-  return 0;
+  return cli.finish();
 }

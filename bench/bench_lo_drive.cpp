@@ -8,14 +8,17 @@
 
 #include "core/circuits.hpp"
 #include "core/measurements.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 
 using namespace rfmix;
 using core::MixerConfig;
 using core::MixerMode;
 
-int main() {
-  std::cout << "=== LO drive sweep: conversion gain vs LO amplitude ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_lo_drive");
+  std::ostream& out = cli.out();
+  out << "=== LO drive sweep: conversion gain vs LO amplitude ===\n\n";
 
   core::TransientMeasureOptions topt;
   topt.grid_hz = 5e6;
@@ -39,10 +42,10 @@ int main() {
     table.add_row({rf::ConsoleTable::num(a_lo, 2), rf::ConsoleTable::num(ga, 2),
                    rf::ConsoleTable::num(gp, 2)});
   }
-  table.print(std::cout);
+  table.print(out);
 
   const double plateau_a = gains_a[3] - gains_a[2];
-  std::cout << "\nReading: the ACTIVE mode degrades gracefully at weak LO drive (the\n"
+  out << "\nReading: the ACTIVE mode degrades gracefully at weak LO drive (the\n"
                "biased switching pair steers current even with partial commutation,\n"
                "plateauing within "
             << rf::ConsoleTable::num(std::abs(plateau_a), 1)
@@ -51,5 +54,5 @@ int main() {
                "LO amplitudes below ~0.5 V. The paper's 0.6 V LO (half the 1.2 V\n"
                "supply) is exactly the minimum that serves both modes — an implicit\n"
                "design constraint this sweep makes visible.\n";
-  return 0;
+  return cli.finish();
 }

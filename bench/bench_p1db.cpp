@@ -6,10 +6,12 @@
 // compression point of the OPAMP limits the input referred linearity");
 // the transistor engine sweeps the real circuit.
 #include <iostream>
+#include <string>
 
 #include "core/behavioral.hpp"
 #include "core/circuits.hpp"
 #include "core/measurements.hpp"
+#include "obs/cli.hpp"
 #include "rf/compression.hpp"
 #include "rf/table.hpp"
 
@@ -17,8 +19,10 @@ using namespace rfmix;
 using core::MixerConfig;
 using core::MixerMode;
 
-int main() {
-  std::cout << "=== Table I row: input 1 dB compression point @ 5 MHz IF ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_p1db");
+  std::ostream& out = cli.out();
+  out << "=== Table I row: input 1 dB compression point @ 5 MHz IF ===\n\n";
 
   rf::ConsoleTable table(
       {"Mode", "P1dB behavioral (dBm)", "P1dB transistor (dBm)", "paper (dBm)"});
@@ -46,14 +50,17 @@ int main() {
       return core::measure_single_tone_pout_dbm(*mixer, pin, 5e6, topt);
     });
 
+    const std::string tag = frontend::mode_name(mode);
+    if (rb.found) cli.add_metric("p1db_beh_" + tag + "_dbm", rb.p1db_in_dbm);
+    if (rx.found) cli.add_metric("p1db_xtor_" + tag + "_dbm", rx.p1db_in_dbm);
     table.add_row({frontend::mode_name(mode),
                    rb.found ? rf::ConsoleTable::num(rb.p1db_in_dbm, 1) : "n/a",
                    rx.found ? rf::ConsoleTable::num(rx.p1db_in_dbm, 1) : "n/a",
                    mode == MixerMode::kActive ? "-24.5" : "-14.0"});
   }
-  table.print(std::cout);
-  std::cout << "\nShape check: the passive mode compresses later than the active mode in\n"
+  table.print(out);
+  out << "\nShape check: the passive mode compresses later than the active mode in\n"
                "both engines (the TIA virtual ground absorbs the current swing, while the\n"
                "active mode's TG load swing saturates first).\n";
-  return 0;
+  return cli.finish();
 }

@@ -8,6 +8,7 @@
 #include "core/circuits.hpp"
 #include "core/lptv_model.hpp"
 #include "core/measurements.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 #include "rf/twotone.hpp"
 #include "spice/op.hpp"
@@ -48,13 +49,15 @@ ThisWorkRow measure(MixerMode mode) {
 
 }  // namespace
 
-int main() {
-  std::cout << "=== TAB1: simulation results and comparison (paper Table I) ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_table1_comparison");
+  std::ostream& out = cli.out();
+  out << "=== TAB1: simulation results and comparison (paper Table I) ===\n\n";
 
   const ThisWorkRow act = measure(MixerMode::kActive);
   const ThisWorkRow pas = measure(MixerMode::kPassive);
 
-  std::cout << "--- This work: paper-reported vs this repo's measurements ---\n";
+  out << "--- This work: paper-reported vs this repo's measurements ---\n";
   rf::ConsoleTable mine({"Parameter", "Active paper", "Active measured",
                          "Passive paper", "Passive measured"});
   mine.add_row({"Gain (dB), LPTV engine", "29.2", rf::ConsoleTable::num(act.gain_lptv, 1),
@@ -69,28 +72,37 @@ int main() {
                 "9.24", rf::ConsoleTable::num(pas.power_model, 2)});
   mine.add_row({"Bandwidth (GHz)", "1 to 5.5", "see FIG8", "0.5 to 5.1", "see FIG8"});
   mine.add_row({"Technology / supply", "65nm / 1.2V", "modeled", "65nm / 1.2V", "modeled"});
-  mine.print(std::cout);
+  mine.print(out);
 
-  std::cout << "\n--- Published comparison designs (transcribed from Table I) ---\n";
+  out << "\n--- Published comparison designs (transcribed from Table I) ---\n";
   rf::ConsoleTable refs({"Ref", "Gain (dB)", "NF (dB)", "IIP3 (dBm)", "1dB-CP (dBm)",
                          "Power (mW)", "BW (GHz)", "Tech", "Supply (V)"});
   for (const auto& b : core::table1_baselines()) {
     refs.add_row({b.label, b.gain_db, b.nf_db, b.iip3_dbm, b.p1db_dbm, b.power_mw,
                   b.bandwidth_ghz, b.technology, b.supply_v});
   }
-  refs.print(std::cout);
+  refs.print(out);
 
-  std::cout << "\nOrdering checks (paper's comparative claims):\n";
+  cli.add_metric("gain_active_lptv_db", act.gain_lptv);
+  cli.add_metric("gain_passive_lptv_db", pas.gain_lptv);
+  cli.add_metric("nf_active_lptv_db", act.nf_lptv);
+  cli.add_metric("nf_passive_lptv_db", pas.nf_lptv);
+  cli.add_metric("iip3_active_xtor_dbm", act.iip3_xtor);
+  cli.add_metric("iip3_passive_xtor_dbm", pas.iip3_xtor);
+  cli.add_metric("power_active_mw", act.power_model);
+  cli.add_metric("power_passive_mw", pas.power_model);
+
+  out << "\nOrdering checks (paper's comparative claims):\n";
   int beaten = 0;
   for (const auto& b : core::table1_baselines())
     if (act.gain_lptv > b.gain_mid_db) ++beaten;
-  std::cout << "  active-mode gain exceeds " << beaten
+  out << "  active-mode gain exceeds " << beaten
             << "/8 published designs (paper: all but [4])\n";
-  std::cout << "  active gain > passive gain: "
+  out << "  active gain > passive gain: "
             << (act.gain_lptv > pas.gain_lptv ? "yes" : "NO") << "\n";
-  std::cout << "  passive IIP3 > active IIP3: "
+  out << "  passive IIP3 > active IIP3: "
             << (pas.iip3_xtor > act.iip3_xtor ? "yes" : "NO") << "\n";
-  std::cout << "  active NF < passive NF: " << (act.nf_lptv < pas.nf_lptv ? "yes" : "NO")
+  out << "  active NF < passive NF: " << (act.nf_lptv < pas.nf_lptv ? "yes" : "NO")
             << "\n";
-  return 0;
+  return cli.finish();
 }

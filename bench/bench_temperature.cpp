@@ -6,14 +6,17 @@
 #include <iostream>
 
 #include "core/lptv_model.hpp"
+#include "obs/cli.hpp"
 #include "rf/table.hpp"
 
 using namespace rfmix;
 using core::MixerConfig;
 using core::MixerMode;
 
-int main() {
-  std::cout << "=== Temperature sweep: gain and DSB NF @ 5 MHz IF (LPTV engine) ===\n\n";
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_temperature");
+  std::ostream& out = cli.out();
+  out << "=== Temperature sweep: gain and DSB NF @ 5 MHz IF (LPTV engine) ===\n\n";
 
   rf::ConsoleTable table({"T (C)", "act gain (dB)", "act NF (dB)", "pas gain (dB)",
                           "pas NF (dB)"});
@@ -36,9 +39,9 @@ int main() {
                    rf::ConsoleTable::num(pt.nfa, 2), rf::ConsoleTable::num(pt.gp, 2),
                    rf::ConsoleTable::num(pt.nfp, 2)});
   }
-  table.print(std::cout);
+  table.print(out);
 
-  std::cout << "\nChecks: gain falls and NF rises monotonically with temperature in both\n"
+  out << "\nChecks: gain falls and NF rises monotonically with temperature in both\n"
                "modes (gm ~ T^-0.75, noise ~ kT); the active-vs-passive orderings of\n"
                "Table I hold across the full -40..125 C industrial range:\n";
   bool order_ok = true, mono_ok = true;
@@ -47,8 +50,8 @@ int main() {
     if (i > 0 && !(pts[i].ga < pts[i - 1].ga && pts[i].nfa > pts[i - 1].nfa))
       mono_ok = false;
   }
-  std::cout << "  orderings hold at every temperature: " << (order_ok ? "yes" : "NO")
+  out << "  orderings hold at every temperature: " << (order_ok ? "yes" : "NO")
             << "\n  monotone trend with temperature:    " << (mono_ok ? "yes" : "NO")
             << "\n";
-  return 0;
+  return cli.finish();
 }

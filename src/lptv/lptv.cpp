@@ -8,6 +8,8 @@
 #include "mathx/fft.hpp"
 #include "mathx/sparse.hpp"
 #include "mathx/units.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace rfmix::lptv {
 
@@ -127,11 +129,17 @@ struct ConversionAnalysis::Factored::System {
       : a(std::move(a_in)), at(std::move(at_in)) {}
 
   const mathx::SparseLu<Complex>& forward() const {
-    std::call_once(once_fwd, [&] { fwd = std::make_unique<mathx::SparseLu<Complex>>(a); });
+    std::call_once(once_fwd, [&] {
+      RFMIX_OBS_COUNT("lptv.lu.factorizations");
+      fwd = std::make_unique<mathx::SparseLu<Complex>>(a);
+    });
     return *fwd;
   }
   const mathx::SparseLu<Complex>& adjoint() const {
-    std::call_once(once_adj, [&] { adj = std::make_unique<mathx::SparseLu<Complex>>(at); });
+    std::call_once(once_adj, [&] {
+      RFMIX_OBS_COUNT("lptv.lu.factorizations");
+      adj = std::make_unique<mathx::SparseLu<Complex>>(at);
+    });
     return *adj;
   }
 };
@@ -246,6 +254,9 @@ ConversionAnalysis::Factored ConversionAnalysis::factor(double f_base) const {
 
 PacSolution ConversionAnalysis::Factored::solve_current_injection(int p, int m,
                                                                   int k_in) const {
+  RFMIX_OBS_SCOPED_TIMER("lptv.conversion.solve");
+  RFMIX_OBS_TRACE_SCOPE("lptv.conversion.solve");
+  RFMIX_OBS_COUNT("lptv.conversion.solves");
   const ConversionAnalysis& self = *an_;
   if (std::abs(k_in) > self.opts_.harmonics)
     throw std::invalid_argument("k_in outside retained harmonics");
@@ -283,6 +294,9 @@ Complex ConversionAnalysis::conversion_transimpedance(double f_base, int in_p, i
 }
 
 LptvNoiseResult ConversionAnalysis::Factored::output_noise(int out_p, int out_m) const {
+  RFMIX_OBS_SCOPED_TIMER("lptv.conversion.noise");
+  RFMIX_OBS_TRACE_SCOPE("lptv.conversion.noise");
+  RFMIX_OBS_COUNT("lptv.conversion.noise_solves");
   const ConversionAnalysis& self = *an_;
   const double f_base = f_base_;
   const int n = self.n_unknowns_;

@@ -5,6 +5,8 @@
 #include "mathx/fft.hpp"
 #include "mathx/sparse.hpp"
 #include "mathx/units.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace rfmix::lptv {
 
@@ -97,6 +99,9 @@ MatrixPacSolution MatrixConversionAnalysis::solve_injection(double f_base,
                                                             int u_inject_p,
                                                             int u_inject_m,
                                                             int k_in) const {
+  RFMIX_OBS_SCOPED_TIMER("lptv.matrix.solve");
+  RFMIX_OBS_TRACE_SCOPE("lptv.matrix.solve");
+  RFMIX_OBS_COUNT("lptv.matrix.solves");
   if (std::abs(k_in) > k_hi_)
     throw std::invalid_argument("MatrixConversion: k_in outside harmonics");
   const int blocks = 2 * k_hi_ + 1;
@@ -113,6 +118,7 @@ MatrixPacSolution MatrixConversionAnalysis::solve_injection(double f_base,
   if (u_inject_m >= 0) b[static_cast<std::size_t>(idx(k_in, u_inject_m))] += 1.0;
 
   const mathx::CscMatrix<Complex> csc(a);
+  RFMIX_OBS_COUNT("lptv.lu.factorizations");
   mathx::SparseLu<Complex> lu(csc);
 
   MatrixPacSolution sol;
@@ -127,6 +133,9 @@ MatrixPacSolution MatrixConversionAnalysis::solve_injection(double f_base,
 MatrixConversionAnalysis::NoiseResult MatrixConversionAnalysis::output_noise(
     double f_base, int u_out_p, int u_out_m,
     const std::vector<NoiseSourceSamples>& sources) const {
+  RFMIX_OBS_SCOPED_TIMER("lptv.matrix.noise");
+  RFMIX_OBS_TRACE_SCOPE("lptv.matrix.noise");
+  RFMIX_OBS_COUNT("lptv.matrix.noise_solves");
   const int blocks = 2 * k_hi_ + 1;
   const std::size_t dim = static_cast<std::size_t>(blocks * n_);
   mathx::TripletMatrix<Complex> at(dim, dim);
@@ -141,6 +150,7 @@ MatrixConversionAnalysis::NoiseResult MatrixConversionAnalysis::output_noise(
   if (u_out_m >= 0) e[static_cast<std::size_t>(idx(0, u_out_m))] -= 1.0;
 
   const mathx::CscMatrix<Complex> csc(at);
+  RFMIX_OBS_COUNT("lptv.lu.factorizations");
   mathx::SparseLu<Complex> lu(csc);
   const std::vector<Complex> y = lu.solve(e);
 

@@ -1,0 +1,51 @@
+#include "obs/cli.hpp"
+
+#include <iostream>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace rfmix::obs {
+
+BenchCli::BenchCli(int argc, char** argv, std::string tool)
+    : tool_(std::move(tool)), report_(tool_) {
+  auto take_value = [&](int& i, std::string_view flag) -> std::string {
+    const std::string_view arg(argv[i]);
+    if (arg.size() > flag.size() && arg[flag.size()] == '=')
+      return std::string(arg.substr(flag.size() + 1));
+    if (i + 1 < argc) return std::string(argv[++i]);
+    std::cerr << tool_ << ": " << flag << " requires a path argument\n";
+    return {};
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--csv") {
+      csv_ = true;
+    } else if (arg == "--report" || arg.rfind("--report=", 0) == 0) {
+      report_path_ = take_value(i, "--report");
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      trace_path_ = take_value(i, "--trace");
+    }
+  }
+  if (tracing()) trace::enable();
+}
+
+std::ostream& BenchCli::out() const { return reporting() ? std::cerr : std::cout; }
+
+int BenchCli::finish() {
+  int rc = 0;
+  if (tracing()) {
+    trace::disable();
+    if (!trace::write_file(trace_path_)) {
+      std::cerr << tool_ << ": failed to write trace to " << trace_path_ << "\n";
+      rc = 1;
+    }
+  }
+  if (reporting() && !report_.write_file(report_path_)) {
+    std::cerr << tool_ << ": failed to write report to " << report_path_ << "\n";
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace rfmix::obs

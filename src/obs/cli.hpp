@@ -1,0 +1,62 @@
+// Shared command-line plumbing for the bench binaries.
+//
+// Every bench constructs a BenchCli from (argc, argv) and gets, uniformly:
+//
+//   --csv              machine-readable table output (bench-interpreted)
+//   --report <path>    write a JSON run report (obs::RunReport) on finish();
+//                      "-" writes the report to stdout
+//   --trace <path>     record a Chrome trace of the run and write it on
+//                      finish()
+//
+// When a report is requested, all human-facing output (out()) is routed to
+// stderr so stdout stays clean for machine consumers — `bench --report - |
+// jq .metrics` works with no stray table rows in the pipe.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace rfmix::obs {
+
+class BenchCli {
+ public:
+  /// Parses the flags above out of argv; unrecognized arguments are
+  /// ignored (benches with extra flags scan argv themselves). `tool` names
+  /// the binary in the report.
+  BenchCli(int argc, char** argv, std::string tool);
+
+  bool csv() const { return csv_; }
+  bool reporting() const { return !report_path_.empty(); }
+  bool tracing() const { return !trace_path_.empty(); }
+
+  /// Stream for human-facing output: stdout normally, stderr when a
+  /// report was requested.
+  std::ostream& out() const;
+
+  /// The run report (always available; only written when reporting()).
+  RunReport& report() { return report_; }
+  void add_metric(std::string name, double value) {
+    report_.add_metric(std::move(name), value);
+  }
+  void set_config(std::string key, double value) {
+    report_.set_config(std::move(key), value);
+  }
+  void set_config(std::string key, std::string value) {
+    report_.set_config(std::move(key), std::move(value));
+  }
+
+  /// Write the report and/or trace if requested. Returns the process exit
+  /// code (1 when an output file could not be written).
+  int finish();
+
+ private:
+  std::string tool_;
+  std::string report_path_;
+  std::string trace_path_;
+  bool csv_ = false;
+  RunReport report_;
+};
+
+}  // namespace rfmix::obs

@@ -1,0 +1,223 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace rfmix::obs {
+
+#if RFMIX_OBS_ENABLED
+
+namespace {
+
+/// Per-thread timer accumulation. One cell per timer id; only the owning
+/// thread writes, so cells stay on that thread's cache line. The deque
+/// never relocates elements, and structural growth is serialized against
+/// readers by `mu` — existing cells are atomics and stay lock-free.
+struct TimerSlab {
+  struct Cell {
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> calls{0};
+  };
+
+  std::mutex mu;  // guards deque growth vs. aggregation reads
+  std::deque<Cell> cells;
+
+  Cell& cell(std::size_t id) {
+    if (id >= cells.size()) {
+      std::lock_guard<std::mutex> lk(mu);
+      while (cells.size() <= id) cells.emplace_back();
+    }
+    return cells[id];
+  }
+};
+
+struct RetiredTotals {
+  std::uint64_t ns = 0;
+  std::uint64_t calls = 0;
+};
+
+}  // namespace
+
+/// Process-wide instrument registry (namespace scope so the friend
+/// declarations in obs.hpp apply; the header never exposes it).
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry* r = new Registry();  // leaked: outlives thread exits
+    return *r;
+  }
+
+  Counter& counter(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = counters_by_name_.find(name);
+    if (it != counters_by_name_.end()) return *it->second;
+    counters_.push_back(std::unique_ptr<Counter>(new Counter(std::string(name))));
+    Counter* c = counters_.back().get();
+    counters_by_name_.emplace(c->name(), c);
+    return *c;
+  }
+
+  Timer& timer(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = timers_by_name_.find(name);
+    if (it != timers_by_name_.end()) return *it->second;
+    const std::size_t id = timers_.size();
+    timers_.push_back(std::unique_ptr<Timer>(new Timer(std::string(name), id)));
+    Timer* t = timers_.back().get();
+    timers_by_name_.emplace(t->name(), t);
+    retired_.push_back(RetiredTotals{});
+    return *t;
+  }
+
+  std::uint64_t counter_value(std::string_view name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = counters_by_name_.find(name);
+    return it == counters_by_name_.end() ? 0 : it->second->value();
+  }
+
+  TimerSnapshot aggregate(const Timer& t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return aggregate_locked(t);
+  }
+
+  TelemetrySnapshot snapshot() {
+    std::lock_guard<std::mutex> lk(mu_);
+    TelemetrySnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& c : counters_)
+      snap.counters.push_back(CounterSnapshot{c->name(), c->value()});
+    snap.timers.reserve(timers_.size());
+    for (const auto& t : timers_) snap.timers.push_back(aggregate_locked(*t));
+    auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+    std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+    std::sort(snap.timers.begin(), snap.timers.end(), by_name);
+    return snap;
+  }
+
+  void reset_all() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& c : counters_) c->value_.store(0, std::memory_order_relaxed);
+    for (auto& r : retired_) r = RetiredTotals{};
+    for (auto& slab : slabs_) {
+      std::lock_guard<std::mutex> slk(slab->mu);
+      for (auto& cell : slab->cells) {
+        cell.ns.store(0, std::memory_order_relaxed);
+        cell.calls.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::shared_ptr<TimerSlab> adopt_slab() {
+    auto slab = std::make_shared<TimerSlab>();
+    std::lock_guard<std::mutex> lk(mu_);
+    slabs_.push_back(slab);
+    return slab;
+  }
+
+  /// Fold a dying thread's slab into the retired totals and drop it from
+  /// the live list.
+  void retire_slab(const std::shared_ptr<TimerSlab>& slab) {
+    std::lock_guard<std::mutex> lk(mu_);
+    {
+      std::lock_guard<std::mutex> slk(slab->mu);
+      for (std::size_t id = 0; id < slab->cells.size() && id < retired_.size(); ++id) {
+        retired_[id].ns += slab->cells[id].ns.load(std::memory_order_relaxed);
+        retired_[id].calls += slab->cells[id].calls.load(std::memory_order_relaxed);
+      }
+    }
+    slabs_.erase(std::remove(slabs_.begin(), slabs_.end(), slab), slabs_.end());
+  }
+
+ private:
+  Registry() = default;
+
+  TimerSnapshot aggregate_locked(const Timer& t) {
+    TimerSnapshot s;
+    s.name = t.name();
+    const std::size_t id = t.id_;
+    if (id < retired_.size()) {
+      s.total_ns += retired_[id].ns;
+      s.calls += retired_[id].calls;
+    }
+    for (const auto& slab : slabs_) {
+      std::lock_guard<std::mutex> slk(slab->mu);
+      if (id < slab->cells.size()) {
+        s.total_ns += slab->cells[id].ns.load(std::memory_order_relaxed);
+        s.calls += slab->cells[id].calls.load(std::memory_order_relaxed);
+      }
+    }
+    return s;
+  }
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string_view, Counter*> counters_by_name_;
+  std::vector<std::unique_ptr<Timer>> timers_;
+  std::unordered_map<std::string_view, Timer*> timers_by_name_;
+  std::vector<RetiredTotals> retired_;  // indexed by timer id
+  std::vector<std::shared_ptr<TimerSlab>> slabs_;
+};
+
+namespace {
+
+/// RAII handle that ties a slab to its owning thread.
+struct SlabHandle {
+  std::shared_ptr<TimerSlab> slab = Registry::instance().adopt_slab();
+  ~SlabHandle() { Registry::instance().retire_slab(slab); }
+};
+
+TimerSlab& local_slab() {
+  thread_local SlabHandle handle;
+  return *handle.slab;
+}
+
+}  // namespace
+
+std::uint64_t Timer::calls() const { return Registry::instance().aggregate(*this).calls; }
+
+std::uint64_t Timer::total_ns() const {
+  return Registry::instance().aggregate(*this).total_ns;
+}
+
+void Timer::record(std::uint64_t ns) {
+  TimerSlab::Cell& cell = local_slab().cell(id_);
+  cell.ns.fetch_add(ns, std::memory_order_relaxed);
+  cell.calls.fetch_add(1, std::memory_order_relaxed);
+}
+
+Counter& counter(std::string_view name) { return Registry::instance().counter(name); }
+
+Timer& timer(std::string_view name) { return Registry::instance().timer(name); }
+
+std::uint64_t counter_value(std::string_view name) {
+  return Registry::instance().counter_value(name);
+}
+
+TelemetrySnapshot snapshot() { return Registry::instance().snapshot(); }
+
+void reset_all() { Registry::instance().reset_all(); }
+
+#else  // !RFMIX_OBS_ENABLED
+
+Counter& counter(std::string_view) {
+  static Counter c;
+  return c;
+}
+
+Timer& timer(std::string_view) {
+  static Timer t;
+  return t;
+}
+
+std::uint64_t counter_value(std::string_view) { return 0; }
+
+TelemetrySnapshot snapshot() { return TelemetrySnapshot{}; }
+
+void reset_all() {}
+
+#endif  // RFMIX_OBS_ENABLED
+
+}  // namespace rfmix::obs

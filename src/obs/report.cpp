@@ -1,0 +1,132 @@
+#include "obs/report.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "obs/json_writer.hpp"
+#include "obs/obs.hpp"
+
+#ifndef RFMIX_GIT_SHA
+#define RFMIX_GIT_SHA "unknown"
+#endif
+#ifndef RFMIX_BUILD_TYPE
+#define RFMIX_BUILD_TYPE "unknown"
+#endif
+
+namespace rfmix::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string utc_now_iso8601() {
+  const std::time_t t = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &t);
+#else
+  gmtime_r(&t, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+json::Value config_value(const std::variant<double, std::string>& v) {
+  if (std::holds_alternative<double>(v)) return json::Value(std::get<double>(v));
+  return json::Value(std::get<std::string>(v));
+}
+
+}  // namespace
+
+RunReport::RunReport(std::string tool)
+    : tool_(std::move(tool)), started_utc_(utc_now_iso8601()), start_ns_(steady_now_ns()) {}
+
+void RunReport::set_config(std::string key, double value) {
+  config_.emplace_back(std::move(key), ConfigValue(value));
+}
+
+void RunReport::set_config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), ConfigValue(std::move(value)));
+}
+
+void RunReport::add_metric(std::string name, double value) {
+  metrics_.emplace_back(std::move(name), ConfigValue(value));
+}
+
+void RunReport::add_metric(std::string name, std::string value) {
+  metrics_.emplace_back(std::move(name), ConfigValue(std::move(value)));
+}
+
+const char* RunReport::git_sha() { return RFMIX_GIT_SHA; }
+
+void RunReport::write(std::ostream& os) const {
+  json::Value root = json::Value::object();
+  root["schema_version"] = json::Value(kSchemaVersion);
+  root["tool"] = json::Value(tool_);
+  root["git_sha"] = json::Value(git_sha());
+  root["started_utc"] = json::Value(started_utc_);
+  root["wall_s"] =
+      json::Value(static_cast<double>(steady_now_ns() - start_ns_) * 1e-9);
+
+  root["build"] = json::Value::object();
+  json::Value& build = root["build"];
+  build["obs_enabled"] = json::Value(static_cast<bool>(RFMIX_OBS_ENABLED));
+  build["build_type"] = json::Value(RFMIX_BUILD_TYPE);
+
+  root["environment"] = json::Value::object();
+  json::Value& env = root["environment"];
+  const char* threads_env = std::getenv("RFMIX_THREADS");
+  env["rfmix_threads_env"] =
+      threads_env != nullptr ? json::Value(threads_env) : json::Value();
+  env["hardware_concurrency"] =
+      json::Value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+
+  root["config"] = json::Value::object();
+  json::Value& config = root["config"];
+  for (const auto& [k, v] : config_) config[k] = config_value(v);
+
+  root["metrics"] = json::Value::object();
+  json::Value& metrics = root["metrics"];
+  for (const auto& [k, v] : metrics_) metrics[k] = config_value(v);
+
+  const TelemetrySnapshot snap = snapshot();
+  root["counters"] = json::Value::object();
+  json::Value& counters = root["counters"];
+  for (const CounterSnapshot& c : snap.counters)
+    counters[c.name] = json::Value(c.value);
+  root["timers"] = json::Value::object();
+  json::Value& timers = root["timers"];
+  for (const TimerSnapshot& t : snap.timers) {
+    timers[t.name] = json::Value::object();
+    json::Value& entry = timers[t.name];
+    entry["calls"] = json::Value(t.calls);
+    entry["total_s"] = json::Value(static_cast<double>(t.total_ns) * 1e-9);
+  }
+
+  root.write(os);
+  os << "\n";
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  if (path == "-") {
+    write(std::cout);
+    return static_cast<bool>(std::cout);
+  }
+  std::ofstream f(path);
+  if (!f) return false;
+  write(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace rfmix::obs

@@ -1,0 +1,61 @@
+// Structured JSON run reports for benches and tools.
+//
+// A RunReport captures one process invocation: which tool ran, against
+// which git revision and build, with what configuration, what it measured
+// (tool-supplied metrics) and what the solver telemetry says it cost
+// (counters + timers, snapshotted at write time). The schema is documented
+// in docs/observability.md; BENCH_*.json trajectories are produced by
+// pointing `--report` at a file and collecting the `metrics` section.
+//
+// Reports work in RFMIX_OBS=OFF builds too — the `counters`/`timers`
+// sections are simply empty, everything else is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace rfmix::obs {
+
+class RunReport {
+ public:
+  /// `tool` names the producing binary (e.g. "bench_fig8_gain_vs_rf").
+  /// Wall time is measured from construction to write().
+  explicit RunReport(std::string tool);
+
+  /// Add a configuration entry (swept ranges, mode flags, point counts...).
+  void set_config(std::string key, double value);
+  void set_config(std::string key, std::string value);
+
+  /// Add a measured result. Metrics keep insertion order in the output.
+  void add_metric(std::string name, double value);
+  void add_metric(std::string name, std::string value);
+
+  /// Serialize the report, snapshotting telemetry and wall time now.
+  void write(std::ostream& os) const;
+
+  /// write() to `path`, or to stdout when `path` is "-". Returns false if
+  /// the file cannot be opened or the stream fails.
+  bool write_file(const std::string& path) const;
+
+  /// Git revision baked in at configure time ("unknown" outside a
+  /// checkout; stale until CMake re-runs after a commit).
+  static const char* git_sha();
+
+  /// Bumped when the report layout changes incompatibly.
+  static constexpr int kSchemaVersion = 1;
+
+ private:
+  using ConfigValue = std::variant<double, std::string>;
+
+  std::string tool_;
+  std::string started_utc_;
+  std::uint64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, ConfigValue>> config_;
+  std::vector<std::pair<std::string, ConfigValue>> metrics_;
+};
+
+}  // namespace rfmix::obs

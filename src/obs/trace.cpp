@@ -1,0 +1,169 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#if RFMIX_OBS_ENABLED
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#endif
+
+#include "obs/json_writer.hpp"
+
+namespace rfmix::obs {
+
+#if RFMIX_OBS_ENABLED
+
+namespace {
+
+/// Events land in per-thread buffers (one short lock on the thread's own
+/// mutex per event); export snapshots every buffer under the registry lock.
+struct TraceBuf {
+  std::uint32_t tid = 0;
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceBuf>> bufs;
+  std::uint32_t next_tid = 1;
+
+  static TraceRegistry& instance() {
+    static TraceRegistry* r = new TraceRegistry();  // leaked: outlives threads
+    return *r;
+  }
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_epoch_ns{0};
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceBuf& local_buf() {
+  thread_local std::shared_ptr<TraceBuf> buf = [] {
+    auto b = std::make_shared<TraceBuf>();
+    TraceRegistry& reg = TraceRegistry::instance();
+    std::lock_guard<std::mutex> lk(reg.mu);
+    b->tid = reg.next_tid++;
+    reg.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+TraceScope::TraceScope(const char* name) : name_(name) {
+  if (g_enabled.load(std::memory_order_relaxed)) {
+    armed_ = true;
+    start_ns_ = steady_now_ns();
+  }
+}
+
+TraceScope::~TraceScope() {
+  if (!armed_) return;
+  const std::uint64_t end = steady_now_ns();
+  const std::uint64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  TraceEvent ev;
+  ev.name = name_;
+  ev.ts_ns = start_ns_ > epoch ? start_ns_ - epoch : 0;
+  ev.dur_ns = end > start_ns_ ? end - start_ns_ : 0;
+  TraceBuf& buf = local_buf();
+  ev.tid = buf.tid;
+  std::lock_guard<std::mutex> lk(buf.mu);
+  buf.events.push_back(std::move(ev));
+}
+
+namespace trace {
+
+void enable() {
+  std::uint64_t expected = 0;
+  g_epoch_ns.compare_exchange_strong(expected, steady_now_ns(),
+                                     std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void clear() {
+  TraceRegistry& reg = TraceRegistry::instance();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (auto& buf : reg.bufs) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    buf->events.clear();
+  }
+}
+
+std::vector<TraceEvent> events() {
+  TraceRegistry& reg = TraceRegistry::instance();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lk(reg.mu);
+    for (auto& buf : reg.bufs) {
+      std::lock_guard<std::mutex> blk(buf->mu);
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    return a.dur_ns > b.dur_ns;  // parent (longer) before child at equal start
+  });
+  return out;
+}
+
+}  // namespace trace
+
+#else  // !RFMIX_OBS_ENABLED
+
+namespace trace {
+
+void enable() {}
+void disable() {}
+bool enabled() { return false; }
+void clear() {}
+std::vector<TraceEvent> events() { return {}; }
+
+}  // namespace trace
+
+#endif  // RFMIX_OBS_ENABLED
+
+namespace trace {
+
+void export_json(std::ostream& os) {
+  const std::vector<TraceEvent> evs = events();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : evs) {
+    if (!first) os << ",";
+    first = false;
+    // Complete ("X") events; chrome://tracing expects microseconds.
+    os << "\n{\"name\":" << json::quoted(ev.name) << ",\"ph\":\"X\",\"pid\":1,"
+       << "\"tid\":" << ev.tid << ",\"ts\":" << json::number(ev.ts_ns / 1e3)
+       << ",\"dur\":" << json::number(ev.dur_ns / 1e3) << "}";
+  }
+  if (!first) os << "\n";
+  os << "]}\n";
+}
+
+bool write_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  export_json(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace trace
+
+}  // namespace rfmix::obs

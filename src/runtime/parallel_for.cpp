@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/obs.hpp"
+
 namespace rfmix::runtime {
 
 namespace {
@@ -57,6 +59,9 @@ void parallel_for(std::size_t begin, std::size_t end,
   ThreadPool& pool = opts.pool != nullptr ? *opts.pool : ThreadPool::current();
   const std::size_t grain = std::max<std::size_t>(opts.grain, 1);
   const std::size_t n_chunks = (end - begin + grain - 1) / grain;
+
+  RFMIX_OBS_COUNT("runtime.parallel_for.calls");
+  RFMIX_OBS_COUNT_N("runtime.parallel_for.chunks", n_chunks);
 
   if (pool.worker_count() == 0 || n_chunks == 1) {
     for (std::size_t i = begin; i < end; ++i) body(i);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/obs.hpp"
+
 namespace rfmix::runtime {
 
 namespace {
@@ -36,6 +38,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> job) {
   if (queues_.empty()) {  // serial fallback: no workers to hand off to
+    RFMIX_OBS_COUNT("runtime.pool.tasks_inline");
     job();
     return;
   }
@@ -78,9 +81,11 @@ bool ThreadPool::try_run_one(int id) {
         victim.jobs.pop_front();
       }
     }
+    if (job) RFMIX_OBS_COUNT("runtime.pool.tasks_stolen");
   }
   if (!job) return false;
   pending_.fetch_sub(1, std::memory_order_relaxed);
+  RFMIX_OBS_COUNT("runtime.pool.tasks_executed");
   job();
   return true;
 }

@@ -4,6 +4,8 @@
 
 #include "mathx/lu.hpp"
 #include "mathx/units.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 #include "spice/mna.hpp"
 
@@ -37,6 +39,9 @@ std::vector<double> lin_space(double f_start, double f_stop, int points) {
 
 AcResult ac_sweep(Circuit& ckt, const Solution& op, const std::vector<double>& freqs_hz,
                   double gmin) {
+  RFMIX_OBS_SCOPED_TIMER("spice.ac");
+  RFMIX_OBS_TRACE_SCOPE("spice.ac");
+  RFMIX_OBS_COUNT_N("spice.ac.points", freqs_hz.size());
   const MnaLayout layout = ckt.finalize();
   const std::size_t n = static_cast<std::size_t>(layout.size());
 
@@ -54,6 +59,7 @@ AcResult ac_sweep(Circuit& ckt, const Solution& op, const std::vector<double>& f
     mathx::TripletMatrix<std::complex<double>> y(n, n);
     mathx::VectorC b(n, std::complex<double>{});
     assemble_ac(stamped, op, omega, gmin, y, b);
+    RFMIX_OBS_COUNT("spice.lu.factorizations");
     result.solutions[i] =
         mathx::LuFactorization<std::complex<double>>(y.to_dense()).solve(b);
   });

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 
 namespace rfmix::spice {
@@ -22,6 +24,7 @@ void sweep_range(Circuit& ckt, VoltageSource& source, double start, double stop,
 
   Solution guess = Solution::zeros(layout);
   for (int i = i0; i < i1; ++i) {
+    RFMIX_OBS_COUNT("spice.dcsweep.points");
     const double v = start + (stop - start) * i / (points - 1);
     source.set_waveform(Waveform::dc(v));
     NewtonResult nr = solve_newton(ckt, guess, params, opts.newton);
@@ -51,6 +54,8 @@ DcSweepResult make_result(int points) {
 
 DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double start, double stop,
                        int points, const OpOptions& opts) {
+  RFMIX_OBS_SCOPED_TIMER("spice.dcsweep");
+  RFMIX_OBS_TRACE_SCOPE("spice.dcsweep");
   DcSweepResult result = make_result(points);
   const Waveform saved = source.waveform();
   try {
@@ -67,6 +72,8 @@ DcSweepResult dc_sweep(Circuit& ckt, VoltageSource& source, double start, double
 
 DcSweepResult dc_sweep(const DcSweepFactory& make, double start, double stop,
                        int points, const OpOptions& opts) {
+  RFMIX_OBS_SCOPED_TIMER("spice.dcsweep");
+  RFMIX_OBS_TRACE_SCOPE("spice.dcsweep");
   DcSweepResult result = make_result(points);
   const int chunks = (points + kDcSweepChunk - 1) / kDcSweepChunk;
   runtime::parallel_for(0, static_cast<std::size_t>(chunks), [&](std::size_t c) {

@@ -4,6 +4,8 @@
 
 #include "mathx/lu.hpp"
 #include "mathx/units.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
 #include "spice/mna.hpp"
 
@@ -22,6 +24,9 @@ double NoiseResult::contribution_psd(std::size_t i, const std::string& substr) c
 
 NoiseResult noise_analysis(Circuit& ckt, const Solution& op, NodeId out_p, NodeId out_m,
                            const std::vector<double>& freqs_hz, double gmin) {
+  RFMIX_OBS_SCOPED_TIMER("spice.noise");
+  RFMIX_OBS_TRACE_SCOPE("spice.noise");
+  RFMIX_OBS_COUNT_N("spice.noise.points", freqs_hz.size());
   const MnaLayout layout = ckt.finalize();
   const std::size_t n = static_cast<std::size_t>(layout.size());
 
@@ -49,6 +54,7 @@ NoiseResult noise_analysis(Circuit& ckt, const Solution& op, NodeId out_p, NodeI
     if (up >= 0) e[static_cast<std::size_t>(up)] += 1.0;
     if (um >= 0) e[static_cast<std::size_t>(um)] -= 1.0;
 
+    RFMIX_OBS_COUNT("spice.lu.factorizations");
     const mathx::VectorC yv =
         mathx::LuFactorization<std::complex<double>>(y.to_dense()).solve_transposed(e);
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "mathx/lu.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "spice/mna.hpp"
 
 namespace rfmix::spice {
@@ -34,17 +36,23 @@ NewtonResult solve_newton(const Circuit& ckt, const Solution& initial,
   NewtonResult result;
   result.solution = initial;
 
+  RFMIX_OBS_COUNT("spice.newton.solves");
+
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    RFMIX_OBS_COUNT("spice.newton.iterations");
     mathx::TripletMatrix<double> g(n, n);
     mathx::VectorD b(n, 0.0);
     assemble_real(ckt, result.solution, params, opts.gmin, g, b);
 
     mathx::VectorD x_new;
     try {
+      // Counted before the attempt: a singular pivot still did the work.
+      RFMIX_OBS_COUNT("spice.lu.factorizations");
       x_new = mathx::LuFactorization<double>(g.to_dense()).solve(b);
     } catch (const mathx::SingularMatrixError&) {
       // Singular Jacobian mid-iteration: bail out; the caller's homotopy
       // (larger gmin) usually repairs this.
+      RFMIX_OBS_COUNT("spice.newton.singular");
       result.converged = false;
       result.iterations = iter + 1;
       return result;
@@ -74,11 +82,15 @@ NewtonResult solve_newton(const Circuit& ckt, const Solution& initial,
       return result;
     }
   }
+  RFMIX_OBS_COUNT("spice.newton.nonconverged");
   result.converged = false;
   return result;
 }
 
 Solution dc_operating_point(Circuit& ckt, const OpOptions& opts) {
+  RFMIX_OBS_SCOPED_TIMER("spice.op");
+  RFMIX_OBS_TRACE_SCOPE("spice.op");
+  RFMIX_OBS_COUNT("spice.op.calls");
   const MnaLayout layout = ckt.finalize();
   StampParams params;
   params.mode = AnalysisMode::kDc;
@@ -94,6 +106,7 @@ Solution dc_operating_point(Circuit& ckt, const OpOptions& opts) {
     Solution x = Solution::zeros(layout);
     bool ok = true;
     for (double gmin = 1e-2; gmin >= opts.newton.gmin; gmin /= 10.0) {
+      RFMIX_OBS_COUNT("spice.op.gmin_steps");
       n.gmin = gmin;
       NewtonResult stage = solve_newton(ckt, x, params, n);
       if (!stage.converged) {
@@ -114,6 +127,7 @@ Solution dc_operating_point(Circuit& ckt, const OpOptions& opts) {
     Solution x = Solution::zeros(layout);
     bool ok = true;
     for (double scale : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      RFMIX_OBS_COUNT("spice.op.source_steps");
       StampParams sp = params;
       sp.source_scale = scale;
       NewtonResult stage = solve_newton(ckt, x, sp, opts.newton);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "spice/mna.hpp"
 
 namespace rfmix::spice {
@@ -10,6 +12,10 @@ PssResult periodic_steady_state(Circuit& ckt, double period_s, const PssOptions&
   if (!(period_s > 0.0)) throw std::invalid_argument("PSS: period must be positive");
   if (opts.samples_per_period < 4)
     throw std::invalid_argument("PSS: need >= 4 samples per period");
+
+  RFMIX_OBS_SCOPED_TIMER("spice.pss");
+  RFMIX_OBS_TRACE_SCOPE("spice.pss");
+  RFMIX_OBS_COUNT("spice.pss.calls");
 
   OpOptions op_opts;
   op_opts.newton = opts.newton;
@@ -33,6 +39,7 @@ PssResult periodic_steady_state(Circuit& ckt, double period_s, const PssOptions&
 
   long step = 0;
   for (int p = 0; p < opts.max_periods; ++p) {
+    RFMIX_OBS_COUNT("spice.pss.periods");
     for (int k = 0; k < opts.samples_per_period; ++k) {
       ++step;
       sp.time = static_cast<double>(step) * dt;

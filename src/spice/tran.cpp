@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "spice/mna.hpp"
 
 namespace rfmix::spice {
@@ -35,6 +37,10 @@ TranResult transient(Circuit& ckt, double t_stop, double dt, const std::vector<P
                      const TranOptions& opts) {
   if (!(dt > 0.0) || !(t_stop > 0.0))
     throw std::invalid_argument("transient: t_stop and dt must be positive");
+
+  RFMIX_OBS_SCOPED_TIMER("spice.tran");
+  RFMIX_OBS_TRACE_SCOPE("spice.tran");
+  RFMIX_OBS_COUNT("spice.tran.calls");
 
   Solution x0;
   if (opts.initial_state != nullptr) {
@@ -70,17 +76,23 @@ TranResult transient(Circuit& ckt, double t_stop, double dt, const std::vector<P
       step_opts.integrator =
           (k == 1) ? Integrator::kBackwardEuler : opts.integrator;
       const double t_new = static_cast<double>(k) * dt;
+      RFMIX_OBS_COUNT("spice.tran.steps_attempted");
       NewtonResult nr = solve_timepoint(ckt, x, t_new, dt, step_opts);
       if (!nr.converged) {
         // One retry from a damped restart before giving up: freeze the
         // previous solution as the guess with a tighter step clamp.
+        RFMIX_OBS_COUNT("spice.tran.steps_rejected");
+        RFMIX_OBS_COUNT("spice.tran.steps_attempted");
         TranOptions retry = step_opts;
         retry.newton.max_step_v = std::min(0.05, step_opts.newton.max_step_v);
         retry.newton.max_iterations = step_opts.newton.max_iterations * 2;
         nr = solve_timepoint(ckt, x, t_new, dt, retry);
-        if (!nr.converged)
+        if (!nr.converged) {
+          RFMIX_OBS_COUNT("spice.tran.steps_rejected");
           throw ConvergenceError("transient: Newton failed at t=" + std::to_string(t_new));
+        }
       }
+      RFMIX_OBS_COUNT("spice.tran.steps_accepted");
       x = nr.solution;
       accept_step(ckt, x, t_new, dt, step_opts);
       record(t_new, x);
@@ -98,8 +110,10 @@ TranResult transient(Circuit& ckt, double t_stop, double dt, const std::vector<P
   while (t < t_stop - 1e-18) {
     h = std::min(h, t_stop - t);
     const double t_new = t + h;
+    RFMIX_OBS_COUNT("spice.tran.steps_attempted");
     NewtonResult nr = solve_timepoint(ckt, x, t_new, h, opts);
     if (!nr.converged) {
+      RFMIX_OBS_COUNT("spice.tran.steps_rejected");
       h *= 0.5;
       if (h < h_min)
         throw ConvergenceError("transient(adaptive): step underflow at t=" + std::to_string(t));
@@ -115,9 +129,11 @@ TranResult transient(Circuit& ckt, double t_stop, double dt, const std::vector<P
       err = std::max(err, std::abs(nr.solution.raw()[static_cast<std::size_t>(i)] - pred));
     }
     if (err > opts.lte_tol && h > h_min * 2.0) {
+      RFMIX_OBS_COUNT("spice.tran.steps_rejected");
       h *= 0.5;
       continue;
     }
+    RFMIX_OBS_COUNT("spice.tran.steps_accepted");
     x_prev = x;
     x = nr.solution;
     t = t_new;

@@ -4,11 +4,21 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "mathx/rng.hpp"
 #include "mathx/units.hpp"
+#include "obs/obs.hpp"
+#include "runtime/thread_pool.hpp"
 #include "spice/ac.hpp"
 #include "spice/circuit.hpp"
+#include "spice/dcsweep.hpp"
+#include "spice/devices_diode.hpp"
 #include "spice/devices_passive.hpp"
 #include "spice/devices_sources.hpp"
 #include "spice/noise.hpp"
@@ -163,6 +173,122 @@ TEST(TranProperty, TimeInvarianceUnderDelay) {
     EXPECT_NEAR(b.waveform(0)[i + shift], a.waveform(0)[i], 5e-3);
   }
 }
+
+#if RFMIX_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Instrumentation contract: the telemetry counters must account for the
+// solver work exactly, on every code path, at every thread count. These are
+// property tests over the same random networks as above.
+// ---------------------------------------------------------------------------
+
+/// Named counter deltas between two snapshots, restricted to a prefix set.
+/// runtime.* is deliberately excluded by callers: pool scheduling counters
+/// (tasks stolen/executed) are allowed to vary run to run.
+std::map<std::string, std::uint64_t> counter_deltas(
+    const obs::TelemetrySnapshot& before, const obs::TelemetrySnapshot& after,
+    const std::vector<std::string>& prefixes) {
+  std::map<std::string, std::uint64_t> base;
+  for (const auto& c : before.counters) base[c.name] = c.value;
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& c : after.counters) {
+    bool keep = false;
+    for (const std::string& p : prefixes)
+      if (c.name.rfind(p, 0) == 0) keep = true;
+    if (!keep) continue;
+    const auto it = base.find(c.name);
+    const std::uint64_t prev = it == base.end() ? 0 : it->second;
+    if (c.value != prev) out[c.name] = c.value - prev;
+  }
+  return out;
+}
+
+std::uint64_t delta(std::string_view name, std::uint64_t before) {
+  return obs::counter_value(name) - before;
+}
+
+class InstrumentationContract : public ::testing::TestWithParam<int> {};
+
+TEST_P(InstrumentationContract, TranStepAccountingBalances) {
+  // accepted + rejected == attempted must hold for fixed-grid and adaptive
+  // stepping alike, on randomized RC networks.
+  RandomNetwork net(static_cast<std::uint64_t>(GetParam()) + 200);
+  mathx::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  for (std::size_t i = 2; i < net.nodes.size(); ++i)
+    net.ckt.add<Capacitor>("ci" + std::to_string(i), net.nodes[i], kGround,
+                           rng.uniform(0.5e-9, 5e-9));
+  net.va->set_waveform(Waveform::sine(1.0, 1e6));
+
+  for (const bool adaptive : {false, true}) {
+    const std::uint64_t att = obs::counter_value("spice.tran.steps_attempted");
+    const std::uint64_t acc = obs::counter_value("spice.tran.steps_accepted");
+    const std::uint64_t rej = obs::counter_value("spice.tran.steps_rejected");
+    TranOptions opts;
+    opts.adaptive = adaptive;
+    const TranResult tr =
+        transient(net.ckt, 4e-6, 4e-9, {{net.nodes[3], kGround, "p"}}, opts);
+    EXPECT_GT(tr.time_s.size(), 1u);
+    EXPECT_GT(delta("spice.tran.steps_accepted", acc), 0u);
+    EXPECT_EQ(delta("spice.tran.steps_accepted", acc) +
+                  delta("spice.tran.steps_rejected", rej),
+              delta("spice.tran.steps_attempted", att))
+        << (adaptive ? "adaptive" : "fixed-grid");
+  }
+}
+
+TEST_P(InstrumentationContract, LuWorkCoversNewtonWork) {
+  // Every Newton iteration factors the Jacobian once, and every solve runs
+  // at least one iteration, so over any interval:
+  //   lu.factorizations >= newton.iterations >= newton.solves.
+  const std::uint64_t lu = obs::counter_value("spice.lu.factorizations");
+  const std::uint64_t it = obs::counter_value("spice.newton.iterations");
+  const std::uint64_t so = obs::counter_value("spice.newton.solves");
+
+  RandomNetwork net(static_cast<std::uint64_t>(GetParam()) + 300);
+  net.va->set_waveform(Waveform::dc(1.0));
+  (void)dc_operating_point(net.ckt);
+
+  EXPECT_GT(delta("spice.newton.solves", so), 0u);
+  EXPECT_GE(delta("spice.newton.iterations", it), delta("spice.newton.solves", so));
+  EXPECT_GE(delta("spice.lu.factorizations", lu), delta("spice.newton.iterations", it));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InstrumentationContract, ::testing::Range(0, 4));
+
+TEST(InstrumentationContract, SolverCountersInvariantUnderThreadCount) {
+  // The determinism contract extends to telemetry: for a deterministic
+  // parallel analysis (chunked DC sweep), every spice.* counter delta is
+  // bit-identical at 1 thread and at 8. Only runtime.* scheduling counters
+  // may differ, which is why they are excluded here.
+  auto sweep_deltas = [&](int threads) {
+    runtime::ScopedPool pool(threads);
+    const obs::TelemetrySnapshot before = obs::snapshot();
+    const DcSweepResult r = dc_sweep(
+        [] {
+          DcSweepInstance inst;
+          auto ckt = std::make_shared<Circuit>();
+          const NodeId in = ckt->node("in");
+          const NodeId out = ckt->node("out");
+          inst.source =
+              &ckt->add<VoltageSource>("vs", in, kGround, Waveform::dc(0.0));
+          ckt->add<Resistor>("r1", in, out, 1e3);
+          ckt->add<Resistor>("r2", out, kGround, 2e3);
+          ckt->add<Diode>("d1", out, kGround);
+          inst.circuit = std::move(ckt);
+          return inst;
+        },
+        -1.0, 1.0, 41);
+    EXPECT_EQ(r.size(), 41u);
+    return counter_deltas(before, obs::snapshot(), {"spice."});
+  };
+
+  const auto serial = sweep_deltas(1);
+  const auto parallel = sweep_deltas(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+#endif  // RFMIX_OBS_ENABLED
 
 }  // namespace
 }  // namespace rfmix::spice
