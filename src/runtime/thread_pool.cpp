@@ -108,6 +108,14 @@ void ThreadPool::worker_main(int id) {
 
 bool ThreadPool::on_worker_thread() const { return tl_pool == this; }
 
+bool ThreadPool::help_one() {
+  if (queues_.empty()) return false;
+  // A worker starts from its own deque (LIFO); an outside thread scans from
+  // queue 0 and effectively steals.
+  const int id = (tl_pool == this && tl_worker_id >= 0) ? tl_worker_id : 0;
+  return try_run_one(id);
+}
+
 int ThreadPool::configured_threads() {
   if (const char* env = std::getenv("RFMIX_THREADS")) {
     char* end = nullptr;

@@ -60,6 +60,13 @@ class ThreadPool {
   /// True when called from one of this pool's worker threads.
   bool on_worker_thread() const;
 
+  /// Pop-or-steal one queued job and run it on the calling thread; false
+  /// when every deque is empty (or in the serial fallback, which has no
+  /// queues). Lets a thread that must block on a future lend itself to the
+  /// pool instead — the scheduler in src/svc awaits this way so a worker
+  /// waiting on a deduplicated job cannot deadlock the pool.
+  bool help_one();
+
  private:
   struct WorkerQueue {
     std::mutex mu;

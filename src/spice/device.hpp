@@ -3,12 +3,31 @@
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spice/stamper.hpp"
 #include "spice/types.hpp"
 
 namespace rfmix::spice {
+
+/// Canonical self-description of a device, consumed by the svc/ layer to
+/// build content-addressed cache keys. The encoding contract:
+///  * `kind` is a stable type tag ("resistor", "mosfet", ...) that never
+///    changes once shipped — it is part of every persisted cache key.
+///  * `nodes` lists the terminals in the device's defining order (terminal
+///    order is electrically meaningful and therefore part of the identity).
+///  * `params` / `text` enumerate EVERY value that influences the device's
+///    stamps or noise, in a fixed per-type order. A device whose behavior
+///    can change without its description changing would poison the cache.
+/// An empty `kind` marks the device as non-describable; canonical
+/// serialization refuses such circuits instead of hashing them wrongly.
+struct DeviceDesc {
+  std::string kind;
+  std::vector<NodeId> nodes;
+  std::vector<std::pair<std::string, double>> params;
+  std::vector<std::pair<std::string, std::string>> text;
+};
 
 /// A small-signal noise current source between two nodes, produced by a
 /// device at a given operating point. `psd` returns the one-sided current
@@ -55,6 +74,11 @@ class Device {
   /// solution. Devices with memory (C, L) keep their companion state here.
   virtual void tran_begin(const Solution&) {}
   virtual void tran_accept(const Solution&, const StampParams&) {}
+
+  /// Canonical description for content-addressed hashing (see DeviceDesc).
+  /// The default marks the device opaque; every device the netlist parser
+  /// can emit overrides this.
+  virtual DeviceDesc describe() const { return {}; }
 
   /// DC power drawn from the circuit by this device at the operating point
   /// (positive = dissipates / delivers from supply; sources return the power

@@ -57,6 +57,13 @@ class Diode : public Device {
     out.push_back(NoiseSource{a_, c_, [psd](double) { return psd; }, name() + ".shot"});
   }
 
+  DeviceDesc describe() const override {
+    return {"diode",
+            {a_, c_},
+            {{"is", p_.is}, {"n", p_.n}, {"temp", p_.temperature_k}},
+            {}};
+  }
+
  private:
   NodeId a_, c_;
   DiodeParams p_;

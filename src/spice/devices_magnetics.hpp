@@ -98,6 +98,13 @@ class CoupledInductors : public Device {
     v2_prev_ = x.vd(p2_, m2_);
   }
 
+  DeviceDesc describe() const override {
+    return {"coupledind",
+            {p1_, m1_, p2_, m2_},
+            {{"l1", l1_}, {"l2", l2_}, {"k", k_}, {"resr", resr_}},
+            {}};
+  }
+
  private:
   NodeId p1_, m1_, p2_, m2_;
   double l1_, l2_, k_, m_;

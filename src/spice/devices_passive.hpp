@@ -43,6 +43,10 @@ class Resistor : public Device {
     return v * v / ohms_;
   }
 
+  DeviceDesc describe() const override {
+    return {"resistor", {p_, m_}, {{"r", ohms_}, {"temp", temp_}}, {}};
+  }
+
  private:
   NodeId p_, m_;
   double ohms_;
@@ -91,6 +95,10 @@ class Capacitor : public Device {
       i_prev_ = 2.0 * farads_ / p.dt * (v - v_prev_) - i_prev_;
     }
     v_prev_ = v;
+  }
+
+  DeviceDesc describe() const override {
+    return {"capacitor", {p_, m_}, {{"c", farads_}}, {}};
   }
 
  private:
@@ -145,6 +153,10 @@ class Inductor : public Device {
     v_prev_ = x.vd(p_, m_);
   }
 
+  DeviceDesc describe() const override {
+    return {"inductor", {p_, m_}, {{"l", henries_}}, {}};
+  }
+
  private:
   NodeId p_, m_;
   double henries_;
@@ -179,6 +191,13 @@ class IdealSwitch : public Device {
     const double g = op.vd(c_, d_) > vth_ ? g_on_ : g_off_;
     const double psd = 4.0 * mathx::kBoltzmann * mathx::kT0 * g;
     out.push_back(NoiseSource{p_, m_, [psd](double) { return psd; }, name() + ".thermal"});
+  }
+
+  DeviceDesc describe() const override {
+    return {"switch",
+            {p_, m_, c_, d_},
+            {{"vth", vth_}, {"gon", g_on_}, {"goff", g_off_}},
+            {}};
   }
 
  private:

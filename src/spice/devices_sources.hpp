@@ -50,6 +50,14 @@ class VoltageSource : public Device {
     return op.vd(p_, m_) * op.branch_current(branch_base());
   }
 
+  DeviceDesc describe() const override {
+    DeviceDesc d{"vsource", {p_, m_}, {}, {}};
+    wave_.describe(d.text, d.params);
+    d.params.emplace_back("acmag", ac_mag_);
+    d.params.emplace_back("acphase", ac_phase_);
+    return d;
+  }
+
  private:
   NodeId p_, m_;
   Waveform wave_;
@@ -78,6 +86,14 @@ class CurrentSource : public Device {
     if (ac_mag_ != 0.0) s.add_current_source(p_, m_, std::polar(ac_mag_, ac_phase_));
   }
 
+  DeviceDesc describe() const override {
+    DeviceDesc d{"isource", {p_, m_}, {}, {}};
+    wave_.describe(d.text, d.params);
+    d.params.emplace_back("acmag", ac_mag_);
+    d.params.emplace_back("acphase", ac_phase_);
+    return d;
+  }
+
  private:
   NodeId p_, m_;
   Waveform wave_;
@@ -100,6 +116,10 @@ class Vccs : public Device {
 
   void stamp_ac(ComplexStamper& s, const Solution&, double) const override {
     s.add_vccs(p_, m_, c_, d_, gm_);
+  }
+
+  DeviceDesc describe() const override {
+    return {"vccs", {p_, m_, c_, d_}, {{"gm", gm_}}, {}};
   }
 
  private:
@@ -134,6 +154,10 @@ class Vcvs : public Device {
     s.add_entry(ub, s.layout().node_unknown(d_), std::complex<double>(gain_));
   }
 
+  DeviceDesc describe() const override {
+    return {"vcvs", {p_, m_, c_, d_}, {{"gain", gain_}}, {}};
+  }
+
  private:
   NodeId p_, m_, c_, d_;
   double gain_;
@@ -166,6 +190,10 @@ class Cccs : public Device {
     if (um >= 0) s.add_entry(um, ub, std::complex<double>(-gain_));
   }
 
+  DeviceDesc describe() const override {
+    return {"cccs", {p_, m_}, {{"gain", gain_}}, {{"control", control_->name()}}};
+  }
+
  private:
   NodeId p_, m_;
   const Device* control_;
@@ -196,6 +224,10 @@ class Ccvs : public Device {
     const int ub = s.layout().branch_unknown(b);
     s.add_entry(ub, s.layout().branch_unknown(control_->branch_base()),
                 std::complex<double>(-r_));
+  }
+
+  DeviceDesc describe() const override {
+    return {"ccvs", {p_, m_}, {{"r", r_}}, {{"control", control_->name()}}};
   }
 
  private:

@@ -81,6 +81,26 @@ class Mosfet : public Device {
   /// from `op`).
   MosOperatingPoint evaluate(const Solution& op) const;
 
+  DeviceDesc describe() const override {
+    return {"mosfet",
+            {d_, g_, s_, b_},
+            {{"w", p_.w},
+             {"l", p_.l},
+             {"vto", p_.vto},
+             {"kp", p_.kp},
+             {"n", p_.n_slope},
+             {"lambda", p_.lambda},
+             {"cox", p_.cox},
+             {"cov", p_.cov},
+             {"cjsd", p_.cj_sd},
+             {"temp", p_.temperature_k},
+             {"gamma", p_.noise_gamma},
+             {"kf", p_.kf},
+             {"af", p_.af}},
+            {{"type", p_.type == MosType::kNmos ? "nmos" : "pmos"},
+             {"level", p_.level == MosModelLevel::kEkv ? "ekv" : "level1"}}};
+  }
+
  private:
   struct Eval {
     double ids;             // current into drain, out of source (signed)

@@ -53,7 +53,12 @@ std::vector<std::string> tokenize(const std::string& line) {
 
 double parse_spice_number(const std::string& token) {
   std::size_t pos = 0;
-  const double base = std::stod(token, &pos);
+  double base = 0.0;
+  try {
+    base = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed number: '" + token + "'");
+  }
   std::string suffix = to_lower(token.substr(pos));
   // Trailing unit letters after the scale (e.g. "10uF") are ignored, as in
   // SPICE.
@@ -221,7 +226,32 @@ class DeckBuilder {
                  const std::string& prefix, int depth) {
     const auto& t = card.tokens;
     const int line_no = card.line_no;
+    try {
+      emit_card_impl(card, ports, prefix, depth);
+    } catch (const ParseError&) {
+      throw;  // already carries its line number
+    } catch (const std::exception& e) {
+      // Value/model errors thrown below card level (number parsing, device
+      // constructor validation) get the card's line number attached here.
+      throw ParseError(line_no, std::string(e.what()) + " (card " + t[0] + ")");
+    }
+  }
+
+  void emit_card_impl(const Card& card, const std::map<std::string, std::string>& ports,
+                      const std::string& prefix, int depth) {
+    const auto& t = card.tokens;
+    const int line_no = card.line_no;
     const std::string name = prefix.empty() ? t[0] : prefix + "." + t[0];
+    // Reject duplicate device / instance names: Circuit::find_device
+    // silently returns the first match and the svc/ cache keys assume names
+    // are unique, so a colliding card is always a netlist bug. Subcircuit
+    // instances get distinct hierarchical prefixes, so legitimate reuse of a
+    // subcircuit is unaffected.
+    const auto [dup_it, inserted] = device_lines_.emplace(name, line_no);
+    if (!inserted)
+      throw ParseError(line_no, "duplicate device name '" + name +
+                                    "' (first defined at line " +
+                                    std::to_string(dup_it->second) + ")");
     auto need = [&](std::size_t n) {
       if (t.size() < n) throw ParseError(line_no, "too few fields for " + t[0]);
     };
@@ -330,6 +360,7 @@ class DeckBuilder {
 
   Circuit& ckt_;
   const std::map<std::string, Subckt>& subckts_;
+  std::map<std::string, int> device_lines_;  // flattened name -> defining line
 };
 
 }  // namespace
@@ -357,6 +388,8 @@ Circuit parse_netlist(const std::string& text) {
           throw ParseError(line_no, "nested .subckt definitions are not supported");
         if (t.size() < 3)
           throw ParseError(line_no, ".subckt needs a name and at least one port");
+        if (subckts.count(t[1]) != 0)
+          throw ParseError(line_no, "duplicate .subckt name '" + t[1] + "'");
         Subckt sub;
         sub.ports.assign(t.begin() + 2, t.end());
         open_sub = &subckts.emplace(t[1], std::move(sub)).first->second;

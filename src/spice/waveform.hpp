@@ -73,7 +73,58 @@ class Waveform {
     return std::visit([](const auto& w) { return dc_of(w); }, w_);
   }
 
+  /// Append a canonical encoding (type tag + every parameter that shapes
+  /// value()/dc_value()) for content-addressed hashing. Field order is part
+  /// of the persisted cache-key format — append only.
+  void describe(std::vector<std::pair<std::string, std::string>>& text,
+                std::vector<std::pair<std::string, double>>& params) const {
+    std::visit([&](const auto& w) { describe_of(w, text, params); }, w_);
+  }
+
  private:
+  using TextFields = std::vector<std::pair<std::string, std::string>>;
+  using NumFields = std::vector<std::pair<std::string, double>>;
+
+  static void describe_of(const DcWave& w, TextFields& text, NumFields& params) {
+    text.emplace_back("wave", "dc");
+    params.emplace_back("v", w.value);
+  }
+  static void describe_of(const SineWave& w, TextFields& text, NumFields& params) {
+    text.emplace_back("wave", "sine");
+    params.emplace_back("off", w.offset);
+    params.emplace_back("amp", w.amplitude);
+    params.emplace_back("freq", w.freq_hz);
+    params.emplace_back("phase", w.phase_rad);
+    params.emplace_back("delay", w.delay_s);
+  }
+  static void describe_of(const MultiToneWave& w, TextFields& text, NumFields& params) {
+    text.emplace_back("wave", "multitone");
+    params.emplace_back("off", w.offset);
+    for (std::size_t i = 0; i < w.tones.size(); ++i) {
+      const std::string tag = "t" + std::to_string(i) + ".";
+      params.emplace_back(tag + "amp", w.tones[i].amplitude);
+      params.emplace_back(tag + "freq", w.tones[i].freq_hz);
+      params.emplace_back(tag + "phase", w.tones[i].phase_rad);
+    }
+  }
+  static void describe_of(const PulseWave& w, TextFields& text, NumFields& params) {
+    text.emplace_back("wave", "pulse");
+    params.emplace_back("v1", w.v1);
+    params.emplace_back("v2", w.v2);
+    params.emplace_back("delay", w.delay_s);
+    params.emplace_back("rise", w.rise_s);
+    params.emplace_back("fall", w.fall_s);
+    params.emplace_back("width", w.width_s);
+    params.emplace_back("period", w.period_s);
+  }
+  static void describe_of(const PwlWave& w, TextFields& text, NumFields& params) {
+    text.emplace_back("wave", "pwl");
+    for (std::size_t i = 0; i < w.points.size(); ++i) {
+      const std::string tag = "p" + std::to_string(i) + ".";
+      params.emplace_back(tag + "t", w.points[i].first);
+      params.emplace_back(tag + "v", w.points[i].second);
+    }
+  }
   static double eval(const DcWave& w, double) { return w.value; }
 
   static double eval(const SineWave& w, double t) {

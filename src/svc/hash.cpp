@@ -1,0 +1,138 @@
+#include "svc/hash.hpp"
+
+#include <cstring>
+
+namespace rfmix::svc {
+
+namespace {
+
+inline std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Little-endian load regardless of host endianness.
+inline std::uint64_t load64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+constexpr std::uint64_t kC1 = 0x87c37b91114253d5ull;
+constexpr std::uint64_t kC2 = 0x4cf5ad432745937full;
+
+}  // namespace
+
+Hash128 hash128(std::string_view data, std::uint64_t seed) {
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  const std::size_t len = data.size();
+  const std::size_t nblocks = len / 16;
+
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = load64(p + i * 16);
+    std::uint64_t k2 = load64(p + i * 16 + 8);
+
+    k1 *= kC1;
+    k1 = rotl64(k1, 31);
+    k1 *= kC2;
+    h1 ^= k1;
+    h1 = rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+
+    k2 *= kC2;
+    k2 = rotl64(k2, 33);
+    k2 *= kC1;
+    h2 ^= k2;
+    h2 = rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  const unsigned char* tail = p + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  switch (len & 15u) {
+    case 15: k2 ^= std::uint64_t(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= std::uint64_t(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= std::uint64_t(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= std::uint64_t(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= std::uint64_t(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= std::uint64_t(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= std::uint64_t(tail[8]);
+      k2 *= kC2;
+      k2 = rotl64(k2, 33);
+      k2 *= kC1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= std::uint64_t(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= std::uint64_t(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= std::uint64_t(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= std::uint64_t(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= std::uint64_t(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= std::uint64_t(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= std::uint64_t(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= std::uint64_t(tail[0]);
+      k1 *= kC1;
+      k1 = rotl64(k1, 31);
+      k1 *= kC2;
+      h1 ^= k1;
+      break;
+    default: break;
+  }
+
+  h1 ^= std::uint64_t(len);
+  h2 ^= std::uint64_t(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+std::string Hash128::hex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) out[15 - i] = kDigits[(hi >> (4 * i)) & 0xf];
+  for (int i = 0; i < 16; ++i) out[31 - i] = kDigits[(lo >> (4 * i)) & 0xf];
+  return out;
+}
+
+bool parse_hash128(std::string_view hex, Hash128* out) {
+  if (hex.size() != 32 || out == nullptr) return false;
+  std::uint64_t lanes[2] = {0, 0};
+  for (int lane = 0; lane < 2; ++lane) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<std::size_t>(lane * 16 + i)];
+      std::uint64_t d = 0;
+      if (c >= '0' && c <= '9') {
+        d = std::uint64_t(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = std::uint64_t(c - 'a') + 10;
+      } else {
+        return false;
+      }
+      lanes[lane] = (lanes[lane] << 4) | d;
+    }
+  }
+  out->hi = lanes[0];
+  out->lo = lanes[1];
+  return true;
+}
+
+}  // namespace rfmix::svc

@@ -1,0 +1,42 @@
+// Stable 128-bit content hash for cache keys.
+//
+// The svc/ layer persists hashes to disk (RFMIX_CACHE_DIR file names) and
+// compares them across processes, so the function must be fully specified
+// here and never drift with platform, endianness of std::hash, or library
+// version: this is a from-scratch implementation of the public-domain
+// MurmurHash3 x64/128 scheme over little-endian 64-bit lanes. A collision
+// would serve the wrong cached result (not merely cost a miss), which is
+// why the key is 128 bits: negligible collision probability at any
+// realistic request volume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rfmix::svc {
+
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Hash128&) const = default;
+
+  /// 32 lowercase hex digits, hi lane first — the on-disk key format.
+  std::string hex() const;
+};
+
+/// Hash `data` with an optional seed. Deterministic across platforms.
+Hash128 hash128(std::string_view data, std::uint64_t seed = 0);
+
+/// Parse Hash128::hex() output; returns false on malformed input.
+bool parse_hash128(std::string_view hex, Hash128* out);
+
+/// For unordered_map keys.
+struct Hash128Hasher {
+  std::size_t operator()(const Hash128& h) const noexcept {
+    return static_cast<std::size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+}  // namespace rfmix::svc

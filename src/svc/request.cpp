@@ -1,0 +1,190 @@
+#include "svc/request.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json_writer.hpp"
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/op.hpp"
+#include "spice/parser.hpp"
+#include "svc/canonical.hpp"
+
+namespace rfmix::svc {
+
+namespace {
+
+namespace json = obs::json;
+
+/// Every MixerConfig field, in declaration order. The record is
+/// append-only: new fields go at the end; renaming or reordering requires
+/// a kCanonicalEpoch bump.
+void append_mixer_config(CanonicalWriter& w, const core::MixerConfig& c) {
+  w.begin_record("mixerconfig");
+  w.field("mode", std::string_view(frontend::mode_name(c.mode)));
+  w.field("temperature_k", c.temperature_k);
+  w.field("vdd", c.vdd);
+  w.field("f_lo_hz", c.f_lo_hz);
+  w.field("lo_amplitude", c.lo_amplitude);
+  w.field("lo_common_mode", c.lo_common_mode);
+  w.field("lo_rise_fraction", c.lo_rise_fraction);
+  w.field("lo_phase_frac", c.lo_phase_frac);
+  w.field("rf_series_r", c.rf_series_r);
+  w.field("tca_gm", c.tca_gm);
+  w.field("tca_rout", c.tca_rout);
+  w.field("tca_cpar", c.tca_cpar);
+  w.field("tca_bias_ma", c.tca_bias_ma);
+  w.field("tca_nf_gamma", c.tca_nf_gamma);
+  w.field("tca_flicker_corner_hz", c.tca_flicker_corner_hz);
+  w.field("quad_w", c.quad_w);
+  w.field("quad_ron", c.quad_ron);
+  w.field("quad_l", c.quad_l);
+  w.field("sw12_w", c.sw12_w);
+  w.field("rdeg", c.rdeg);
+  w.field("rdeg_ideal_extra", c.rdeg_ideal_extra);
+  w.field("tg_resistance", c.tg_resistance);
+  w.field("cc_load", c.cc_load);
+  w.field("tia_rf", c.tia_rf);
+  w.field("tia_cf", c.tia_cf);
+  w.field("tia_ota_gm", c.tia_ota_gm);
+  w.field("tia_ota_rout", c.tia_ota_rout);
+  w.field("tia_ota_gbw_hz", c.tia_ota_gbw_hz);
+  w.field("tia_bias_ma", c.tia_bias_ma);
+  w.field("tia_input_noise_nv", c.tia_input_noise_nv);
+  w.field("tia_flicker_corner_hz", c.tia_flicker_corner_hz);
+  w.field("active_pair_noise_gm", c.active_pair_noise_gm);
+  w.field("active_pair_flicker_corner_hz", c.active_pair_flicker_corner_hz);
+  w.field("lo_buffer_ma", c.lo_buffer_ma);
+  w.field("bias_overhead_ma", c.bias_overhead_ma);
+  w.field("core_bias_ma", c.core_bias_ma);
+  w.end_record();
+}
+
+std::vector<double> ac_freq_grid(const AcSpec& ac) {
+  return ac.log_scale ? spice::log_space(ac.f_start_hz, ac.f_stop_hz, ac.points)
+                      : spice::lin_space(ac.f_start_hz, ac.f_stop_hz, ac.points);
+}
+
+std::string execute_op(const Request& req) {
+  spice::Circuit ckt = spice::parse_netlist(req.netlist);
+  const spice::Solution op = spice::dc_operating_point(ckt);
+  // Node names sorted so the payload bytes are independent of declaration
+  // order, matching the key's normalization.
+  std::map<std::string, double> nodes;
+  for (spice::NodeId n = 1; n < ckt.num_nodes(); ++n) nodes[ckt.node_name(n)] = op.v(n);
+  std::string out = "{\"analysis\":\"op\",\"nodes\":{";
+  bool first = true;
+  for (const auto& [name, v] : nodes) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += json::quoted(name);
+    out.push_back(':');
+    out += json::number(v);
+  }
+  out += "},\"power_w\":";
+  out += json::number(spice::total_dissipated_power(ckt, op));
+  out.push_back('}');
+  return out;
+}
+
+std::string execute_ac(const Request& req) {
+  if (req.ac.probe.empty())
+    throw std::invalid_argument("ac request requires a probe node");
+  if (req.ac.points < 2)
+    throw std::invalid_argument("ac request requires at least 2 points");
+  spice::Circuit ckt = spice::parse_netlist(req.netlist);
+  const spice::NodeId probe = ckt.find_node(req.ac.probe);
+  const spice::NodeId ref =
+      req.ac.probe_ref.empty() ? spice::kGround : ckt.find_node(req.ac.probe_ref);
+  const spice::Solution op = spice::dc_operating_point(ckt);
+  const std::vector<double> freqs = ac_freq_grid(req.ac);
+  const spice::AcResult res = spice::ac_sweep(ckt, op, freqs);
+  std::string out = "{\"analysis\":\"ac\",\"probe\":";
+  out += json::quoted(req.ac.probe);
+  out += ",\"freqs_hz\":[";
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json::number(freqs[i]);
+  }
+  out += "],\"real\":[";
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json::number(res.vd(i, probe, ref).real());
+  }
+  out += "],\"imag\":[";
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json::number(res.vd(i, probe, ref).imag());
+  }
+  out += "]}";
+  return out;
+}
+
+std::string execute_metric(const Request& req) {
+  const double value = core::evaluate_metric(req.metric);
+  std::string out = "{\"analysis\":\"metric\",\"metric\":";
+  out += json::quoted(core::metric_name(req.metric.metric));
+  out += ",\"mode\":";
+  out += json::quoted(frontend::mode_name(req.metric.config.mode));
+  out += ",\"value\":";
+  out += json::number(value);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string request_canonical(const Request& req) {
+  CanonicalWriter w;
+  append_version_record(w);
+  switch (req.kind) {
+    case RequestKind::kOp: {
+      const spice::Circuit ckt = spice::parse_netlist(req.netlist);
+      append_canonical_circuit(w, ckt);
+      w.begin_record("analysis");
+      w.field("kind", "op");
+      w.end_record();
+      break;
+    }
+    case RequestKind::kAc: {
+      const spice::Circuit ckt = spice::parse_netlist(req.netlist);
+      append_canonical_circuit(w, ckt);
+      w.begin_record("analysis");
+      w.field("kind", "ac");
+      w.field("f_start_hz", req.ac.f_start_hz);
+      w.field("f_stop_hz", req.ac.f_stop_hz);
+      w.field("points", req.ac.points);
+      w.field("scale", req.ac.log_scale ? "log" : "lin");
+      w.field("probe", req.ac.probe);
+      w.field("probe_ref", req.ac.probe_ref);
+      w.end_record();
+      break;
+    }
+    case RequestKind::kMixerMetric: {
+      append_mixer_config(w, req.metric.config);
+      w.begin_record("analysis");
+      w.field("kind", "metric");
+      w.field("metric", core::metric_name(req.metric.metric));
+      w.field("f_if_hz", req.metric.f_if_hz);
+      w.field("f_rf_hz", req.metric.f_rf_hz);
+      w.end_record();
+      break;
+    }
+  }
+  return w.str();
+}
+
+Hash128 request_key(const Request& req) { return hash128(request_canonical(req)); }
+
+std::string execute_request(const Request& req) {
+  switch (req.kind) {
+    case RequestKind::kOp: return execute_op(req);
+    case RequestKind::kAc: return execute_ac(req);
+    case RequestKind::kMixerMetric: return execute_metric(req);
+  }
+  throw std::invalid_argument("unhandled request kind");
+}
+
+}  // namespace rfmix::svc

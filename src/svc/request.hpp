@@ -1,0 +1,54 @@
+// Service requests: the unit of work the cache keys and the scheduler runs.
+//
+// A request is either a netlist analysis (DC operating point or AC sweep
+// over a parsed SPICE deck) or a mixer metric query (conversion gain, DSB
+// NF, IIP3 of the paper's mixer at a given configuration). request_key()
+// maps a request to its content hash — same physics in, same key out,
+// regardless of declaration order or float spelling (see canonical.hpp) —
+// and execute_request() produces the canonical compact-JSON payload that
+// gets cached and returned to clients byte-for-byte.
+#pragma once
+
+#include <string>
+
+#include "core/metrics.hpp"
+#include "svc/hash.hpp"
+
+namespace rfmix::svc {
+
+enum class RequestKind {
+  kOp,           // DC operating point of a netlist
+  kAc,           // AC sweep of a netlist, probed at one node (pair)
+  kMixerMetric,  // core::evaluate_metric over a MixerConfig
+};
+
+struct AcSpec {
+  double f_start_hz = 1e3;
+  double f_stop_hz = 1e9;
+  int points = 11;
+  bool log_scale = true;     // log_space vs lin_space grid
+  std::string probe;         // probed node name (required)
+  std::string probe_ref;     // optional reference node: probe - probe_ref
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kOp;
+  std::string netlist;        // kOp / kAc
+  AcSpec ac;                  // kAc
+  core::MetricQuery metric;   // kMixerMetric
+};
+
+/// Full canonical byte string (version record included). Exposed so tests
+/// can pin the normalization rules; hash128 of this is the cache key.
+std::string request_canonical(const Request& req);
+
+/// Content hash of the request — the cache / single-flight key.
+Hash128 request_key(const Request& req);
+
+/// Execute the request and serialize its result as one line of compact
+/// JSON (no newlines). Deterministic: a given request always produces the
+/// same bytes, so cached payloads are bit-identical to fresh runs. Throws
+/// (ParseError, ConvergenceError, std::invalid_argument) on bad input.
+std::string execute_request(const Request& req);
+
+}  // namespace rfmix::svc

@@ -1,0 +1,137 @@
+// rfmixd: the simulation service daemon.
+//
+// Speaks the newline-delimited JSON protocol from docs/service.md over
+// stdin/stdout (default) or a Unix domain socket (--socket PATH, clients
+// served one at a time). All requests share one ResultCache and one
+// JobScheduler, so repeated and concurrent-identical requests are served
+// from cache / single-flight execution.
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "runtime/thread_pool.hpp"
+#include "svc/cache.hpp"
+#include "svc/server.hpp"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <ext/stdio_filebuf.h>  // libstdc++: iostream over an accepted fd
+#endif
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: rfmixd [options]\n"
+        "\n"
+        "Serve rfmix simulation requests as newline-delimited JSON\n"
+        "(one request per line in, one response per line out).\n"
+        "\n"
+        "options:\n"
+        "  --socket PATH     listen on a Unix domain socket instead of stdin/stdout\n"
+        "  --cache-dir DIR   persist results to DIR (default: $RFMIX_CACHE_DIR)\n"
+        "  --max-entries N   in-memory LRU capacity (default: $RFMIX_CACHE_ENTRIES or 4096)\n"
+        "  --help            show this help\n"
+        "\n"
+        "Request/response schema: docs/service.md\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string cache_dir;
+  if (const char* env = std::getenv("RFMIX_CACHE_DIR")) cache_dir = env;
+  std::size_t max_entries = 4096;
+  if (const char* env = std::getenv("RFMIX_CACHE_ENTRIES")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) max_entries = static_cast<std::size_t>(v);
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "rfmixd: " << arg << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (arg == "--socket") {
+      socket_path = value();
+    } else if (arg == "--cache-dir") {
+      cache_dir = value();
+    } else if (arg == "--max-entries") {
+      const long v = std::strtol(value().c_str(), nullptr, 10);
+      if (v < 1) {
+        std::cerr << "rfmixd: --max-entries must be >= 1\n";
+        return 2;
+      }
+      max_entries = static_cast<std::size_t>(v);
+    } else {
+      std::cerr << "rfmixd: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return 2;
+    }
+  }
+
+  rfmix::svc::ResultCache cache(max_entries, cache_dir);
+  rfmix::svc::ServerSession session(cache, rfmix::runtime::ThreadPool::global());
+
+  if (socket_path.empty()) {
+    session.serve(std::cin, std::cout);
+    return 0;
+  }
+
+#ifndef _WIN32
+  ::unlink(socket_path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "rfmixd: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "rfmixd: socket path too long\n";
+    return 1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::cerr << "rfmixd: bind/listen " << socket_path << ": " << std::strerror(errno)
+              << "\n";
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "rfmixd: listening on " << socket_path << "\n";
+  while (true) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "rfmixd: accept: " << std::strerror(errno) << "\n";
+      break;
+    }
+    {
+      __gnu_cxx::stdio_filebuf<char> inbuf(client, std::ios::in);
+      __gnu_cxx::stdio_filebuf<char> outbuf(::dup(client), std::ios::out);
+      std::istream in(&inbuf);
+      std::ostream out(&outbuf);
+      session.serve(in, out);
+    }  // filebufs close both fds
+  }
+  ::close(listener);
+  ::unlink(socket_path.c_str());
+  return 0;
+#else
+  std::cerr << "rfmixd: --socket is not supported on this platform\n";
+  return 1;
+#endif
+}

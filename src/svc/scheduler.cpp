@@ -1,0 +1,112 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace rfmix::svc {
+
+JobScheduler::Outcome JobScheduler::submit(const Job& job) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ++stats_.submitted;
+  RFMIX_OBS_COUNT("svc.jobs.submitted");
+  // Single-flight: the in-flight check and the cache probe happen under one
+  // lock, so a key is either joined, served, or enqueued — never raced into
+  // a second execution.
+  if (const auto it = inflight_.find(job.key); it != inflight_.end()) {
+    ++stats_.deduped;
+    RFMIX_OBS_COUNT("svc.jobs.deduped");
+    return Outcome{it->second, job.key, /*cache_hit=*/false, /*deduped=*/true};
+  }
+  if (auto hit = cache_.get(job.key)) {
+    ++stats_.cache_hits;
+    std::promise<std::string> ready;
+    ready.set_value(std::move(*hit));
+    return Outcome{ready.get_future().share(), job.key, /*cache_hit=*/true,
+                   /*deduped=*/false};
+  }
+  auto promise = std::make_shared<std::promise<std::string>>();
+  std::shared_future<std::string> fut = promise->get_future().share();
+  inflight_.emplace(job.key, fut);
+  heap_.push(Pending{job.key, job.compute, std::move(promise), job.priority, next_seq_++});
+  lk.unlock();
+  // Each pool task drains one pending job — not necessarily the one pushed
+  // above; the heap decides, which is what makes priority work.
+  pool_.submit([this] { drain_one(); });
+  return Outcome{std::move(fut), job.key, /*cache_hit=*/false, /*deduped=*/false};
+}
+
+void JobScheduler::drain_one() {
+  Pending p;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (heap_.empty()) return;
+    p = heap_.top();
+    heap_.pop();
+  }
+  std::string payload;
+  std::exception_ptr err;
+  {
+    RFMIX_OBS_SCOPED_TIMER("svc.jobs.exec");
+    try {
+      payload = p.compute();
+    } catch (...) {
+      err = std::current_exception();
+    }
+  }
+  if (!err) {
+    // Publish to the cache before leaving the in-flight set so a submitter
+    // arriving in between sees a hit rather than re-executing.
+    cache_.put(p.key, payload);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    inflight_.erase(p.key);
+    ++stats_.executed;
+    if (err) ++stats_.failed;
+  }
+  RFMIX_OBS_COUNT("svc.jobs.executed");
+  if (err) {
+    RFMIX_OBS_COUNT("svc.jobs.failed");
+    p.promise->set_exception(err);
+  } else {
+    p.promise->set_value(std::move(payload));
+  }
+}
+
+std::string JobScheduler::await(const Outcome& outcome) {
+  using namespace std::chrono_literals;
+  while (outcome.result.wait_for(0s) != std::future_status::ready) {
+    if (!pool_.help_one()) outcome.result.wait_for(200us);
+  }
+  return outcome.result.get();
+}
+
+std::string JobScheduler::run(const Job& job) { return await(submit(job)); }
+
+std::vector<std::string> JobScheduler::run_batch(const std::vector<Job>& jobs) {
+  // Pre-sort submissions so priority order also holds on a serial pool,
+  // where submit() executes inline.
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return jobs[a].priority > jobs[b].priority;
+  });
+  std::vector<Outcome> outcomes(jobs.size());
+  for (const std::size_t idx : order) outcomes[idx] = submit(jobs[idx]);
+  std::vector<std::string> results;
+  results.reserve(jobs.size());
+  for (const Outcome& o : outcomes) results.push_back(await(o));
+  return results;
+}
+
+JobScheduler::Stats JobScheduler::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace rfmix::svc

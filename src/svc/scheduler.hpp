@@ -1,0 +1,111 @@
+// Job scheduler: batched, deduplicated, priority-ordered execution of
+// cacheable computations on the runtime thread pool.
+//
+// A job is (content hash, compute closure). The scheduler is the only
+// writer of its ResultCache, which gives the two service guarantees:
+//  * cache coherence — a key is computed at most once per process even
+//    under concurrent submission (single-flight: later submitters of an
+//    in-flight key join the first run's future instead of re-executing);
+//  * priority — pending jobs drain highest-priority first, FIFO within a
+//    priority level. With a serial pool (no workers) jobs run inline at
+//    submit time, so run_batch additionally pre-sorts its submissions and
+//    batch priority order holds at any thread count.
+//
+// await() never parks a pool worker while work is queued: the waiting
+// thread lends itself to the pool via ThreadPool::help_one, so a worker
+// blocked on a deduplicated neighbour cannot starve the pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "svc/cache.hpp"
+#include "svc/hash.hpp"
+
+namespace rfmix::runtime {
+class ThreadPool;
+}
+
+namespace rfmix::svc {
+
+class JobScheduler {
+ public:
+  struct Stats {
+    std::uint64_t submitted = 0;   // submit() calls
+    std::uint64_t cache_hits = 0;  // served from the cache, no execution
+    std::uint64_t deduped = 0;     // joined an in-flight identical job
+    std::uint64_t executed = 0;    // compute closures actually run
+    std::uint64_t failed = 0;      // executions that threw
+  };
+
+  /// What submit() resolved a job to. `result` is always valid; get()
+  /// rethrows the compute closure's exception on failure.
+  struct Outcome {
+    std::shared_future<std::string> result;
+    Hash128 key;
+    bool cache_hit = false;
+    bool deduped = false;
+  };
+
+  struct Job {
+    Hash128 key;
+    std::function<std::string()> compute;
+    int priority = 0;  // higher drains first
+  };
+
+  JobScheduler(ResultCache& cache, runtime::ThreadPool& pool)
+      : cache_(cache), pool_(pool) {}
+
+  /// Resolve a job: cache probe, then single-flight join, then enqueue.
+  /// The compute closure must be a pure function of the key's content —
+  /// its payload is cached under `key` on success.
+  Outcome submit(const Job& job);
+
+  /// Block until `outcome` is ready, executing queued jobs on this thread
+  /// while waiting. Returns the payload; rethrows on failure.
+  std::string await(const Outcome& outcome);
+
+  /// submit + await.
+  std::string run(const Job& job);
+
+  /// Submit every job (highest priority first, FIFO within a level), then
+  /// await all; results are returned in input order.
+  std::vector<std::string> run_batch(const std::vector<Job>& jobs);
+
+  Stats stats() const;
+  ResultCache& cache() { return cache_; }
+
+ private:
+  struct Pending {
+    Hash128 key;
+    std::function<std::string()> compute;
+    std::shared_ptr<std::promise<std::string>> promise;
+    int priority = 0;
+    std::uint64_t seq = 0;
+  };
+  struct PendingOrder {
+    bool operator()(const Pending& a, const Pending& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;  // FIFO within a priority level
+    }
+  };
+
+  /// Pool task body: pop the highest-priority pending job and execute it.
+  void drain_one();
+
+  ResultCache& cache_;
+  runtime::ThreadPool& pool_;
+  mutable std::mutex mu_;
+  std::unordered_map<Hash128, std::shared_future<std::string>, Hash128Hasher> inflight_;
+  std::priority_queue<Pending, std::vector<Pending>, PendingOrder> heap_;
+  std::uint64_t next_seq_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rfmix::svc

@@ -1,0 +1,214 @@
+#include "svc/server.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json_writer.hpp"
+#include "svc/json_parse.hpp"
+#include "svc/request.hpp"
+
+namespace rfmix::svc {
+
+namespace {
+
+namespace json = obs::json;
+
+double number_field(const JsonValue& obj, std::string_view key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  return v->as_number();
+}
+
+std::string string_field(const JsonValue& obj, std::string_view key,
+                         const std::string& fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  return v->as_string();
+}
+
+const std::string& required_string(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr)
+    throw std::invalid_argument("missing required field '" + std::string(key) + "'");
+  return v->as_string();
+}
+
+bool set_config_number(core::MixerConfig& c, std::string_view key, double v) {
+  if (key == "temperature_k") { c.temperature_k = v; return true; }
+  if (key == "vdd") { c.vdd = v; return true; }
+  if (key == "f_lo_hz") { c.f_lo_hz = v; return true; }
+  if (key == "lo_amplitude") { c.lo_amplitude = v; return true; }
+  if (key == "lo_common_mode") { c.lo_common_mode = v; return true; }
+  if (key == "lo_rise_fraction") { c.lo_rise_fraction = v; return true; }
+  if (key == "lo_phase_frac") { c.lo_phase_frac = v; return true; }
+  if (key == "rf_series_r") { c.rf_series_r = v; return true; }
+  if (key == "tca_gm") { c.tca_gm = v; return true; }
+  if (key == "tca_rout") { c.tca_rout = v; return true; }
+  if (key == "tca_cpar") { c.tca_cpar = v; return true; }
+  if (key == "tca_bias_ma") { c.tca_bias_ma = v; return true; }
+  if (key == "tca_nf_gamma") { c.tca_nf_gamma = v; return true; }
+  if (key == "tca_flicker_corner_hz") { c.tca_flicker_corner_hz = v; return true; }
+  if (key == "quad_w") { c.quad_w = v; return true; }
+  if (key == "quad_ron") { c.quad_ron = v; return true; }
+  if (key == "quad_l") { c.quad_l = v; return true; }
+  if (key == "sw12_w") { c.sw12_w = v; return true; }
+  if (key == "rdeg") { c.rdeg = v; return true; }
+  if (key == "rdeg_ideal_extra") { c.rdeg_ideal_extra = v; return true; }
+  if (key == "tg_resistance") { c.tg_resistance = v; return true; }
+  if (key == "cc_load") { c.cc_load = v; return true; }
+  if (key == "tia_rf") { c.tia_rf = v; return true; }
+  if (key == "tia_cf") { c.tia_cf = v; return true; }
+  if (key == "tia_ota_gm") { c.tia_ota_gm = v; return true; }
+  if (key == "tia_ota_rout") { c.tia_ota_rout = v; return true; }
+  if (key == "tia_ota_gbw_hz") { c.tia_ota_gbw_hz = v; return true; }
+  if (key == "tia_bias_ma") { c.tia_bias_ma = v; return true; }
+  if (key == "tia_input_noise_nv") { c.tia_input_noise_nv = v; return true; }
+  if (key == "tia_flicker_corner_hz") { c.tia_flicker_corner_hz = v; return true; }
+  if (key == "active_pair_noise_gm") { c.active_pair_noise_gm = v; return true; }
+  if (key == "active_pair_flicker_corner_hz") {
+    c.active_pair_flicker_corner_hz = v;
+    return true;
+  }
+  if (key == "lo_buffer_ma") { c.lo_buffer_ma = v; return true; }
+  if (key == "bias_overhead_ma") { c.bias_overhead_ma = v; return true; }
+  if (key == "core_bias_ma") { c.core_bias_ma = v; return true; }
+  return false;
+}
+
+AcSpec parse_ac_spec(const JsonValue& obj) {
+  AcSpec ac;
+  ac.f_start_hz = number_field(obj, "f_start_hz", ac.f_start_hz);
+  ac.f_stop_hz = number_field(obj, "f_stop_hz", ac.f_stop_hz);
+  ac.points = static_cast<int>(number_field(obj, "points", ac.points));
+  if (const JsonValue* v = obj.find("log_scale")) ac.log_scale = v->as_bool();
+  ac.probe = string_field(obj, "probe", "");
+  ac.probe_ref = string_field(obj, "probe_ref", "");
+  for (const auto& [key, value] : obj.as_object()) {
+    (void)value;
+    if (key != "f_start_hz" && key != "f_stop_hz" && key != "points" &&
+        key != "log_scale" && key != "probe" && key != "probe_ref")
+      throw std::invalid_argument("unknown ac field '" + key + "'");
+  }
+  return ac;
+}
+
+Request parse_analysis_request(const std::string& kind, const JsonValue& doc) {
+  Request req;
+  if (kind == "op" || kind == "ac") {
+    req.kind = kind == "op" ? RequestKind::kOp : RequestKind::kAc;
+    req.netlist = required_string(doc, "netlist");
+    if (req.kind == RequestKind::kAc) {
+      const JsonValue* ac = doc.find("ac");
+      if (ac == nullptr) throw std::invalid_argument("ac request requires an 'ac' object");
+      req.ac = parse_ac_spec(*ac);
+    }
+    return req;
+  }
+  if (kind == "mixer_metric") {
+    req.kind = RequestKind::kMixerMetric;
+    req.metric.metric = core::metric_from_name(required_string(doc, "metric"));
+    if (const JsonValue* cfg = doc.find("config")) apply_mixer_config(*cfg, req.metric.config);
+    req.metric.f_if_hz = number_field(doc, "f_if_hz", req.metric.f_if_hz);
+    req.metric.f_rf_hz = number_field(doc, "f_rf_hz", req.metric.f_rf_hz);
+    return req;
+  }
+  throw std::invalid_argument("unknown request kind '" + kind +
+                              "' (expected ping, stats, op, ac, or mixer_metric)");
+}
+
+/// Echo the request's "id" member (number, string, or absent -> null).
+std::string id_of(const JsonValue& doc) {
+  const JsonValue* id = doc.find("id");
+  if (id == nullptr || id->is_null()) return "null";
+  if (id->is_number()) return json::number(id->as_number());
+  if (id->is_string()) return json::quoted(id->as_string());
+  throw std::invalid_argument("request id must be a number or a string");
+}
+
+std::string error_response(const std::string& id, const std::string& what) {
+  return "{\"id\":" + id + ",\"ok\":false,\"error\":" + json::quoted(what) + "}";
+}
+
+}  // namespace
+
+void apply_mixer_config(const JsonValue& obj, core::MixerConfig& config) {
+  for (const auto& [key, value] : obj.as_object()) {
+    if (key == "mode") {
+      const std::string& mode = value.as_string();
+      if (mode == "active") {
+        config.mode = core::MixerMode::kActive;
+      } else if (mode == "passive") {
+        config.mode = core::MixerMode::kPassive;
+      } else {
+        throw std::invalid_argument("unknown mixer mode '" + mode +
+                                    "' (expected active or passive)");
+      }
+      continue;
+    }
+    if (!set_config_number(config, key, value.as_number()))
+      throw std::invalid_argument("unknown config field '" + key + "'");
+  }
+}
+
+ServerSession::ServerSession(ResultCache& cache, runtime::ThreadPool& pool)
+    : sched_(cache, pool) {}
+
+std::string ServerSession::handle_line(const std::string& line) {
+  std::string id = "null";
+  try {
+    const JsonValue doc = json_parse(line);
+    if (!doc.is_object()) throw std::invalid_argument("request must be a JSON object");
+    id = id_of(doc);
+    const std::string& kind = required_string(doc, "kind");
+
+    if (kind == "ping") return "{\"id\":" + id + ",\"ok\":true,\"result\":{\"pong\":true}}";
+    if (kind == "stats") {
+      const JobScheduler::Stats js = sched_.stats();
+      const ResultCache::Stats cs = sched_.cache().stats();
+      std::string out = "{\"id\":" + id + ",\"ok\":true,\"result\":{\"jobs\":{";
+      out += "\"submitted\":" + json::number(js.submitted);
+      out += ",\"cache_hits\":" + json::number(js.cache_hits);
+      out += ",\"deduped\":" + json::number(js.deduped);
+      out += ",\"executed\":" + json::number(js.executed);
+      out += ",\"failed\":" + json::number(js.failed);
+      out += "},\"cache\":{";
+      out += "\"hits\":" + json::number(cs.hits);
+      out += ",\"misses\":" + json::number(cs.misses);
+      out += ",\"evictions\":" + json::number(cs.evictions);
+      out += ",\"stores\":" + json::number(cs.stores);
+      out += ",\"disk_hits\":" + json::number(cs.disk_hits);
+      out += ",\"disk_stores\":" + json::number(cs.disk_stores);
+      out += ",\"entries\":" + json::number(std::uint64_t(sched_.cache().size()));
+      out += "}}}";
+      return out;
+    }
+
+    const Request req = parse_analysis_request(kind, doc);
+    int priority = 0;
+    if (const JsonValue* p = doc.find("priority"))
+      priority = static_cast<int>(p->as_number());
+    const Hash128 key = request_key(req);
+    const JobScheduler::Outcome outcome =
+        sched_.submit(JobScheduler::Job{key, [req] { return execute_request(req); }, priority});
+    const std::string payload = sched_.await(outcome);
+    std::string out = "{\"id\":" + id + ",\"ok\":true";
+    out += ",\"cached\":" + std::string(outcome.cache_hit ? "true" : "false");
+    out += ",\"deduped\":" + std::string(outcome.deduped ? "true" : "false");
+    out += ",\"key\":" + json::quoted(key.hex());
+    out += ",\"result\":" + payload + "}";
+    return out;
+  } catch (const std::exception& e) {
+    return error_response(id, e.what());
+  }
+}
+
+void ServerSession::serve(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(line) << '\n' << std::flush;
+  }
+}
+
+}  // namespace rfmix::svc

@@ -1,0 +1,51 @@
+// rfmixd request handling: newline-delimited JSON in, newline-delimited
+// JSON out.
+//
+// One ServerSession wraps a JobScheduler over a ResultCache and a thread
+// pool; handle_line() maps one request line to one response line, serve()
+// loops a stream pair until EOF. The binary in rfmixd.cpp is a thin
+// transport shell (stdin/stdout or a Unix socket) around this class, so
+// the whole protocol is testable in-process. See docs/service.md for the
+// request/response schema.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/mixer_config.hpp"
+#include "svc/scheduler.hpp"
+
+namespace rfmix::runtime {
+class ThreadPool;
+}
+
+namespace rfmix::svc {
+
+class JsonValue;
+
+/// Parse a mixer-config JSON object (field name -> number, "mode" ->
+/// "active"/"passive") onto `config`. Unknown fields and type mismatches
+/// throw std::invalid_argument — a silently dropped field would make two
+/// different requests collide on one cache key.
+void apply_mixer_config(const JsonValue& obj, core::MixerConfig& config);
+
+class ServerSession {
+ public:
+  ServerSession(ResultCache& cache, runtime::ThreadPool& pool);
+
+  /// Handle one request line; returns the response line (no trailing
+  /// newline). Never throws: every failure becomes an ok=false response.
+  std::string handle_line(const std::string& line);
+
+  /// Read request lines from `in` until EOF, writing one response line
+  /// each (blank lines are skipped). Flushes after every response so a
+  /// pipe client can interleave.
+  void serve(std::istream& in, std::ostream& out);
+
+  JobScheduler& scheduler() { return sched_; }
+
+ private:
+  JobScheduler sched_;
+};
+
+}  // namespace rfmix::svc

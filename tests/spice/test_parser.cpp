@@ -212,6 +212,74 @@ TEST(Parser, SubcircuitErrors) {
       ParseError);  // port count mismatch
 }
 
+TEST(Parser, RejectsDuplicateDeviceNames) {
+  try {
+    parse_netlist("V1 a 0 1\nR1 a 0 1k\nR1 a 0 2k\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("duplicate device name 'r1'"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;  // first definition
+  }
+  // Case-insensitive: R1 and r1 are the same device.
+  EXPECT_THROW(parse_netlist("R1 a 0 1k\nr1 a 0 2k\n"), ParseError);
+  // Different letters are different namespaces only by spelling; V1/R1 fine.
+  EXPECT_NO_THROW(parse_netlist("V1 a 0 1\nR1 a 0 1k\n"));
+}
+
+TEST(Parser, DuplicateNamesInsideSubcircuitInstances) {
+  // The same subcircuit twice is fine (names get instance prefixes)...
+  const std::string ok = R"(
+.subckt div in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 a 0 DC 2
+X1 a m div
+X2 m q div
+)";
+  EXPECT_NO_THROW(parse_netlist(ok));
+  // ...but two instances with the same instance name collide.
+  const std::string dup = R"(
+.subckt div in out
+R1 in out 1k
+.ends
+V1 a 0 DC 2
+X1 a m div
+X1 m q div
+)";
+  EXPECT_THROW(parse_netlist(dup), ParseError);
+}
+
+TEST(Parser, RejectsDuplicateSubcircuitNames) {
+  const std::string net = R"(
+.subckt s a
+R1 a 0 1k
+.ends
+.subckt s a b
+R1 a b 1k
+.ends
+)";
+  try {
+    parse_netlist(net);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Parser, MalformedNumbersCarryLineNumbers) {
+  try {
+    parse_netlist("V1 a 0 1\nR1 a 0 abc\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("malformed number"), std::string::npos) << what;
+  }
+}
+
 TEST(Parser, SubcircuitGroundIsGlobal) {
   const std::string net = R"(
 .subckt load in

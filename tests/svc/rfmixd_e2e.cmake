@@ -1,0 +1,82 @@
+# End-to-end check of the rfmixd binary: feed the NDJSON request fixture
+# through stdin and assert on the response lines, including that a
+# line-permuted netlist (request 4) is served from cache with the same key
+# as request 3 — the canonical-hashing contract, proven over the wire.
+#
+# Invoked by CTest as:
+#   cmake -DRFMIXD=<binary> -DREQUESTS=<fixture> -DWORK_DIR=<dir> -P rfmixd_e2e.cmake
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${RFMIXD}"
+  INPUT_FILE "${REQUESTS}"
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR
+  RESULT_VARIABLE RC
+  TIMEOUT 240
+  WORKING_DIRECTORY "${WORK_DIR}")
+
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "rfmixd exited with ${RC}\nstdout:\n${STDOUT}\nstderr:\n${STDERR}")
+endif()
+
+string(REGEX REPLACE "\n$" "" TRIMMED "${STDOUT}")
+string(REPLACE "\n" ";" LINES "${TRIMMED}")
+list(LENGTH LINES NLINES)
+if(NOT NLINES EQUAL 6)
+  message(FATAL_ERROR "expected 6 response lines, got ${NLINES}:\n${STDOUT}")
+endif()
+
+macro(expect_contains idx needle)
+  list(GET LINES ${idx} _line)
+  string(FIND "${_line}" "${needle}" _pos)
+  if(_pos EQUAL -1)
+    message(FATAL_ERROR "response ${idx} missing '${needle}':\n${_line}")
+  endif()
+endmacro()
+
+# 1: ping
+expect_contains(0 "\"id\":1")
+expect_contains(0 "\"pong\":true")
+
+# 2: DC operating point of the 6k/4k divider -> v(mid) = 4 V (up to gmin)
+expect_contains(1 "\"ok\":true")
+expect_contains(1 "\"analysis\":\"op\"")
+list(GET LINES 1 LINE2)
+if(NOT LINE2 MATCHES "\"mid\":(4([,.}])|3\\.99999)")
+  message(FATAL_ERROR "divider mid voltage not ~4 V:\n${LINE2}")
+endif()
+
+# 3: AC sweep, cold
+expect_contains(2 "\"ok\":true")
+expect_contains(2 "\"cached\":false")
+expect_contains(2 "\"analysis\":\"ac\"")
+
+# 4: same circuit with permuted netlist lines -> cache hit, same key
+expect_contains(3 "\"cached\":true")
+list(GET LINES 2 LINE3)
+list(GET LINES 3 LINE4)
+string(REGEX MATCH "\"key\":\"[0-9a-f]+\"" KEY3 "${LINE3}")
+string(REGEX MATCH "\"key\":\"[0-9a-f]+\"" KEY4 "${LINE4}")
+if(NOT KEY3 STREQUAL KEY4 OR KEY3 STREQUAL "")
+  message(FATAL_ERROR "permuted netlist changed the key: '${KEY3}' vs '${KEY4}'")
+endif()
+# Bit-identical cached result: the result payload of 3 and 4 must match.
+string(REGEX MATCH "\"result\":.*$" RES3 "${LINE3}")
+string(REGEX MATCH "\"result\":.*$" RES4 "${LINE4}")
+if(NOT RES3 STREQUAL RES4)
+  message(FATAL_ERROR "cached result differs from cold run:\n${RES3}\n${RES4}")
+endif()
+
+# 5: unknown kind -> structured error
+expect_contains(4 "\"ok\":false")
+expect_contains(4 "unknown request kind")
+
+# 6: stats reflect 3 analysis submissions, 1 cache hit
+expect_contains(5 "\"submitted\":3")
+expect_contains(5 "\"cache_hits\":1")
+expect_contains(5 "\"executed\":2")
+
+message(STATUS "rfmixd e2e OK")

@@ -1,0 +1,137 @@
+// ResultCache tests: LRU behavior, stats, and the disk persistence tier.
+#include "svc/cache.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rfmix::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+Hash128 key_of(const std::string& s) { return hash128(s); }
+
+/// Fresh directory under the test temp root, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::path(::testing::TempDir()) / ("rfmix_" + tag + "_" +
+                                                std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+TEST(ResultCache, PutGetRoundTripIsBitIdentical) {
+  ResultCache cache(8);
+  const std::string payload = "{\"v\":0.1000000000000000055511151231257827}";
+  cache.put(key_of("a"), payload);
+  const auto hit = cache.get(key_of("a"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload);  // byte-for-byte
+  EXPECT_FALSE(cache.get(key_of("b")).has_value());
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.put(key_of("a"), "A");
+  cache.put(key_of("b"), "B");
+  ASSERT_TRUE(cache.get(key_of("a")).has_value());  // promote a over b
+  cache.put(key_of("c"), "C");                      // evicts b
+  EXPECT_TRUE(cache.get(key_of("a")).has_value());
+  EXPECT_FALSE(cache.get(key_of("b")).has_value());
+  EXPECT_TRUE(cache.get(key_of("c")).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, OverwriteSameKeyKeepsOneEntry) {
+  ResultCache cache(4);
+  cache.put(key_of("a"), "old");
+  cache.put(key_of("a"), "new");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(key_of("a")), "new");
+}
+
+TEST(ResultCache, DiskTierPersistsAcrossInstances) {
+  TempDir dir("disk");
+  {
+    ResultCache cache(8, dir.str());
+    cache.put(key_of("persist"), "PAYLOAD");
+    EXPECT_EQ(cache.stats().disk_stores, 1u);
+  }
+  ResultCache fresh(8, dir.str());
+  const auto hit = fresh.get(key_of("persist"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "PAYLOAD");
+  const auto s = fresh.stats();
+  EXPECT_EQ(s.disk_hits, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  // The disk hit re-populated the memory tier: next get is a memory hit.
+  ASSERT_TRUE(fresh.get(key_of("persist")).has_value());
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+}
+
+TEST(ResultCache, ClearDropsMemoryButNotDisk) {
+  TempDir dir("clear");
+  ResultCache cache(8, dir.str());
+  cache.put(key_of("k"), "V");
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  const auto hit = cache.get(key_of("k"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "V");
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+}
+
+TEST(ResultCache, ConcurrentMixedUseIsSafe) {
+  ResultCache cache(32);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 200; ++i) {
+        const Hash128 k = key_of("k" + std::to_string((t + i) % 48));
+        if (i % 3 == 0) {
+          cache.put(k, "payload" + std::to_string(i));
+        } else {
+          (void)cache.get(k);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_LE(cache.size(), 32u);
+  const auto s = cache.stats();
+  EXPECT_GT(s.stores, 0u);
+  EXPECT_EQ(s.hits + s.misses, 8u * 200u - s.stores);
+}
+
+TEST(ResultCache, ZeroCapacityClampsToOne) {
+  ResultCache cache(0);
+  cache.put(key_of("a"), "A");
+  EXPECT_EQ(cache.size(), 1u);
+  cache.put(key_of("b"), "B");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.get(key_of("a")).has_value());
+  EXPECT_TRUE(cache.get(key_of("b")).has_value());
+}
+
+}  // namespace
+}  // namespace rfmix::svc

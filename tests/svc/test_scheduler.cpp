@@ -1,0 +1,192 @@
+// JobScheduler tests: single-flight deduplication, priority draining,
+// failure propagation, and the cache bit-exactness property at 1 and 8
+// threads.
+#include "svc/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "obs/obs.hpp"
+#include "runtime/thread_pool.hpp"
+#include "svc/request.hpp"
+
+namespace rfmix::svc {
+namespace {
+
+JobScheduler::Job job_of(const std::string& tag, std::function<std::string()> fn,
+                         int priority = 0) {
+  return JobScheduler::Job{hash128(tag), std::move(fn), priority};
+}
+
+TEST(JobScheduler, RunExecutesAndCaches) {
+  runtime::ScopedPool pool(2);
+  ResultCache cache(16);
+  JobScheduler sched(cache, pool.pool());
+  std::atomic<int> runs{0};
+  const auto job = job_of("k1", [&] {
+    ++runs;
+    return std::string("result");
+  });
+  EXPECT_EQ(sched.run(job), "result");
+  EXPECT_EQ(sched.run(job), "result");  // cache hit, no second execution
+  EXPECT_EQ(runs.load(), 1);
+  const auto s = sched.stats();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.executed, 1u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.deduped, 0u);
+}
+
+TEST(JobScheduler, SingleFlightDedupesConcurrentIdenticalJobs) {
+#if RFMIX_OBS_ENABLED
+  const std::uint64_t exec0 = obs::counter_value("svc.jobs.executed");
+  const std::uint64_t sub0 = obs::counter_value("svc.jobs.submitted");
+  const std::uint64_t dedup0 = obs::counter_value("svc.jobs.deduped");
+#endif
+  runtime::ScopedPool pool(8);
+  ResultCache cache(16);
+  JobScheduler sched(cache, pool.pool());
+
+  constexpr int kClients = 16;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> executions{0};
+
+  // The compute blocks until every client has submitted, so all kClients
+  // submissions overlap one in-flight execution.
+  const auto job = job_of("shared", [&] {
+    ++executions;
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return release; });
+    return std::string("shared-result");
+  });
+
+  std::vector<JobScheduler::Outcome> outcomes(kClients);
+  std::vector<std::thread> clients;
+  std::atomic<int> submitted{0};
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      outcomes[i] = sched.submit(job);
+      ++submitted;
+    });
+  }
+  while (submitted.load() < kClients) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (auto& t : clients) t.join();
+
+  for (const auto& o : outcomes) EXPECT_EQ(sched.await(o), "shared-result");
+  EXPECT_EQ(executions.load(), 1);
+
+  const auto s = sched.stats();
+  EXPECT_EQ(s.submitted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.executed, 1u);
+  EXPECT_EQ(s.deduped + s.cache_hits, static_cast<std::uint64_t>(kClients - 1));
+  EXPECT_GE(s.deduped, 1u);  // the blocked execution guarantees real joins
+#if RFMIX_OBS_ENABLED
+  EXPECT_EQ(obs::counter_value("svc.jobs.executed") - exec0, 1u);
+  EXPECT_EQ(obs::counter_value("svc.jobs.submitted") - sub0,
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(obs::counter_value("svc.jobs.deduped") - dedup0, s.deduped);
+#endif
+}
+
+TEST(JobScheduler, BatchDrainsByPriorityOnSerialPool) {
+  runtime::ScopedPool pool(1);
+  ResultCache cache(16);
+  JobScheduler sched(cache, pool.pool());
+  std::vector<std::string> order;  // serial pool: no data race
+  std::vector<JobScheduler::Job> jobs;
+  const auto make = [&](const std::string& tag, int priority) {
+    jobs.push_back(job_of(tag, [&order, tag] {
+      order.push_back(tag);
+      return tag;
+    }, priority));
+  };
+  make("low1", 0);
+  make("high", 10);
+  make("low2", 0);
+  make("mid", 5);
+  const auto results = sched.run_batch(jobs);
+  ASSERT_EQ(results.size(), 4u);
+  // Results come back in input order...
+  EXPECT_EQ(results[0], "low1");
+  EXPECT_EQ(results[1], "high");
+  EXPECT_EQ(results[2], "low2");
+  EXPECT_EQ(results[3], "mid");
+  // ...but execution drained highest priority first, FIFO within a level.
+  const std::vector<std::string> expected = {"high", "mid", "low1", "low2"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(JobScheduler, FailurePropagatesAndIsNotCached) {
+  runtime::ScopedPool pool(2);
+  ResultCache cache(16);
+  JobScheduler sched(cache, pool.pool());
+  std::atomic<int> attempts{0};
+  const auto job = job_of("flaky", [&]() -> std::string {
+    if (++attempts == 1) throw std::runtime_error("transient failure");
+    return "recovered";
+  });
+  EXPECT_THROW(sched.run(job), std::runtime_error);
+  EXPECT_EQ(sched.run(job), "recovered");  // failure was not cached
+  const auto s = sched.stats();
+  EXPECT_EQ(s.executed, 2u);
+  EXPECT_EQ(s.failed, 1u);
+  EXPECT_EQ(cache.stats().stores, 1u);
+}
+
+TEST(JobScheduler, AwaitFromWorkerThreadDoesNotDeadlock) {
+  // A job that itself submits and awaits a second job must not deadlock
+  // even when the pool has a single worker: await() lends the blocked
+  // thread to the pool via help_one().
+  runtime::ScopedPool pool(2);  // 1 worker + caller
+  ResultCache cache(16);
+  JobScheduler sched(cache, pool.pool());
+  const auto inner = job_of("inner", [] { return std::string("deep"); });
+  const auto outer = job_of("outer", [&] { return "outer+" + sched.run(inner); });
+  EXPECT_EQ(sched.run(outer), "outer+deep");
+}
+
+// --- the acceptance property: cached results are bit-identical ------------
+
+void expect_bit_identical_cold_warm(int threads) {
+  runtime::ScopedPool pool(threads);
+  ResultCache cache(64);
+  JobScheduler sched(cache, pool.pool());
+
+  Request req;
+  req.kind = RequestKind::kMixerMetric;
+  req.metric.metric = core::MixerMetric::kGainDb;
+  req.metric.f_rf_hz = 2.45e9;
+  const Hash128 key = request_key(req);
+  const auto job = JobScheduler::Job{key, [req] { return execute_request(req); }, 0};
+
+  const std::string cold = sched.run(job);
+  const std::string warm = sched.run(job);
+  const std::string direct = execute_request(req);
+  EXPECT_EQ(cold, warm) << "threads=" << threads;
+  EXPECT_EQ(cold, direct) << "threads=" << threads;
+  EXPECT_EQ(sched.stats().executed, 1u);
+  EXPECT_EQ(sched.stats().cache_hits, 1u);
+}
+
+TEST(JobScheduler, CachedResultsBitIdenticalSerial) { expect_bit_identical_cold_warm(1); }
+
+TEST(JobScheduler, CachedResultsBitIdenticalEightThreads) {
+  expect_bit_identical_cold_warm(8);
+}
+
+}  // namespace
+}  // namespace rfmix::svc

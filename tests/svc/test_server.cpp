@@ -1,0 +1,173 @@
+// In-process protocol tests for the rfmixd server session: request
+// parsing, JSON round trips, cache flags, and error reporting.
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "runtime/thread_pool.hpp"
+#include "svc/json_parse.hpp"
+
+namespace rfmix::svc {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : pool_(2), cache_(64), session_(cache_, pool_.pool()) {}
+
+  JsonValue handle(const std::string& line) {
+    const std::string raw = session_.handle_line(line);
+    EXPECT_EQ(raw.find('\n'), std::string::npos) << raw;  // one line out
+    return json_parse(raw);
+  }
+
+  runtime::ScopedPool pool_;
+  ResultCache cache_;
+  ServerSession session_;
+};
+
+TEST_F(ServerTest, Ping) {
+  const JsonValue r = handle(R"({"id":7,"kind":"ping"})");
+  EXPECT_DOUBLE_EQ(r.find("id")->as_number(), 7.0);
+  EXPECT_TRUE(r.find("ok")->as_bool());
+  EXPECT_TRUE(r.find("result")->find("pong")->as_bool());
+}
+
+TEST_F(ServerTest, OpRoundTrip) {
+  const JsonValue r = handle(
+      R"({"id":"op-1","kind":"op","netlist":"V1 in 0 DC 10\nR1 in mid 6k\nR2 mid 0 4k\n"})");
+  ASSERT_TRUE(r.find("ok")->as_bool()) << session_.handle_line("x");
+  EXPECT_EQ(r.find("id")->as_string(), "op-1");
+  EXPECT_FALSE(r.find("cached")->as_bool());
+  EXPECT_EQ(r.find("key")->as_string().size(), 32u);
+  const JsonValue* nodes = r.find("result")->find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  EXPECT_NEAR(nodes->find("mid")->as_number(), 4.0, 1e-6);
+  EXPECT_NEAR(nodes->find("in")->as_number(), 10.0, 1e-9);
+}
+
+TEST_F(ServerTest, AcRoundTrip) {
+  const std::string line =
+      R"({"id":2,"kind":"ac","netlist":"V1 in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1u\n",)"
+      R"("ac":{"f_start_hz":159.154943,"f_stop_hz":159.154943,"points":2,"log_scale":false,"probe":"out"}})";
+  const JsonValue r = handle(line);
+  ASSERT_TRUE(r.find("ok")->as_bool());
+  const JsonValue* res = r.find("result");
+  ASSERT_EQ(res->find("freqs_hz")->as_array().size(), 2u);
+  // At f = 1/(2*pi*R*C) the RC divider sits at -3 dB with -45 degrees.
+  const double re = res->find("real")->as_array()[0].as_number();
+  const double im = res->find("imag")->as_array()[0].as_number();
+  EXPECT_NEAR(re, 0.5, 1e-6);
+  EXPECT_NEAR(im, -0.5, 1e-6);
+}
+
+TEST_F(ServerTest, MixerMetricAndCacheFlags) {
+  const std::string line =
+      R"({"id":3,"kind":"mixer_metric","metric":"gain_db","config":{"mode":"passive"}})";
+  const JsonValue first = handle(line);
+  ASSERT_TRUE(first.find("ok")->as_bool());
+  EXPECT_FALSE(first.find("cached")->as_bool());
+  const double v1 = first.find("result")->find("value")->as_number();
+  EXPECT_TRUE(std::isfinite(v1));
+  EXPECT_EQ(first.find("result")->find("mode")->as_string(), "passive");
+
+  const JsonValue second = handle(line);
+  ASSERT_TRUE(second.find("ok")->as_bool());
+  EXPECT_TRUE(second.find("cached")->as_bool());
+  EXPECT_EQ(second.find("key")->as_string(), first.find("key")->as_string());
+  EXPECT_DOUBLE_EQ(second.find("result")->find("value")->as_number(), v1);
+}
+
+TEST_F(ServerTest, ConfigFieldsReachTheModel) {
+  // Same metric at two LO frequencies must produce different keys (and
+  // generally different gains) — proving config JSON flows into the key.
+  const JsonValue a = handle(
+      R"({"id":1,"kind":"mixer_metric","metric":"gain_db","config":{"f_lo_hz":2.4e9}})");
+  const JsonValue b = handle(
+      R"({"id":2,"kind":"mixer_metric","metric":"gain_db","config":{"f_lo_hz":1.0e9}})");
+  ASSERT_TRUE(a.find("ok")->as_bool());
+  ASSERT_TRUE(b.find("ok")->as_bool());
+  EXPECT_NE(a.find("key")->as_string(), b.find("key")->as_string());
+}
+
+TEST_F(ServerTest, StatsReflectTraffic) {
+  handle(R"({"id":1,"kind":"mixer_metric","metric":"gain_db"})");
+  handle(R"({"id":2,"kind":"mixer_metric","metric":"gain_db"})");
+  const JsonValue r = handle(R"({"id":3,"kind":"stats"})");
+  ASSERT_TRUE(r.find("ok")->as_bool());
+  const JsonValue* jobs = r.find("result")->find("jobs");
+  EXPECT_DOUBLE_EQ(jobs->find("submitted")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(jobs->find("executed")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(jobs->find("cache_hits")->as_number(), 1.0);
+  const JsonValue* cache = r.find("result")->find("cache");
+  EXPECT_DOUBLE_EQ(cache->find("entries")->as_number(), 1.0);
+}
+
+TEST_F(ServerTest, ErrorsAreStructured) {
+  // Malformed JSON.
+  JsonValue r = handle("{nope");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_TRUE(r.find("id")->is_null());
+  EXPECT_FALSE(r.find("error")->as_string().empty());
+  // Unknown kind, id still echoed.
+  r = handle(R"({"id":9,"kind":"explode"})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_DOUBLE_EQ(r.find("id")->as_number(), 9.0);
+  EXPECT_NE(r.find("error")->as_string().find("unknown request kind"), std::string::npos);
+  // Missing netlist.
+  r = handle(R"({"id":10,"kind":"op"})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_NE(r.find("error")->as_string().find("netlist"), std::string::npos);
+  // Netlist parse errors carry line numbers through the protocol.
+  r = handle(R"({"id":11,"kind":"op","netlist":"V1 a 0 1\nR1 a 0\n"})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_NE(r.find("error")->as_string().find("line 2"), std::string::npos);
+  // Unknown config field (silently ignoring it would corrupt cache keys).
+  r = handle(R"({"id":12,"kind":"mixer_metric","metric":"gain_db","config":{"tca_gn":1}})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_NE(r.find("error")->as_string().find("tca_gn"), std::string::npos);
+  // AC without a probe.
+  r = handle(R"({"id":13,"kind":"ac","netlist":"V1 a 0 DC 1\nR1 a 0 1k\n","ac":{}})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  // Bad mode string.
+  r = handle(R"({"id":14,"kind":"mixer_metric","metric":"gain_db","config":{"mode":"both"}})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_NE(r.find("error")->as_string().find("mode"), std::string::npos);
+}
+
+TEST_F(ServerTest, ServeLoopsOverStream) {
+  std::istringstream in(
+      "{\"id\":1,\"kind\":\"ping\"}\n"
+      "\n"
+      "{\"id\":2,\"kind\":\"ping\"}\n");
+  std::ostringstream out;
+  session_.serve(in, out);
+  const std::string text = out.str();
+  // Two responses, one per line, blank input line skipped.
+  ASSERT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  const std::string first = text.substr(0, text.find('\n'));
+  const JsonValue r = json_parse(first);
+  EXPECT_DOUBLE_EQ(r.find("id")->as_number(), 1.0);
+  EXPECT_TRUE(r.find("ok")->as_bool());
+}
+
+TEST_F(ServerTest, ApplyMixerConfigParsesEveryFieldKind) {
+  core::MixerConfig cfg;
+  const JsonValue obj = json_parse(
+      R"({"mode":"passive","vdd":1.1,"f_lo_hz":3.0e9,"quad_ron":40.5,"tia_rf":2000})");
+  apply_mixer_config(obj, cfg);
+  EXPECT_EQ(cfg.mode, core::MixerMode::kPassive);
+  EXPECT_DOUBLE_EQ(cfg.vdd, 1.1);
+  EXPECT_DOUBLE_EQ(cfg.f_lo_hz, 3.0e9);
+  EXPECT_DOUBLE_EQ(cfg.quad_ron, 40.5);
+  EXPECT_DOUBLE_EQ(cfg.tia_rf, 2000.0);
+  EXPECT_THROW(apply_mixer_config(json_parse(R"({"nope":1})"), cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfmix::svc
