@@ -121,8 +121,10 @@ void ResultCache::disk_put(const Hash128& key, const std::string& payload) {
       return;
     }
   }
-  if (std::rename(tmp.str().c_str(), final_path.c_str()) != 0)
+  if (std::rename(tmp.str().c_str(), final_path.c_str()) != 0) {
     std::remove(tmp.str().c_str());
+    return;  // nothing was published; don't count it as a disk store
+  }
   std::lock_guard<std::mutex> lk(mu_);
   ++stats_.disk_stores;
   RFMIX_OBS_COUNT("svc.cache.disk_store");

@@ -86,6 +86,7 @@ std::string canonical_device_record(const spice::Circuit& ckt, std::size_t devic
   w.field("nodes", nodes);
   for (const auto& [k, v] : desc.text) w.field(k, std::string_view(v));
   for (const auto& [k, v] : desc.params) w.field(k, v);
+  w.end_record();
   std::string line = w.str();
   line.pop_back();  // strip the record terminator; raw_record re-adds it
   return line;

@@ -32,7 +32,7 @@ namespace rfmix::svc {
 
 /// Bump to invalidate all previously persisted cache entries when the
 /// canonical format or any solver semantics change incompatibly.
-inline constexpr int kCanonicalEpoch = 1;
+inline constexpr int kCanonicalEpoch = 2;  // 2: device records were truncated by one byte in epoch 1
 
 /// Builds the canonical byte string record by record.
 class CanonicalWriter {

@@ -17,6 +17,7 @@
 
 #ifndef _WIN32
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -91,12 +92,6 @@ int main(int argc, char** argv) {
   }
 
 #ifndef _WIN32
-  ::unlink(socket_path.c_str());
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "rfmixd: socket: " << std::strerror(errno) << "\n";
-    return 1;
-  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socket_path.size() >= sizeof(addr.sun_path)) {
@@ -104,6 +99,34 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+
+  // Only ever remove a *stale* socket: refuse to clobber a regular file
+  // (or anything else) at the path, and refuse to steal a socket another
+  // live server is still accepting on.
+  struct stat st {};
+  if (::lstat(socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      std::cerr << "rfmixd: " << socket_path
+                << " exists and is not a socket; refusing to remove it\n";
+      return 1;
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const bool live =
+          ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+      ::close(probe);
+      if (live) {
+        std::cerr << "rfmixd: another server is listening on " << socket_path << "\n";
+        return 1;
+      }
+    }
+    ::unlink(socket_path.c_str());
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "rfmixd: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
   if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(listener, 8) != 0) {
     std::cerr << "rfmixd: bind/listen " << socket_path << ": " << std::strerror(errno)

@@ -1,5 +1,7 @@
 #include "svc/server.hpp"
 
+#include <climits>
+#include <cmath>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -18,6 +20,19 @@ double number_field(const JsonValue& obj, std::string_view key, double fallback)
   const JsonValue* v = obj.find(key);
   if (v == nullptr) return fallback;
   return v->as_number();
+}
+
+/// Client-supplied ints arrive as JSON numbers; casting an out-of-range or
+/// non-finite double to int is UB, so validate before converting.
+int int_field(const JsonValue& obj, std::string_view key, int fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  const double d = v->as_number();
+  if (!std::isfinite(d) || d != std::floor(d) || d < static_cast<double>(INT_MIN) ||
+      d > static_cast<double>(INT_MAX))
+    throw std::invalid_argument("field '" + std::string(key) +
+                                "' must be an integer in int range");
+  return static_cast<int>(d);
 }
 
 std::string string_field(const JsonValue& obj, std::string_view key,
@@ -80,7 +95,7 @@ AcSpec parse_ac_spec(const JsonValue& obj) {
   AcSpec ac;
   ac.f_start_hz = number_field(obj, "f_start_hz", ac.f_start_hz);
   ac.f_stop_hz = number_field(obj, "f_stop_hz", ac.f_stop_hz);
-  ac.points = static_cast<int>(number_field(obj, "points", ac.points));
+  ac.points = int_field(obj, "points", ac.points);
   if (const JsonValue* v = obj.find("log_scale")) ac.log_scale = v->as_bool();
   ac.probe = string_field(obj, "probe", "");
   ac.probe_ref = string_field(obj, "probe_ref", "");
@@ -185,9 +200,7 @@ std::string ServerSession::handle_line(const std::string& line) {
     }
 
     const Request req = parse_analysis_request(kind, doc);
-    int priority = 0;
-    if (const JsonValue* p = doc.find("priority"))
-      priority = static_cast<int>(p->as_number());
+    const int priority = int_field(doc, "priority", 0);
     const Hash128 key = request_key(req);
     const JobScheduler::Outcome outcome =
         sched_.submit(JobScheduler::Job{key, [req] { return execute_request(req); }, priority});

@@ -60,6 +60,26 @@ TEST(Canonical, EscapesStructuralCharacters) {
   EXPECT_EQ(w.str(), "tag|k=a%7Cb%25c%0Ad\n");
 }
 
+TEST(Canonical, DeviceRecordBytesPinnedExactly) {
+  // Pin the exact record bytes so truncation (a missing end_record() once
+  // dropped the final character of the last field's value, colliding e.g.
+  // temp=300 with temp=301) cannot reappear silently.
+  spice::Circuit ckt;
+  const auto in = ckt.node("in"), out = ckt.node("out");
+  ckt.add<spice::Resistor>("r1", in, out, 12.0, 300.0);
+  EXPECT_EQ(canonical_device_record(ckt, 0),
+            "device|kind=resistor|name=r1|nodes=in,out|r=12|temp=300");
+}
+
+TEST(Canonical, LastFieldFinalCharacterDistinguishesRecords) {
+  const auto record = [](double temp) {
+    spice::Circuit ckt;
+    ckt.add<spice::Resistor>("r1", ckt.node("in"), spice::kGround, 12.0, temp);
+    return canonical_device_record(ckt, 0);
+  };
+  EXPECT_NE(record(300.0), record(301.0));  // differ only in the final byte
+}
+
 // --- circuit-hash invariance ------------------------------------------------
 
 std::string canonical_of(const spice::Circuit& ckt) {
