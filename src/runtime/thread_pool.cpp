@@ -1,6 +1,7 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "obs/obs.hpp"
@@ -114,6 +115,29 @@ bool ThreadPool::help_one() {
   // queue 0 and effectively steals.
   const int id = (tl_pool == this && tl_worker_id >= 0) ? tl_worker_id : 0;
   return try_run_one(id);
+}
+
+void ThreadPool::assist_until(const std::function<bool()>& done) {
+  using namespace std::chrono_literals;
+  if (queues_.empty()) {
+    // Serial fallback: jobs ran inline at submit, so `done` is normally
+    // already true; yield-wait covers conditions completed off-pool.
+    while (!done()) std::this_thread::sleep_for(50us);
+    return;
+  }
+  const int id = (tl_pool == this && tl_worker_id >= 0) ? tl_worker_id : 0;
+  while (!done()) {
+    if (try_run_one(id)) continue;
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    if (done()) return;
+    // Park on the same signal the workers use; a submit wakes us to help,
+    // and the bounded wait re-checks `done` for completions signalled
+    // through other channels (futures, completion queues).
+    sleep_cv_.wait_for(lk, 200us, [this] {
+      return pending_.load(std::memory_order_relaxed) > 0 ||
+             stop_.load(std::memory_order_acquire);
+    });
+  }
 }
 
 int ThreadPool::configured_threads() {

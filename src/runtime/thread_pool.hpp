@@ -67,6 +67,14 @@ class ThreadPool {
   /// waiting on a deduplicated job cannot deadlock the pool.
   bool help_one();
 
+  /// Run queued jobs on the calling thread until `done()` returns true.
+  /// While the queues are empty the caller parks on the pool's wake signal
+  /// (bounded waits, so an externally-completed `done` is noticed within
+  /// ~200us) instead of spinning. This is how blocking waiters — the
+  /// svc JobScheduler's await, graceful-shutdown drains — wait without
+  /// starving the pool of a lane.
+  void assist_until(const std::function<bool()>& done);
+
  private:
   struct WorkerQueue {
     std::mutex mu;

@@ -1,6 +1,8 @@
 #include "svc/request.hpp"
 
 #include <algorithm>
+#include <climits>
+#include <cmath>
 #include <map>
 #include <stdexcept>
 #include <vector>
@@ -11,6 +13,7 @@
 #include "spice/op.hpp"
 #include "spice/parser.hpp"
 #include "svc/canonical.hpp"
+#include "svc/json_parse.hpp"
 
 namespace rfmix::svc {
 
@@ -134,7 +137,291 @@ std::string execute_metric(const Request& req) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Protocol parsing
+// ---------------------------------------------------------------------------
+
+double number_field(const JsonValue& obj, std::string_view key, double fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  return v->as_number();
+}
+
+/// Client-supplied ints arrive as JSON numbers; casting an out-of-range or
+/// non-finite double to int is UB, so validate before converting.
+int int_field(const JsonValue& obj, std::string_view key, int fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  const double d = v->as_number();
+  if (!std::isfinite(d) || d != std::floor(d) || d < static_cast<double>(INT_MIN) ||
+      d > static_cast<double>(INT_MAX))
+    throw std::invalid_argument("field '" + std::string(key) +
+                                "' must be an integer in int range");
+  return static_cast<int>(d);
+}
+
+std::string string_field(const JsonValue& obj, std::string_view key,
+                         const std::string& fallback) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) return fallback;
+  return v->as_string();
+}
+
+const std::string& required_string(const JsonValue& obj, std::string_view key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr)
+    throw std::invalid_argument("missing required field '" + std::string(key) + "'");
+  return v->as_string();
+}
+
+bool set_config_number(core::MixerConfig& c, std::string_view key, double v) {
+  if (key == "temperature_k") { c.temperature_k = v; return true; }
+  if (key == "vdd") { c.vdd = v; return true; }
+  if (key == "f_lo_hz") { c.f_lo_hz = v; return true; }
+  if (key == "lo_amplitude") { c.lo_amplitude = v; return true; }
+  if (key == "lo_common_mode") { c.lo_common_mode = v; return true; }
+  if (key == "lo_rise_fraction") { c.lo_rise_fraction = v; return true; }
+  if (key == "lo_phase_frac") { c.lo_phase_frac = v; return true; }
+  if (key == "rf_series_r") { c.rf_series_r = v; return true; }
+  if (key == "tca_gm") { c.tca_gm = v; return true; }
+  if (key == "tca_rout") { c.tca_rout = v; return true; }
+  if (key == "tca_cpar") { c.tca_cpar = v; return true; }
+  if (key == "tca_bias_ma") { c.tca_bias_ma = v; return true; }
+  if (key == "tca_nf_gamma") { c.tca_nf_gamma = v; return true; }
+  if (key == "tca_flicker_corner_hz") { c.tca_flicker_corner_hz = v; return true; }
+  if (key == "quad_w") { c.quad_w = v; return true; }
+  if (key == "quad_ron") { c.quad_ron = v; return true; }
+  if (key == "quad_l") { c.quad_l = v; return true; }
+  if (key == "sw12_w") { c.sw12_w = v; return true; }
+  if (key == "rdeg") { c.rdeg = v; return true; }
+  if (key == "rdeg_ideal_extra") { c.rdeg_ideal_extra = v; return true; }
+  if (key == "tg_resistance") { c.tg_resistance = v; return true; }
+  if (key == "cc_load") { c.cc_load = v; return true; }
+  if (key == "tia_rf") { c.tia_rf = v; return true; }
+  if (key == "tia_cf") { c.tia_cf = v; return true; }
+  if (key == "tia_ota_gm") { c.tia_ota_gm = v; return true; }
+  if (key == "tia_ota_rout") { c.tia_ota_rout = v; return true; }
+  if (key == "tia_ota_gbw_hz") { c.tia_ota_gbw_hz = v; return true; }
+  if (key == "tia_bias_ma") { c.tia_bias_ma = v; return true; }
+  if (key == "tia_input_noise_nv") { c.tia_input_noise_nv = v; return true; }
+  if (key == "tia_flicker_corner_hz") { c.tia_flicker_corner_hz = v; return true; }
+  if (key == "active_pair_noise_gm") { c.active_pair_noise_gm = v; return true; }
+  if (key == "active_pair_flicker_corner_hz") {
+    c.active_pair_flicker_corner_hz = v;
+    return true;
+  }
+  if (key == "lo_buffer_ma") { c.lo_buffer_ma = v; return true; }
+  if (key == "bias_overhead_ma") { c.bias_overhead_ma = v; return true; }
+  if (key == "core_bias_ma") { c.core_bias_ma = v; return true; }
+  return false;
+}
+
+AcSpec parse_ac_spec(const JsonValue& obj) {
+  AcSpec ac;
+  ac.f_start_hz = number_field(obj, "f_start_hz", ac.f_start_hz);
+  ac.f_stop_hz = number_field(obj, "f_stop_hz", ac.f_stop_hz);
+  ac.points = int_field(obj, "points", ac.points);
+  if (const JsonValue* v = obj.find("log_scale")) ac.log_scale = v->as_bool();
+  ac.probe = string_field(obj, "probe", "");
+  ac.probe_ref = string_field(obj, "probe_ref", "");
+  for (const auto& [key, value] : obj.as_object()) {
+    (void)value;
+    if (key != "f_start_hz" && key != "f_stop_hz" && key != "points" &&
+        key != "log_scale" && key != "probe" && key != "probe_ref")
+      throw std::invalid_argument("unknown ac field '" + key + "'");
+  }
+  return ac;
+}
+
+Request parse_analysis_params(const std::string& kind, const JsonValue& params) {
+  Request req;
+  if (kind == "op" || kind == "ac") {
+    req.kind = kind == "op" ? RequestKind::kOp : RequestKind::kAc;
+    req.netlist = required_string(params, "netlist");
+    if (req.kind == RequestKind::kAc) {
+      const JsonValue* ac = params.find("ac");
+      if (ac == nullptr) throw std::invalid_argument("ac request requires an 'ac' object");
+      req.ac = parse_ac_spec(*ac);
+    }
+    return req;
+  }
+  req.kind = RequestKind::kMixerMetric;
+  req.metric.metric = core::metric_from_name(required_string(params, "metric"));
+  if (const JsonValue* cfg = params.find("config")) apply_mixer_config(*cfg, req.metric.config);
+  req.metric.f_if_hz = number_field(params, "f_if_hz", req.metric.f_if_hz);
+  req.metric.f_rf_hz = number_field(params, "f_rf_hz", req.metric.f_rf_hz);
+  return req;
+}
+
+/// Re-serialize the request's "id" member for echoing (number, string, or
+/// absent -> "null"). Anything else would make responses unroutable, so it
+/// is an invalid_request, not a silent null.
+std::string id_of(const JsonValue& doc) {
+  const JsonValue* id = doc.find("id");
+  if (id == nullptr || id->is_null()) return "null";
+  if (id->is_number()) {
+    if (!std::isfinite(id->as_number()))
+      throw RequestError(ErrorCode::kInvalidRequest,
+                         "request id must be a finite number or a string");
+    return json::number(id->as_number());
+  }
+  if (id->is_string()) return json::quoted(id->as_string());
+  throw RequestError(ErrorCode::kInvalidRequest,
+                     "request id must be a number or a string");
+}
+
+std::string serialize_target(const JsonValue& v) {
+  if (v.is_number()) {
+    if (!std::isfinite(v.as_number()))
+      throw RequestError(ErrorCode::kBadParams,
+                         "cancel target must be a finite number or a string");
+    return json::number(v.as_number());
+  }
+  if (v.is_string()) return json::quoted(v.as_string());
+  throw RequestError(ErrorCode::kBadParams,
+                     "cancel target must be a number or a string");
+}
+
+const JsonValue kEmptyObject = JsonValue::object({});
+
 }  // namespace
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kInvalidRequest: return "invalid_request";
+    case ErrorCode::kUnsupportedVersion: return "unsupported_version";
+    case ErrorCode::kUnknownKind: return "unknown_kind";
+    case ErrorCode::kBadParams: return "bad_params";
+    case ErrorCode::kExecFailed: return "exec_failed";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kCancelled: return "cancelled";
+  }
+  return "internal_error";
+}
+
+void apply_mixer_config(const JsonValue& obj, core::MixerConfig& config) {
+  for (const auto& [key, value] : obj.as_object()) {
+    if (key == "mode") {
+      const std::string& mode = value.as_string();
+      if (mode == "active") {
+        config.mode = core::MixerMode::kActive;
+      } else if (mode == "passive") {
+        config.mode = core::MixerMode::kPassive;
+      } else {
+        throw RequestError(ErrorCode::kBadParams, "unknown mixer mode '" + mode +
+                                                      "' (expected active or passive)");
+      }
+      continue;
+    }
+    if (!set_config_number(config, key, value.as_number()))
+      throw RequestError(ErrorCode::kBadParams, "unknown config field '" + key + "'");
+  }
+}
+
+bool is_analysis_kind(std::string_view kind) {
+  return kind == "op" || kind == "ac" || kind == "mixer_metric";
+}
+
+ParsedRequest parse_request(const JsonValue& doc) {
+  if (!doc.is_object())
+    throw RequestError(ErrorCode::kInvalidRequest, "request must be a JSON object");
+
+  ParsedRequest out;
+  out.id_json = id_of(doc);
+
+  // Version detection: no "v" (or an explicit 1) is the deprecated v1
+  // layout with analysis fields at the top level; 2 is the envelope with
+  // params; anything else is a client from the future.
+  if (const JsonValue* v = doc.find("v")) {
+    if (!v->is_number() || (v->as_number() != 1.0 && v->as_number() != 2.0))
+      throw RequestError(ErrorCode::kUnsupportedVersion,
+                         "unsupported protocol version (this server speaks v1 and v2)");
+    out.version = static_cast<int>(v->as_number());
+  }
+
+  const JsonValue* kind = doc.find("kind");
+  if (kind == nullptr)
+    throw RequestError(ErrorCode::kInvalidRequest, "missing required field 'kind'");
+  if (!kind->is_string())
+    throw RequestError(ErrorCode::kInvalidRequest, "field 'kind' must be a string");
+  out.kind = kind->as_string();
+
+  const bool known_kind = out.kind == "ping" || out.kind == "stats" ||
+                          is_analysis_kind(out.kind) ||
+                          (out.version == 2 && out.kind == "cancel");
+  if (!known_kind)
+    throw RequestError(
+        ErrorCode::kUnknownKind,
+        "unknown request kind '" + out.kind +
+            (out.version == 2
+                 ? "' (expected ping, stats, cancel, op, ac, or mixer_metric)"
+                 : "' (expected ping, stats, op, ac, or mixer_metric)"));
+
+  try {
+    out.priority = int_field(doc, "priority", 0);
+  } catch (const std::exception& e) {
+    throw RequestError(ErrorCode::kBadParams, e.what());
+  }
+
+  // v1: analysis fields live at the top level; unknown extras are ignored
+  // for back-compat. Parsed here and frozen — new capability goes to v2.
+  if (out.version == 1) {
+    if (is_analysis_kind(out.kind)) {
+      try {
+        out.request = parse_analysis_params(out.kind, doc);
+      } catch (const RequestError&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw RequestError(ErrorCode::kBadParams, e.what());
+      }
+    }
+    return out;
+  }
+
+  // v2: a strict envelope. Everything kind-specific lives under "params";
+  // an unknown envelope field is an error so typos fail loudly instead of
+  // silently changing meaning.
+  for (const auto& [key, value] : doc.as_object()) {
+    (void)value;
+    if (key != "v" && key != "id" && key != "kind" && key != "priority" &&
+        key != "timeout_ms" && key != "params")
+      throw RequestError(ErrorCode::kInvalidRequest,
+                         "unknown envelope field '" + key +
+                             "' (v2 request parameters live under \"params\")");
+  }
+  const JsonValue* params = doc.find("params");
+  if (params != nullptr && !params->is_object())
+    throw RequestError(ErrorCode::kInvalidRequest, "field 'params' must be an object");
+  const JsonValue& p = params != nullptr ? *params : kEmptyObject;
+
+  try {
+    out.timeout_ms = number_field(doc, "timeout_ms", 0.0);
+    if (!std::isfinite(out.timeout_ms) || out.timeout_ms < 0.0)
+      throw std::invalid_argument("field 'timeout_ms' must be a finite number >= 0");
+  } catch (const std::exception& e) {
+    throw RequestError(ErrorCode::kInvalidRequest, e.what());
+  }
+
+  if (out.kind == "cancel") {
+    const JsonValue* target = p.find("target");
+    if (target == nullptr)
+      throw RequestError(ErrorCode::kBadParams,
+                         "cancel requires params.target (the id to cancel)");
+    out.cancel_target = serialize_target(*target);
+    return out;
+  }
+  if (is_analysis_kind(out.kind)) {
+    try {
+      out.request = parse_analysis_params(out.kind, p);
+    } catch (const RequestError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw RequestError(ErrorCode::kBadParams, e.what());
+    }
+  }
+  return out;
+}
 
 std::string request_canonical(const Request& req) {
   CanonicalWriter w;

@@ -1,4 +1,5 @@
-// Service requests: the unit of work the cache keys and the scheduler runs.
+// Service requests: the unit of work the cache keys and the scheduler runs,
+// plus the one place both wire-protocol versions are parsed.
 //
 // A request is either a netlist analysis (DC operating point or AC sweep
 // over a parsed SPICE deck) or a mixer metric query (conversion gain, DSB
@@ -7,14 +8,25 @@
 // regardless of declaration order or float spelling (see canonical.hpp) —
 // and execute_request() produces the canonical compact-JSON payload that
 // gets cached and returned to clients byte-for-byte.
+//
+// parse_request() is the single entry point for both protocol versions
+// (version-less v1 and the {"v":2,...} envelope — see docs/service.md):
+// the blocking stdin path, the poll(2) event loop, and the tests all parse
+// through it, so a request means the same thing on every transport.
+// Failures throw RequestError carrying a stable ErrorCode that v2 clients
+// can dispatch on.
 #pragma once
 
+#include <stdexcept>
 #include <string>
+#include <string_view>
 
 #include "core/metrics.hpp"
 #include "svc/hash.hpp"
 
 namespace rfmix::svc {
+
+class JsonValue;
 
 enum class RequestKind {
   kOp,           // DC operating point of a netlist
@@ -50,5 +62,67 @@ Hash128 request_key(const Request& req);
 /// same bytes, so cached payloads are bit-identical to fresh runs. Throws
 /// (ParseError, ConvergenceError, std::invalid_argument) on bad input.
 std::string execute_request(const Request& req);
+
+// ---------------------------------------------------------------------------
+// Wire protocol (v1 + v2)
+// ---------------------------------------------------------------------------
+
+/// Stable error codes for the v2 structured error object. The names are
+/// wire format — never renumber or rename, only append.
+enum class ErrorCode {
+  kParseError,          // the line is not valid JSON
+  kInvalidRequest,      // valid JSON, but not a usable envelope (not an
+                        // object, bad id type, unknown v2 envelope field)
+  kUnsupportedVersion,  // "v" present but not a supported version
+  kUnknownKind,         // "kind" is not one this server implements
+  kBadParams,           // the kind is known but its parameters are not
+  kExecFailed,          // the analysis itself threw (netlist errors,
+                        // convergence failures)
+  kTimeout,             // the request's deadline passed before completion
+  kCancelled,           // a cancel op removed the request before completion
+};
+
+/// The stable wire name of `code` (e.g. "parse_error").
+std::string_view error_code_name(ErrorCode code);
+
+/// Thrown by parse_request(); carries the structured code so the server
+/// can answer v2 clients with something machine-dispatchable.
+class RequestError : public std::runtime_error {
+ public:
+  RequestError(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// One fully parsed request line, protocol version included. `request` is
+/// only meaningful for the analysis kinds (op / ac / mixer_metric);
+/// `cancel_target` only for kind == "cancel" (v2).
+struct ParsedRequest {
+  int version = 1;            // 1 (version-less or explicit) or 2
+  std::string id_json = "null";  // client id re-serialized for echoing
+  std::string kind;
+  int priority = 0;           // higher drains first
+  double timeout_ms = 0.0;    // v2 envelope; <= 0 means no deadline
+  Request request;
+  std::string cancel_target;  // serialized id the cancel op targets
+};
+
+/// True for the kinds that run through the scheduler (op, ac,
+/// mixer_metric) as opposed to being answered in place (ping, stats,
+/// cancel).
+bool is_analysis_kind(std::string_view kind);
+
+/// Parse one request document (any protocol version) into a ParsedRequest.
+/// Throws RequestError on every failure; never partially succeeds.
+ParsedRequest parse_request(const JsonValue& doc);
+
+/// Parse a mixer-config JSON object (field name -> number, "mode" ->
+/// "active"/"passive") onto `config`. Unknown fields and type mismatches
+/// throw RequestError(kBadParams) — a silently dropped field would make
+/// two different requests collide on one cache key.
+void apply_mixer_config(const JsonValue& obj, core::MixerConfig& config);
 
 }  // namespace rfmix::svc

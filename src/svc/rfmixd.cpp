@@ -1,10 +1,13 @@
 // rfmixd: the simulation service daemon.
 //
-// Speaks the newline-delimited JSON protocol from docs/service.md over
-// stdin/stdout (default) or a Unix domain socket (--socket PATH, clients
-// served one at a time). All requests share one ResultCache and one
-// JobScheduler, so repeated and concurrent-identical requests are served
-// from cache / single-flight execution.
+// Speaks the newline-delimited JSON protocol from docs/service.md (v2
+// envelope; version-less v1 requests still accepted) over stdin/stdout
+// (default) or a Unix domain socket (--socket PATH). Socket mode serves
+// many clients concurrently through a poll(2) event loop; all requests
+// share one ResultCache and one JobScheduler, so repeated and
+// concurrent-identical requests are served from cache / single-flight
+// execution. SIGINT/SIGTERM trigger a graceful drain: stop accepting,
+// finish every dispatched job, flush every response, exit.
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -13,15 +16,15 @@
 
 #include "runtime/thread_pool.hpp"
 #include "svc/cache.hpp"
+#include "svc/event_loop.hpp"
 #include "svc/server.hpp"
 
 #ifndef _WIN32
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
-
-#include <ext/stdio_filebuf.h>  // libstdc++: iostream over an accepted fd
 #endif
 
 namespace {
@@ -33,13 +36,26 @@ void print_usage(std::ostream& os) {
         "(one request per line in, one response per line out).\n"
         "\n"
         "options:\n"
-        "  --socket PATH     listen on a Unix domain socket instead of stdin/stdout\n"
-        "  --cache-dir DIR   persist results to DIR (default: $RFMIX_CACHE_DIR)\n"
-        "  --max-entries N   in-memory LRU capacity (default: $RFMIX_CACHE_ENTRIES or 4096)\n"
-        "  --help            show this help\n"
+        "  --socket PATH      listen on a Unix domain socket instead of stdin/stdout\n"
+        "                     (concurrent clients; SIGINT/SIGTERM drain gracefully)\n"
+        "  --cache-dir DIR    persist results to DIR (default: $RFMIX_CACHE_DIR)\n"
+        "  --max-entries N    in-memory LRU capacity (default: $RFMIX_CACHE_ENTRIES or 4096)\n"
+        "  --timeout-ms MS    default per-request deadline, 0 = none (socket mode)\n"
+        "  --max-inflight N   per-connection concurrent request cap (default 64)\n"
+        "  --max-output-kb N  per-connection unread-response cap before the\n"
+        "                     connection stops being read (default 4096)\n"
+        "  --help             show this help\n"
         "\n"
         "Request/response schema: docs/service.md\n";
 }
+
+#ifndef _WIN32
+rfmix::svc::ServerLoop* g_loop = nullptr;
+
+extern "C" void handle_shutdown_signal(int) {
+  if (g_loop != nullptr) g_loop->request_shutdown();
+}
+#endif
 
 }  // namespace
 
@@ -52,6 +68,7 @@ int main(int argc, char** argv) {
     const long v = std::strtol(env, nullptr, 10);
     if (v >= 1) max_entries = static_cast<std::size_t>(v);
   }
+  rfmix::svc::ServerLoop::Options loop_opts;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -76,6 +93,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       max_entries = static_cast<std::size_t>(v);
+    } else if (arg == "--timeout-ms") {
+      const double v = std::strtod(value().c_str(), nullptr);
+      if (v < 0.0) {
+        std::cerr << "rfmixd: --timeout-ms must be >= 0\n";
+        return 2;
+      }
+      loop_opts.default_timeout_ms = v;
+    } else if (arg == "--max-inflight") {
+      const long v = std::strtol(value().c_str(), nullptr, 10);
+      if (v < 1) {
+        std::cerr << "rfmixd: --max-inflight must be >= 1\n";
+        return 2;
+      }
+      loop_opts.max_inflight = static_cast<std::size_t>(v);
+    } else if (arg == "--max-output-kb") {
+      const long v = std::strtol(value().c_str(), nullptr, 10);
+      if (v < 1) {
+        std::cerr << "rfmixd: --max-output-kb must be >= 1\n";
+        return 2;
+      }
+      loop_opts.max_output_bytes = static_cast<std::size_t>(v) * 1024;
     } else {
       std::cerr << "rfmixd: unknown option '" << arg << "'\n";
       print_usage(std::cerr);
@@ -122,36 +160,28 @@ int main(int argc, char** argv) {
     }
     ::unlink(socket_path.c_str());
   }
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::cerr << "rfmixd: socket: " << std::strerror(errno) << "\n";
+
+  rfmix::svc::ServerLoop loop(session, loop_opts);
+  std::string err;
+  if (!loop.listen_unix(socket_path, &err)) {
+    std::cerr << "rfmixd: " << socket_path << ": " << err << "\n";
     return 1;
   }
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listener, 8) != 0) {
-    std::cerr << "rfmixd: bind/listen " << socket_path << ": " << std::strerror(errno)
-              << "\n";
-    ::close(listener);
-    return 1;
-  }
+
+  // Writes race disconnects by design; EPIPE is handled per-connection.
+  std::signal(SIGPIPE, SIG_IGN);
+  g_loop = &loop;
+  struct sigaction sa {};
+  sa.sa_handler = handle_shutdown_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
   std::cerr << "rfmixd: listening on " << socket_path << "\n";
-  while (true) {
-    const int client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;
-      std::cerr << "rfmixd: accept: " << std::strerror(errno) << "\n";
-      break;
-    }
-    {
-      __gnu_cxx::stdio_filebuf<char> inbuf(client, std::ios::in);
-      __gnu_cxx::stdio_filebuf<char> outbuf(::dup(client), std::ios::out);
-      std::istream in(&inbuf);
-      std::ostream out(&outbuf);
-      session.serve(in, out);
-    }  // filebufs close both fds
-  }
-  ::close(listener);
+  loop.run();
+  g_loop = nullptr;
   ::unlink(socket_path.c_str());
+  std::cerr << "rfmixd: drained, shutting down\n";
   return 0;
 #else
   std::cerr << "rfmixd: --socket is not supported on this platform\n";

@@ -20,7 +20,7 @@ JobScheduler::Outcome JobScheduler::submit(const Job& job) {
   if (const auto it = inflight_.find(job.key); it != inflight_.end()) {
     ++stats_.deduped;
     RFMIX_OBS_COUNT("svc.jobs.deduped");
-    return Outcome{it->second, job.key, /*cache_hit=*/false, /*deduped=*/true};
+    return Outcome{it->second.future, job.key, /*cache_hit=*/false, /*deduped=*/true};
   }
   if (auto hit = cache_.get(job.key)) {
     ++stats_.cache_hits;
@@ -31,13 +31,41 @@ JobScheduler::Outcome JobScheduler::submit(const Job& job) {
   }
   auto promise = std::make_shared<std::promise<std::string>>();
   std::shared_future<std::string> fut = promise->get_future().share();
-  inflight_.emplace(job.key, fut);
+  inflight_.emplace(job.key, Inflight{fut, {}});
   heap_.push(Pending{job.key, job.compute, std::move(promise), job.priority, next_seq_++});
   lk.unlock();
   // Each pool task drains one pending job — not necessarily the one pushed
   // above; the heap decides, which is what makes priority work.
   pool_.submit([this] { drain_one(); });
   return Outcome{std::move(fut), job.key, /*cache_hit=*/false, /*deduped=*/false};
+}
+
+void JobScheduler::submit_async(const Job& job, Completion done) {
+  std::unique_lock<std::mutex> lk(mu_);
+  ++stats_.submitted;
+  RFMIX_OBS_COUNT("svc.jobs.submitted");
+  if (const auto it = inflight_.find(job.key); it != inflight_.end()) {
+    ++stats_.deduped;
+    RFMIX_OBS_COUNT("svc.jobs.deduped");
+    it->second.callbacks.emplace_back(std::move(done), /*deduped=*/true);
+    return;
+  }
+  if (auto hit = cache_.get(job.key)) {
+    ++stats_.cache_hits;
+    lk.unlock();
+    const std::string payload = std::move(*hit);
+    done(&payload, nullptr, /*cache_hit=*/true, /*deduped=*/false);
+    return;
+  }
+  auto promise = std::make_shared<std::promise<std::string>>();
+  Inflight entry{promise->get_future().share(), {}};
+  entry.callbacks.emplace_back(std::move(done), /*deduped=*/false);
+  inflight_.emplace(job.key, std::move(entry));
+  heap_.push(Pending{job.key, job.compute, std::move(promise), job.priority, next_seq_++});
+  lk.unlock();
+  // On a serial pool this runs the job (and the completion) inline before
+  // returning — callers must tolerate synchronous completion.
+  pool_.submit([this] { drain_one(); });
 }
 
 void JobScheduler::drain_one() {
@@ -63,9 +91,13 @@ void JobScheduler::drain_one() {
     // arriving in between sees a hit rather than re-executing.
     cache_.put(p.key, payload);
   }
+  std::vector<std::pair<Completion, bool>> callbacks;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    inflight_.erase(p.key);
+    if (const auto it = inflight_.find(p.key); it != inflight_.end()) {
+      callbacks = std::move(it->second.callbacks);
+      inflight_.erase(it);
+    }
     ++stats_.executed;
     if (err) ++stats_.failed;
   }
@@ -74,15 +106,24 @@ void JobScheduler::drain_one() {
     RFMIX_OBS_COUNT("svc.jobs.failed");
     p.promise->set_exception(err);
   } else {
-    p.promise->set_value(std::move(payload));
+    p.promise->set_value(payload);
+  }
+  // Callbacks run after the promise so blocking waiters of the same key
+  // are never held behind callback work.
+  for (auto& [done, deduped] : callbacks) {
+    if (err)
+      done(nullptr, err, /*cache_hit=*/false, deduped);
+    else
+      done(&payload, nullptr, /*cache_hit=*/false, deduped);
   }
 }
 
 std::string JobScheduler::await(const Outcome& outcome) {
   using namespace std::chrono_literals;
-  while (outcome.result.wait_for(0s) != std::future_status::ready) {
-    if (!pool_.help_one()) outcome.result.wait_for(200us);
-  }
+  // Lend this thread to the pool while the result is pending; the pool
+  // parks it on the worker wake signal when there is nothing to help with.
+  pool_.assist_until(
+      [&] { return outcome.result.wait_for(0s) == std::future_status::ready; });
   return outcome.result.get();
 }
 

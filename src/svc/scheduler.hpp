@@ -23,6 +23,7 @@
 #include <queue>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "svc/cache.hpp"
@@ -59,6 +60,16 @@ class JobScheduler {
     int priority = 0;  // higher drains first
   };
 
+  /// Completion callback for submit_async: exactly one of `payload` /
+  /// `err` is set; `cache_hit` / `deduped` carry the same provenance the
+  /// blocking Outcome does. Runs on whichever thread resolves the job —
+  /// inline in submit_async for cache hits (and inline execution on a
+  /// serial pool), else on the pool worker that finished the compute — so
+  /// it must not block on pool work itself.
+  using Completion = std::function<void(const std::string* payload,
+                                        std::exception_ptr err, bool cache_hit,
+                                        bool deduped)>;
+
   JobScheduler(ResultCache& cache, runtime::ThreadPool& pool)
       : cache_(cache), pool_(pool) {}
 
@@ -66,6 +77,12 @@ class JobScheduler {
   /// The compute closure must be a pure function of the key's content —
   /// its payload is cached under `key` on success.
   Outcome submit(const Job& job);
+
+  /// submit() without the blocking await: `done` is invoked exactly once
+  /// with the result. Deduplicated submissions of an in-flight key attach
+  /// their callback to the running execution instead of re-executing —
+  /// one compute can fan out to many completions.
+  void submit_async(const Job& job, Completion done);
 
   /// Block until `outcome` is ready, executing queued jobs on this thread
   /// while waiting. Returns the payload; rethrows on failure.
@@ -96,13 +113,20 @@ class JobScheduler {
     }
   };
 
+  /// One in-flight key: the future blocking submitters join, plus the
+  /// callbacks async submitters attached (each with its own deduped flag).
+  struct Inflight {
+    std::shared_future<std::string> future;
+    std::vector<std::pair<Completion, bool>> callbacks;
+  };
+
   /// Pool task body: pop the highest-priority pending job and execute it.
   void drain_one();
 
   ResultCache& cache_;
   runtime::ThreadPool& pool_;
   mutable std::mutex mu_;
-  std::unordered_map<Hash128, std::shared_future<std::string>, Hash128Hasher> inflight_;
+  std::unordered_map<Hash128, Inflight, Hash128Hasher> inflight_;
   std::priority_queue<Pending, std::vector<Pending>, PendingOrder> heap_;
   std::uint64_t next_seq_ = 0;
   Stats stats_;

@@ -1,14 +1,13 @@
 #include "svc/server.hpp"
 
-#include <climits>
 #include <cmath>
 #include <istream>
 #include <ostream>
-#include <stdexcept>
+#include <utility>
 
 #include "obs/json_writer.hpp"
+#include "runtime/thread_pool.hpp"
 #include "svc/json_parse.hpp"
-#include "svc/request.hpp"
 
 namespace rfmix::svc {
 
@@ -16,211 +15,200 @@ namespace {
 
 namespace json = obs::json;
 
-double number_field(const JsonValue& obj, std::string_view key, double fallback) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return fallback;
-  return v->as_number();
+/// Response prefix through the "ok" flag, version-dependent: v2 leads with
+/// the envelope version, v1 carries the deprecation marker so legacy
+/// clients see the migration notice on every reply.
+std::string response_head(int version, const std::string& id_json, bool ok) {
+  std::string out = version == 2 ? "{\"v\":2,\"id\":" : "{\"id\":";
+  out += id_json;
+  out += ok ? ",\"ok\":true" : ",\"ok\":false";
+  if (version != 2) out += ",\"deprecated\":true";
+  return out;
 }
 
-/// Client-supplied ints arrive as JSON numbers; casting an out-of-range or
-/// non-finite double to int is UB, so validate before converting.
-int int_field(const JsonValue& obj, std::string_view key, int fallback) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return fallback;
-  const double d = v->as_number();
-  if (!std::isfinite(d) || d != std::floor(d) || d < static_cast<double>(INT_MIN) ||
-      d > static_cast<double>(INT_MAX))
-    throw std::invalid_argument("field '" + std::string(key) +
-                                "' must be an integer in int range");
-  return static_cast<int>(d);
-}
-
-std::string string_field(const JsonValue& obj, std::string_view key,
-                         const std::string& fallback) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return fallback;
-  return v->as_string();
-}
-
-const std::string& required_string(const JsonValue& obj, std::string_view key) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr)
-    throw std::invalid_argument("missing required field '" + std::string(key) + "'");
-  return v->as_string();
-}
-
-bool set_config_number(core::MixerConfig& c, std::string_view key, double v) {
-  if (key == "temperature_k") { c.temperature_k = v; return true; }
-  if (key == "vdd") { c.vdd = v; return true; }
-  if (key == "f_lo_hz") { c.f_lo_hz = v; return true; }
-  if (key == "lo_amplitude") { c.lo_amplitude = v; return true; }
-  if (key == "lo_common_mode") { c.lo_common_mode = v; return true; }
-  if (key == "lo_rise_fraction") { c.lo_rise_fraction = v; return true; }
-  if (key == "lo_phase_frac") { c.lo_phase_frac = v; return true; }
-  if (key == "rf_series_r") { c.rf_series_r = v; return true; }
-  if (key == "tca_gm") { c.tca_gm = v; return true; }
-  if (key == "tca_rout") { c.tca_rout = v; return true; }
-  if (key == "tca_cpar") { c.tca_cpar = v; return true; }
-  if (key == "tca_bias_ma") { c.tca_bias_ma = v; return true; }
-  if (key == "tca_nf_gamma") { c.tca_nf_gamma = v; return true; }
-  if (key == "tca_flicker_corner_hz") { c.tca_flicker_corner_hz = v; return true; }
-  if (key == "quad_w") { c.quad_w = v; return true; }
-  if (key == "quad_ron") { c.quad_ron = v; return true; }
-  if (key == "quad_l") { c.quad_l = v; return true; }
-  if (key == "sw12_w") { c.sw12_w = v; return true; }
-  if (key == "rdeg") { c.rdeg = v; return true; }
-  if (key == "rdeg_ideal_extra") { c.rdeg_ideal_extra = v; return true; }
-  if (key == "tg_resistance") { c.tg_resistance = v; return true; }
-  if (key == "cc_load") { c.cc_load = v; return true; }
-  if (key == "tia_rf") { c.tia_rf = v; return true; }
-  if (key == "tia_cf") { c.tia_cf = v; return true; }
-  if (key == "tia_ota_gm") { c.tia_ota_gm = v; return true; }
-  if (key == "tia_ota_rout") { c.tia_ota_rout = v; return true; }
-  if (key == "tia_ota_gbw_hz") { c.tia_ota_gbw_hz = v; return true; }
-  if (key == "tia_bias_ma") { c.tia_bias_ma = v; return true; }
-  if (key == "tia_input_noise_nv") { c.tia_input_noise_nv = v; return true; }
-  if (key == "tia_flicker_corner_hz") { c.tia_flicker_corner_hz = v; return true; }
-  if (key == "active_pair_noise_gm") { c.active_pair_noise_gm = v; return true; }
-  if (key == "active_pair_flicker_corner_hz") {
-    c.active_pair_flicker_corner_hz = v;
-    return true;
-  }
-  if (key == "lo_buffer_ma") { c.lo_buffer_ma = v; return true; }
-  if (key == "bias_overhead_ma") { c.bias_overhead_ma = v; return true; }
-  if (key == "core_bias_ma") { c.core_bias_ma = v; return true; }
-  return false;
-}
-
-AcSpec parse_ac_spec(const JsonValue& obj) {
-  AcSpec ac;
-  ac.f_start_hz = number_field(obj, "f_start_hz", ac.f_start_hz);
-  ac.f_stop_hz = number_field(obj, "f_stop_hz", ac.f_stop_hz);
-  ac.points = int_field(obj, "points", ac.points);
-  if (const JsonValue* v = obj.find("log_scale")) ac.log_scale = v->as_bool();
-  ac.probe = string_field(obj, "probe", "");
-  ac.probe_ref = string_field(obj, "probe_ref", "");
-  for (const auto& [key, value] : obj.as_object()) {
-    (void)value;
-    if (key != "f_start_hz" && key != "f_stop_hz" && key != "points" &&
-        key != "log_scale" && key != "probe" && key != "probe_ref")
-      throw std::invalid_argument("unknown ac field '" + key + "'");
-  }
-  return ac;
-}
-
-Request parse_analysis_request(const std::string& kind, const JsonValue& doc) {
-  Request req;
-  if (kind == "op" || kind == "ac") {
-    req.kind = kind == "op" ? RequestKind::kOp : RequestKind::kAc;
-    req.netlist = required_string(doc, "netlist");
-    if (req.kind == RequestKind::kAc) {
-      const JsonValue* ac = doc.find("ac");
-      if (ac == nullptr) throw std::invalid_argument("ac request requires an 'ac' object");
-      req.ac = parse_ac_spec(*ac);
-    }
-    return req;
-  }
-  if (kind == "mixer_metric") {
-    req.kind = RequestKind::kMixerMetric;
-    req.metric.metric = core::metric_from_name(required_string(doc, "metric"));
-    if (const JsonValue* cfg = doc.find("config")) apply_mixer_config(*cfg, req.metric.config);
-    req.metric.f_if_hz = number_field(doc, "f_if_hz", req.metric.f_if_hz);
-    req.metric.f_rf_hz = number_field(doc, "f_rf_hz", req.metric.f_rf_hz);
-    return req;
-  }
-  throw std::invalid_argument("unknown request kind '" + kind +
-                              "' (expected ping, stats, op, ac, or mixer_metric)");
-}
-
-/// Echo the request's "id" member (number, string, or absent -> null).
-std::string id_of(const JsonValue& doc) {
-  const JsonValue* id = doc.find("id");
-  if (id == nullptr || id->is_null()) return "null";
-  if (id->is_number()) return json::number(id->as_number());
-  if (id->is_string()) return json::quoted(id->as_string());
-  throw std::invalid_argument("request id must be a number or a string");
-}
-
-std::string error_response(const std::string& id, const std::string& what) {
-  return "{\"id\":" + id + ",\"ok\":false,\"error\":" + json::quoted(what) + "}";
+std::string stats_json(JobScheduler& sched) {
+  const JobScheduler::Stats js = sched.stats();
+  const ResultCache::Stats cs = sched.cache().stats();
+  std::string out = "{\"jobs\":{";
+  out += "\"submitted\":" + json::number(js.submitted);
+  out += ",\"cache_hits\":" + json::number(js.cache_hits);
+  out += ",\"deduped\":" + json::number(js.deduped);
+  out += ",\"executed\":" + json::number(js.executed);
+  out += ",\"failed\":" + json::number(js.failed);
+  out += "},\"cache\":{";
+  out += "\"hits\":" + json::number(cs.hits);
+  out += ",\"misses\":" + json::number(cs.misses);
+  out += ",\"evictions\":" + json::number(cs.evictions);
+  out += ",\"stores\":" + json::number(cs.stores);
+  out += ",\"disk_hits\":" + json::number(cs.disk_hits);
+  out += ",\"disk_stores\":" + json::number(cs.disk_stores);
+  out += ",\"entries\":" + json::number(std::uint64_t(sched.cache().size()));
+  out += "}}";
+  return out;
 }
 
 }  // namespace
 
-void apply_mixer_config(const JsonValue& obj, core::MixerConfig& config) {
-  for (const auto& [key, value] : obj.as_object()) {
-    if (key == "mode") {
-      const std::string& mode = value.as_string();
-      if (mode == "active") {
-        config.mode = core::MixerMode::kActive;
-      } else if (mode == "passive") {
-        config.mode = core::MixerMode::kPassive;
-      } else {
-        throw std::invalid_argument("unknown mixer mode '" + mode +
-                                    "' (expected active or passive)");
-      }
-      continue;
-    }
-    if (!set_config_number(config, key, value.as_number()))
-      throw std::invalid_argument("unknown config field '" + key + "'");
+Response make_error_response(int version, const std::string& id_json, ErrorCode code,
+                             std::string_view message, std::size_t offset) {
+  Response r;
+  r.ok = false;
+  r.line = response_head(version, id_json, /*ok=*/false);
+  if (version == 2) {
+    r.line += ",\"error\":{\"code\":";
+    r.line += json::quoted(error_code_name(code));
+    r.line += ",\"message\":";
+    r.line += json::quoted(message);
+    if (offset != kNoOffset)
+      r.line += ",\"offset\":" + json::number(std::uint64_t(offset));
+    r.line += "}}";
+  } else {
+    r.line += ",\"error\":";
+    r.line += json::quoted(message);
+    r.line += "}";
   }
+  return r;
+}
+
+Response make_result_response(const ParsedRequest& req, std::string_view result_json) {
+  Response r;
+  r.ok = true;
+  r.line = response_head(req.version, req.id_json, /*ok=*/true);
+  r.line += ",\"result\":";
+  r.line += result_json;
+  r.line += "}";
+  return r;
+}
+
+Response make_analysis_response(const ParsedRequest& req, bool cached, bool deduped,
+                                const Hash128& key, std::string_view payload) {
+  Response r;
+  r.ok = true;
+  r.line = response_head(req.version, req.id_json, /*ok=*/true);
+  r.line += ",\"cached\":";
+  r.line += cached ? "true" : "false";
+  r.line += ",\"deduped\":";
+  r.line += deduped ? "true" : "false";
+  r.line += ",\"key\":";
+  r.line += json::quoted(key.hex());
+  r.line += ",\"result\":";
+  r.line += payload;
+  r.line += "}";
+  return r;
 }
 
 ServerSession::ServerSession(ResultCache& cache, runtime::ThreadPool& pool)
     : sched_(cache, pool) {}
 
-std::string ServerSession::handle_line(const std::string& line) {
-  std::string id = "null";
+std::optional<Response> ServerSession::parse_line(const std::string& line,
+                                                 ParsedRequest* req) {
+  // Failures before the envelope is understood answer in the current (v2)
+  // error shape: the version is unknowable, and a structured code is the
+  // only thing a client of either vintage can dispatch on.
   try {
     const JsonValue doc = json_parse(line);
-    if (!doc.is_object()) throw std::invalid_argument("request must be a JSON object");
-    id = id_of(doc);
-    const std::string& kind = required_string(doc, "kind");
-
-    if (kind == "ping") return "{\"id\":" + id + ",\"ok\":true,\"result\":{\"pong\":true}}";
-    if (kind == "stats") {
-      const JobScheduler::Stats js = sched_.stats();
-      const ResultCache::Stats cs = sched_.cache().stats();
-      std::string out = "{\"id\":" + id + ",\"ok\":true,\"result\":{\"jobs\":{";
-      out += "\"submitted\":" + json::number(js.submitted);
-      out += ",\"cache_hits\":" + json::number(js.cache_hits);
-      out += ",\"deduped\":" + json::number(js.deduped);
-      out += ",\"executed\":" + json::number(js.executed);
-      out += ",\"failed\":" + json::number(js.failed);
-      out += "},\"cache\":{";
-      out += "\"hits\":" + json::number(cs.hits);
-      out += ",\"misses\":" + json::number(cs.misses);
-      out += ",\"evictions\":" + json::number(cs.evictions);
-      out += ",\"stores\":" + json::number(cs.stores);
-      out += ",\"disk_hits\":" + json::number(cs.disk_hits);
-      out += ",\"disk_stores\":" + json::number(cs.disk_stores);
-      out += ",\"entries\":" + json::number(std::uint64_t(sched_.cache().size()));
-      out += "}}}";
-      return out;
+    try {
+      *req = parse_request(doc);
+      return std::nullopt;
+    } catch (const RequestError& e) {
+      // The id (when readable) is still echoed so the failure is routable.
+      std::string id = "null";
+      int version = 2;
+      if (doc.is_object()) {
+        if (const JsonValue* id_field = doc.find("id")) {
+          if (id_field->is_string()) id = json::quoted(id_field->as_string());
+          if (id_field->is_number() && std::isfinite(id_field->as_number()))
+            id = json::number(id_field->as_number());
+        }
+        const JsonValue* v = doc.find("v");
+        if (v == nullptr || (v->is_number() && v->as_number() == 1.0)) version = 1;
+      }
+      return make_error_response(version, id, e.code(), e.what());
     }
-
-    const Request req = parse_analysis_request(kind, doc);
-    const int priority = int_field(doc, "priority", 0);
-    const Hash128 key = request_key(req);
-    const JobScheduler::Outcome outcome =
-        sched_.submit(JobScheduler::Job{key, [req] { return execute_request(req); }, priority});
-    const std::string payload = sched_.await(outcome);
-    std::string out = "{\"id\":" + id + ",\"ok\":true";
-    out += ",\"cached\":" + std::string(outcome.cache_hit ? "true" : "false");
-    out += ",\"deduped\":" + std::string(outcome.deduped ? "true" : "false");
-    out += ",\"key\":" + json::quoted(key.hex());
-    out += ",\"result\":" + payload + "}";
-    return out;
+  } catch (const JsonParseError& e) {
+    return make_error_response(2, "null", ErrorCode::kParseError, e.what(), e.offset());
   } catch (const std::exception& e) {
-    return error_response(id, e.what());
+    return make_error_response(2, "null", ErrorCode::kParseError, e.what());
+  } catch (...) {
+    return make_error_response(2, "null", ErrorCode::kParseError,
+                               "unknown parse failure");
   }
+}
+
+Response ServerSession::respond_control(const ParsedRequest& req) {
+  if (req.kind == "ping") return make_result_response(req, "{\"pong\":true}");
+  if (req.kind == "stats") return make_result_response(req, stats_json(sched_));
+  // cancel with no connection-level pending state: nothing to cancel. The
+  // blocking transports answer every request before reading the next, so
+  // by construction no earlier request is still in flight.
+  return make_result_response(
+      req, "{\"cancelled\":false,\"target\":" + req.cancel_target + "}");
+}
+
+Response ServerSession::handle_line(const std::string& line) {
+  ParsedRequest req;
+  if (std::optional<Response> err = parse_line(line, &req)) return *err;
+  if (!is_analysis_kind(req.kind)) return respond_control(req);
+  try {
+    const Request& r = req.request;
+    const Hash128 key = request_key(r);
+    const JobScheduler::Outcome outcome =
+        sched_.submit(JobScheduler::Job{key, [r] { return execute_request(r); },
+                                        req.priority});
+    const std::string payload = sched_.await(outcome);
+    return make_analysis_response(req, outcome.cache_hit, outcome.deduped, key, payload);
+  } catch (const std::exception& e) {
+    return make_error_response(req.version, req.id_json, ErrorCode::kExecFailed,
+                               e.what());
+  } catch (...) {
+    return make_error_response(req.version, req.id_json, ErrorCode::kExecFailed,
+                               "unknown execution failure");
+  }
+}
+
+void ServerSession::submit_async(const ParsedRequest& req,
+                                 std::function<void(Response)> done) {
+  // Keying can fail (the netlist is parsed to canonicalize it); that is a
+  // synchronous structured error, same as a failed execution.
+  Hash128 key;
+  try {
+    key = request_key(req.request);
+  } catch (const std::exception& e) {
+    done(make_error_response(req.version, req.id_json, ErrorCode::kExecFailed,
+                             e.what()));
+    return;
+  }
+  const Request r = req.request;
+  // `req` is dead by the time a worker completes; copy what the formatter
+  // needs into the completion.
+  ParsedRequest meta = req;
+  sched_.submit_async(
+      JobScheduler::Job{key, [r] { return execute_request(r); }, req.priority},
+      [meta = std::move(meta), key, done = std::move(done)](
+          const std::string* payload, std::exception_ptr err, bool cached,
+          bool deduped) {
+        if (err) {
+          std::string what = "unknown execution failure";
+          try {
+            std::rethrow_exception(err);
+          } catch (const std::exception& e) {
+            what = e.what();
+          } catch (...) {
+          }
+          done(make_error_response(meta.version, meta.id_json, ErrorCode::kExecFailed,
+                                   what));
+          return;
+        }
+        done(make_analysis_response(meta, cached, deduped, key, *payload));
+      });
 }
 
 void ServerSession::serve(std::istream& in, std::ostream& out) {
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    out << handle_line(line) << '\n' << std::flush;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF client
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    out << handle_line(line).line << '\n' << std::flush;
   }
 }
 

@@ -1,18 +1,23 @@
 // rfmixd request handling: newline-delimited JSON in, newline-delimited
-// JSON out.
+// JSON out, protocol versions 1 (deprecated) and 2 (docs/service.md).
 //
 // One ServerSession wraps a JobScheduler over a ResultCache and a thread
-// pool; handle_line() maps one request line to one response line, serve()
-// loops a stream pair until EOF. The binary in rfmixd.cpp is a thin
-// transport shell (stdin/stdout or a Unix socket) around this class, so
-// the whole protocol is testable in-process. See docs/service.md for the
-// request/response schema.
+// pool. The session is transport-free: handle_line() is a pure
+// request->response function (no streams, no flushing) used by the
+// blocking stdin path and the tests, and submit_async() is the
+// callback-completion entry the poll(2) event loop (event_loop.hpp) routes
+// through so responses can finish out of order. The binary in rfmixd.cpp
+// is a thin transport shell around these two.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 
-#include "core/mixer_config.hpp"
+#include "svc/request.hpp"
 #include "svc/scheduler.hpp"
 
 namespace rfmix::runtime {
@@ -21,25 +26,58 @@ class ThreadPool;
 
 namespace rfmix::svc {
 
-class JsonValue;
+/// One response line (no trailing newline) plus the success flag the
+/// transports key their accounting on.
+struct Response {
+  std::string line;
+  bool ok = false;
+};
 
-/// Parse a mixer-config JSON object (field name -> number, "mode" ->
-/// "active"/"passive") onto `config`. Unknown fields and type mismatches
-/// throw std::invalid_argument — a silently dropped field would make two
-/// different requests collide on one cache key.
-void apply_mixer_config(const JsonValue& obj, core::MixerConfig& config);
+/// Sentinel for "no byte offset" in make_error_response.
+inline constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
+
+/// Serialize an error in the request's protocol version: v1 keeps the
+/// legacy string `"error":"..."` (plus `"deprecated":true`), v2 emits the
+/// structured `{"code","message"[,"offset"]}` object. Pure — shared by the
+/// session, the event loop (timeouts, cancels), and the golden tests.
+Response make_error_response(int version, const std::string& id_json, ErrorCode code,
+                             std::string_view message, std::size_t offset = kNoOffset);
+
+/// Serialize a non-analysis result (ping, stats, cancel) in the request's
+/// protocol version. `result_json` must be one compact JSON value.
+Response make_result_response(const ParsedRequest& req, std::string_view result_json);
+
+/// Serialize an analysis result with its cache provenance.
+Response make_analysis_response(const ParsedRequest& req, bool cached, bool deduped,
+                                const Hash128& key, std::string_view payload);
 
 class ServerSession {
  public:
   ServerSession(ResultCache& cache, runtime::ThreadPool& pool);
 
-  /// Handle one request line; returns the response line (no trailing
-  /// newline). Never throws: every failure becomes an ok=false response.
-  std::string handle_line(const std::string& line);
+  /// Parse one raw line into `req`. Returns std::nullopt on success; on
+  /// failure returns the ready-to-send error response (every parse
+  /// failure is answerable — the session never gives up on a stream).
+  static std::optional<Response> parse_line(const std::string& line, ParsedRequest* req);
+
+  /// Answer a non-analysis request in place (ping, stats, cancel). For
+  /// cancel this is the no-op "nothing pending" answer — the event loop
+  /// intercepts cancel before calling this when it has in-flight state.
+  Response respond_control(const ParsedRequest& req);
+
+  /// Handle one request line start to finish; blocks until the result is
+  /// ready. Never throws: every failure becomes a structured error
+  /// response.
+  Response handle_line(const std::string& line);
+
+  /// Submit an analysis request (is_analysis_kind(req.kind) must hold) and
+  /// invoke `done` with the final response exactly once — synchronously on
+  /// a cache hit or inline execution, otherwise from a pool worker thread.
+  void submit_async(const ParsedRequest& req, std::function<void(Response)> done);
 
   /// Read request lines from `in` until EOF, writing one response line
-  /// each (blank lines are skipped). Flushes after every response so a
-  /// pipe client can interleave.
+  /// each (blank lines are skipped, CRLF tolerated). Flushes after every
+  /// response so a pipe client can interleave.
   void serve(std::istream& in, std::ostream& out);
 
   JobScheduler& scheduler() { return sched_; }

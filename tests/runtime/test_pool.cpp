@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
@@ -145,6 +146,37 @@ TEST(ParallelMap, PreservesIndexOrder) {
   ASSERT_EQ(out.size(), 500u);
   for (std::size_t i = 0; i < out.size(); ++i)
     EXPECT_DOUBLE_EQ(out[i], 3.0 * static_cast<double>(i));
+}
+
+TEST(ThreadPool, AssistUntilRunsQueuedWorkOnTheWaitingThread) {
+  ThreadPool pool(2);  // one worker; the assisting caller is the second lane
+  std::atomic<int> done_count{0};
+  constexpr int kJobs = 64;
+  for (int i = 0; i < kJobs; ++i) pool.submit([&] { ++done_count; });
+  pool.assist_until([&] { return done_count.load() >= kJobs; });
+  EXPECT_EQ(done_count.load(), kJobs);
+}
+
+TEST(ThreadPool, AssistUntilReturnsOnExternallyCompletedCondition) {
+  // Nothing queued: the waiter parks on the pool's wake signal and must
+  // still notice a condition completed by a non-pool thread.
+  ThreadPool pool(4);
+  std::atomic<bool> flag{false};
+  std::thread external([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    flag.store(true);
+  });
+  pool.assist_until([&] { return flag.load(); });
+  EXPECT_TRUE(flag.load());
+  external.join();
+}
+
+TEST(ThreadPool, AssistUntilSerialFallback) {
+  ThreadPool pool(1);  // no workers: submit runs inline
+  int ran = 0;
+  pool.submit([&] { ++ran; });
+  EXPECT_EQ(ran, 1);
+  pool.assist_until([&] { return ran == 1; });  // must not hang
 }
 
 TEST(ThreadPool, ConfiguredThreadsHonorsEnv) {

@@ -25,8 +25,8 @@ endif()
 string(REGEX REPLACE "\n$" "" TRIMMED "${STDOUT}")
 string(REPLACE "\n" ";" LINES "${TRIMMED}")
 list(LENGTH LINES NLINES)
-if(NOT NLINES EQUAL 6)
-  message(FATAL_ERROR "expected 6 response lines, got ${NLINES}:\n${STDOUT}")
+if(NOT NLINES EQUAL 8)
+  message(FATAL_ERROR "expected 8 response lines, got ${NLINES}:\n${STDOUT}")
 endif()
 
 macro(expect_contains idx needle)
@@ -37,9 +37,10 @@ macro(expect_contains idx needle)
   endif()
 endmacro()
 
-# 1: ping
+# 1: ping (version-less -> v1, answered but flagged deprecated)
 expect_contains(0 "\"id\":1")
 expect_contains(0 "\"pong\":true")
+expect_contains(0 "\"deprecated\":true")
 
 # 2: DC operating point of the 6k/4k divider -> v(mid) = 4 V (up to gmin)
 expect_contains(1 "\"ok\":true")
@@ -78,5 +79,24 @@ expect_contains(4 "unknown request kind")
 expect_contains(5 "\"submitted\":3")
 expect_contains(5 "\"cache_hits\":1")
 expect_contains(5 "\"executed\":2")
+
+# 7: v2 ping -> versioned envelope, no deprecation marker
+expect_contains(6 "\"v\":2")
+expect_contains(6 "\"id\":7")
+expect_contains(6 "\"pong\":true")
+list(GET LINES 6 LINE7)
+if(LINE7 MATCHES "deprecated")
+  message(FATAL_ERROR "v2 response carries the v1 deprecation marker:\n${LINE7}")
+endif()
+
+# 8: the same AC request as 3, sent as a v2 envelope -> same key, cache hit
+# (the protocol version is not part of the content hash).
+expect_contains(7 "\"v\":2")
+expect_contains(7 "\"cached\":true")
+list(GET LINES 7 LINE8)
+string(REGEX MATCH "\"key\":\"[0-9a-f]+\"" KEY8 "${LINE8}")
+if(NOT KEY8 STREQUAL KEY3 OR KEY8 STREQUAL "")
+  message(FATAL_ERROR "v2 envelope changed the content key: '${KEY3}' vs '${KEY8}'")
+endif()
 
 message(STATUS "rfmixd e2e OK")

@@ -1,0 +1,162 @@
+// Protocol golden tests: pin the exact response bytes of the rfmixd wire
+// protocol, v1 and v2, per op and per error code. A client matches
+// responses by byte-level conventions (field order, deprecation marker,
+// structured error shape), so any change here is a wire-format break and
+// must be deliberate.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/thread_pool.hpp"
+#include "svc/json_parse.hpp"
+#include "svc/request.hpp"
+#include "svc/server.hpp"
+
+namespace rfmix::svc {
+namespace {
+
+class ProtocolGoldenTest : public ::testing::Test {
+ protected:
+  ProtocolGoldenTest() : pool_(1), cache_(64), session_(cache_, pool_.pool()) {}
+
+  std::string reply(const std::string& line) { return session_.handle_line(line).line; }
+
+  runtime::ScopedPool pool_;
+  ResultCache cache_;
+  ServerSession session_;
+};
+
+TEST_F(ProtocolGoldenTest, PingV1) {
+  EXPECT_EQ(reply(R"json({"id":7,"kind":"ping"})json"),
+            R"json({"id":7,"ok":true,"deprecated":true,"result":{"pong":true}})json");
+  EXPECT_EQ(reply(R"json({"v":1,"id":"a","kind":"ping"})json"),
+            R"json({"id":"a","ok":true,"deprecated":true,"result":{"pong":true}})json");
+  // No id: echoed as null, never omitted.
+  EXPECT_EQ(reply(R"json({"kind":"ping"})json"),
+            R"json({"id":null,"ok":true,"deprecated":true,"result":{"pong":true}})json");
+}
+
+TEST_F(ProtocolGoldenTest, PingV2) {
+  EXPECT_EQ(reply(R"json({"v":2,"id":7,"kind":"ping"})json"),
+            R"json({"v":2,"id":7,"ok":true,"result":{"pong":true}})json");
+  EXPECT_EQ(reply(R"json({"v":2,"id":"client-1","kind":"ping"})json"),
+            R"json({"v":2,"id":"client-1","ok":true,"result":{"pong":true}})json");
+}
+
+TEST_F(ProtocolGoldenTest, StatsOnFreshSession) {
+  EXPECT_EQ(
+      reply(R"json({"v":2,"id":1,"kind":"stats"})json"),
+      R"json({"v":2,"id":1,"ok":true,"result":{"jobs":{"submitted":0,"cache_hits":0,)json"
+      R"json("deduped":0,"executed":0,"failed":0},"cache":{"hits":0,"misses":0,)json"
+      R"json("evictions":0,"stores":0,"disk_hits":0,"disk_stores":0,"entries":0}}})json");
+}
+
+TEST_F(ProtocolGoldenTest, CancelWithNothingPending) {
+  EXPECT_EQ(reply(R"json({"v":2,"id":9,"kind":"cancel","params":{"target":4}})json"),
+            R"json({"v":2,"id":9,"ok":true,"result":{"cancelled":false,"target":4}})json");
+  EXPECT_EQ(reply(R"json({"v":2,"id":9,"kind":"cancel","params":{"target":"j-1"}})json"),
+            R"json({"v":2,"id":9,"ok":true,"result":{"cancelled":false,"target":"j-1"}})json");
+}
+
+TEST_F(ProtocolGoldenTest, ParseErrorV2) {
+  EXPECT_EQ(reply("{nope"),
+            R"json({"v":2,"id":null,"ok":false,"error":{"code":"parse_error",)json"
+            R"json("message":"json offset 1: expected object key string",)json"
+            R"json("offset":1}})json");
+}
+
+TEST_F(ProtocolGoldenTest, UnsupportedVersion) {
+  EXPECT_EQ(reply(R"json({"v":3,"id":2,"kind":"ping"})json"),
+            R"json({"v":2,"id":2,"ok":false,"error":{"code":"unsupported_version",)json"
+            R"json("message":"unsupported protocol version (this server speaks v1 and v2)json" R"x()"}})x");
+}
+
+TEST_F(ProtocolGoldenTest, UnknownKind) {
+  EXPECT_EQ(reply(R"json({"v":2,"id":3,"kind":"explode"})json"),
+            R"json({"v":2,"id":3,"ok":false,"error":{"code":"unknown_kind",)json"
+            R"json("message":"unknown request kind 'explode' (expected ping, stats, cancel, op, ac, or mixer_metric)json" R"x()"}})x");
+  EXPECT_EQ(reply(R"json({"id":3,"kind":"explode"})json"),
+            R"json({"id":3,"ok":false,"deprecated":true,)json"
+            R"json("error":"unknown request kind 'explode' (expected ping, stats, op, ac, or mixer_metric)json" R"x()"})x");
+}
+
+TEST_F(ProtocolGoldenTest, BadParamsV2) {
+  EXPECT_EQ(reply(R"json({"v":2,"id":4,"kind":"op","params":{}})json"),
+            R"json({"v":2,"id":4,"ok":false,"error":{"code":"bad_params",)json"
+            R"json("message":"missing required field 'netlist'"}})json");
+}
+
+TEST_F(ProtocolGoldenTest, InvalidRequestV2) {
+  EXPECT_EQ(reply(R"json({"v":2,"id":5,"kind":"op","netlist":"x"})json"),
+            R"json({"v":2,"id":5,"ok":false,"error":{"code":"invalid_request",)json"
+            R"json("message":"unknown envelope field 'netlist' (v2 request parameters live under \"params\)json" R"x(")"}})x");
+}
+
+TEST_F(ProtocolGoldenTest, ExecFailedV1KeepsStringError) {
+  const std::string r = reply(R"json({"id":6,"kind":"op","netlist":"R1 a 0\n"})json");
+  EXPECT_EQ(r.find(R"json({"id":6,"ok":false,"deprecated":true,"error":")json"), 0u) << r;
+}
+
+TEST_F(ProtocolGoldenTest, AnalysisEnvelopeV2) {
+  // The physics payload is pinned by the golden-metrics suite; here the
+  // envelope around it is pinned byte-for-byte: echoed id, cache/dedup
+  // provenance, content key, then the result.
+  const std::string netlist = "V1 in 0 DC 10\nR1 in mid 6k\nR2 mid 0 4k\n";
+  const ParsedRequest req = parse_request(json_parse(
+      R"json({"v":2,"id":"op-9","kind":"op","params":{"netlist":"V1 in 0 DC 10\nR1 in mid 6k\nR2 mid 0 4k\n"}})json"));
+  const std::string expected = std::string(R"json({"v":2,"id":"op-9","ok":true,)json") +
+                               R"json("cached":false,"deduped":false,"key":")json" +
+                               request_key(req.request).hex() + R"json(","result":)json" +
+                               execute_request(req.request) + "}";
+  EXPECT_EQ(reply(R"json({"v":2,"id":"op-9","kind":"op","params":{"netlist":"V1 in 0 DC 10\nR1 in mid 6k\nR2 mid 0 4k\n"}})json"),
+            expected);
+  // Identical request again: only the cached flag may change.
+  std::string cached_expected = expected;
+  cached_expected.replace(cached_expected.find(R"json("cached":false)json"),
+                          std::string(R"json("cached":false)json").size(),
+                          R"json("cached":true)json");
+  EXPECT_EQ(reply(R"json({"v":2,"id":"op-9","kind":"op","params":{"netlist":"V1 in 0 DC 10\nR1 in mid 6k\nR2 mid 0 4k\n"}})json"),
+            cached_expected);
+}
+
+TEST_F(ProtocolGoldenTest, AnalysisEnvelopeV1AndV2ShareKeyAndPayload) {
+  const std::string v1 = reply(
+      R"json({"id":1,"kind":"mixer_metric","metric":"gain_db","config":{"mode":"passive"}})json");
+  const std::string v2 = reply(
+      R"json({"v":2,"id":1,"kind":"mixer_metric","params":{"metric":"gain_db","config":{"mode":"passive"}}})json");
+  // Same key, same payload; the envelopes differ exactly by version marker,
+  // deprecation flag, and cache provenance.
+  EXPECT_EQ(v1.find(R"json({"id":1,"ok":true,"deprecated":true,"cached":false,)json"), 0u) << v1;
+  EXPECT_EQ(v2.find(R"json({"v":2,"id":1,"ok":true,"cached":true,)json"), 0u) << v2;
+  const auto tail = [](const std::string& s) { return s.substr(s.find(R"json("key":)json")); };
+  EXPECT_EQ(tail(v1), tail(v2));
+}
+
+TEST_F(ProtocolGoldenTest, TimeoutAndCancelledShapes) {
+  // These codes are produced by the event loop (deadline expiry, cancel op);
+  // pin the exact formatter output the loop sends.
+  EXPECT_EQ(make_error_response(2, "11", ErrorCode::kTimeout,
+                                "request deadline exceeded")
+                .line,
+            R"json({"v":2,"id":11,"ok":false,"error":{"code":"timeout",)json"
+            R"json("message":"request deadline exceeded"}})json");
+  EXPECT_EQ(make_error_response(2, "\"j-3\"", ErrorCode::kCancelled,
+                                "request cancelled by client")
+                .line,
+            R"json({"v":2,"id":"j-3","ok":false,"error":{"code":"cancelled",)json"
+            R"json("message":"request cancelled by client"}})json");
+}
+
+TEST_F(ProtocolGoldenTest, ErrorCodeNamesAreStable) {
+  EXPECT_EQ(error_code_name(ErrorCode::kParseError), "parse_error");
+  EXPECT_EQ(error_code_name(ErrorCode::kInvalidRequest), "invalid_request");
+  EXPECT_EQ(error_code_name(ErrorCode::kUnsupportedVersion), "unsupported_version");
+  EXPECT_EQ(error_code_name(ErrorCode::kUnknownKind), "unknown_kind");
+  EXPECT_EQ(error_code_name(ErrorCode::kBadParams), "bad_params");
+  EXPECT_EQ(error_code_name(ErrorCode::kExecFailed), "exec_failed");
+  EXPECT_EQ(error_code_name(ErrorCode::kTimeout), "timeout");
+  EXPECT_EQ(error_code_name(ErrorCode::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace rfmix::svc

@@ -1,5 +1,6 @@
 // In-process protocol tests for the rfmixd server session: request
-// parsing, JSON round trips, cache flags, and error reporting.
+// parsing, JSON round trips, cache flags, and error reporting for both
+// the legacy v1 surface and the v2 envelope.
 #include "svc/server.hpp"
 
 #include <gtest/gtest.h>
@@ -20,9 +21,11 @@ class ServerTest : public ::testing::Test {
   ServerTest() : pool_(2), cache_(64), session_(cache_, pool_.pool()) {}
 
   JsonValue handle(const std::string& line) {
-    const std::string raw = session_.handle_line(line);
-    EXPECT_EQ(raw.find('\n'), std::string::npos) << raw;  // one line out
-    return json_parse(raw);
+    const Response resp = session_.handle_line(line);
+    EXPECT_EQ(resp.line.find('\n'), std::string::npos) << resp.line;  // one line out
+    const JsonValue doc = json_parse(resp.line);
+    EXPECT_EQ(resp.ok, doc.find("ok")->as_bool()) << resp.line;
+    return doc;
   }
 
   runtime::ScopedPool pool_;
@@ -35,12 +38,23 @@ TEST_F(ServerTest, Ping) {
   EXPECT_DOUBLE_EQ(r.find("id")->as_number(), 7.0);
   EXPECT_TRUE(r.find("ok")->as_bool());
   EXPECT_TRUE(r.find("result")->find("pong")->as_bool());
+  // Version-less requests are v1: answered, but flagged deprecated.
+  EXPECT_TRUE(r.find("deprecated")->as_bool());
+}
+
+TEST_F(ServerTest, PingV2) {
+  const JsonValue r = handle(R"({"v":2,"id":7,"kind":"ping"})");
+  EXPECT_DOUBLE_EQ(r.find("v")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(r.find("id")->as_number(), 7.0);
+  EXPECT_TRUE(r.find("ok")->as_bool());
+  EXPECT_TRUE(r.find("result")->find("pong")->as_bool());
+  EXPECT_EQ(r.find("deprecated"), nullptr);
 }
 
 TEST_F(ServerTest, OpRoundTrip) {
   const JsonValue r = handle(
       R"({"id":"op-1","kind":"op","netlist":"V1 in 0 DC 10\nR1 in mid 6k\nR2 mid 0 4k\n"})");
-  ASSERT_TRUE(r.find("ok")->as_bool()) << session_.handle_line("x");
+  ASSERT_TRUE(r.find("ok")->as_bool());
   EXPECT_EQ(r.find("id")->as_string(), "op-1");
   EXPECT_FALSE(r.find("cached")->as_bool());
   EXPECT_EQ(r.find("key")->as_string().size(), 32u);
@@ -48,6 +62,28 @@ TEST_F(ServerTest, OpRoundTrip) {
   ASSERT_NE(nodes, nullptr);
   EXPECT_NEAR(nodes->find("mid")->as_number(), 4.0, 1e-6);
   EXPECT_NEAR(nodes->find("in")->as_number(), 10.0, 1e-9);
+}
+
+TEST_F(ServerTest, OpRoundTripV2ParamsEnvelope) {
+  // The same request as a v2 envelope: analysis fields live under params.
+  const JsonValue r = handle(
+      R"({"v":2,"id":"op-1","kind":"op","params":{"netlist":"V1 in 0 DC 10\nR1 in mid 6k\nR2 mid 0 4k\n"}})");
+  ASSERT_TRUE(r.find("ok")->as_bool());
+  EXPECT_EQ(r.find("id")->as_string(), "op-1");
+  const JsonValue* nodes = r.find("result")->find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  EXPECT_NEAR(nodes->find("mid")->as_number(), 4.0, 1e-6);
+}
+
+TEST_F(ServerTest, V1AndV2ProduceTheSameCacheKey) {
+  const JsonValue v1 = handle(
+      R"({"id":1,"kind":"mixer_metric","metric":"gain_db","config":{"mode":"passive"}})");
+  const JsonValue v2 = handle(
+      R"({"v":2,"id":2,"kind":"mixer_metric","params":{"metric":"gain_db","config":{"mode":"passive"}}})");
+  ASSERT_TRUE(v1.find("ok")->as_bool());
+  ASSERT_TRUE(v2.find("ok")->as_bool());
+  EXPECT_EQ(v1.find("key")->as_string(), v2.find("key")->as_string());
+  EXPECT_TRUE(v2.find("cached")->as_bool());  // the envelope is not keyed
 }
 
 TEST_F(ServerTest, AcRoundTrip) {
@@ -107,14 +143,9 @@ TEST_F(ServerTest, StatsReflectTraffic) {
   EXPECT_DOUBLE_EQ(cache->find("entries")->as_number(), 1.0);
 }
 
-TEST_F(ServerTest, ErrorsAreStructured) {
-  // Malformed JSON.
-  JsonValue r = handle("{nope");
-  EXPECT_FALSE(r.find("ok")->as_bool());
-  EXPECT_TRUE(r.find("id")->is_null());
-  EXPECT_FALSE(r.find("error")->as_string().empty());
-  // Unknown kind, id still echoed.
-  r = handle(R"({"id":9,"kind":"explode"})");
+TEST_F(ServerTest, V1ErrorsAreStrings) {
+  // Unknown kind, id still echoed; v1 keeps the legacy string error.
+  JsonValue r = handle(R"({"id":9,"kind":"explode"})");
   EXPECT_FALSE(r.find("ok")->as_bool());
   EXPECT_DOUBLE_EQ(r.find("id")->as_number(), 9.0);
   EXPECT_NE(r.find("error")->as_string().find("unknown request kind"), std::string::npos);
@@ -139,6 +170,44 @@ TEST_F(ServerTest, ErrorsAreStructured) {
   EXPECT_NE(r.find("error")->as_string().find("mode"), std::string::npos);
 }
 
+TEST_F(ServerTest, V2ErrorsAreStructured) {
+  // Malformed JSON: no version to recover, answered as v2 with an offset.
+  JsonValue r = handle("{nope");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_TRUE(r.find("id")->is_null());
+  EXPECT_EQ(r.find("error")->find("code")->as_string(), "parse_error");
+  EXPECT_FALSE(r.find("error")->find("message")->as_string().empty());
+  EXPECT_TRUE(r.find("error")->find("offset")->is_number());
+  // Unknown kind under v2: stable code, id echoed.
+  r = handle(R"({"v":2,"id":9,"kind":"explode"})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_DOUBLE_EQ(r.find("id")->as_number(), 9.0);
+  EXPECT_EQ(r.find("error")->find("code")->as_string(), "unknown_kind");
+  // Unknown protocol version: stable code, id echoed.
+  r = handle(R"({"v":3,"id":1,"kind":"ping"})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_EQ(r.find("error")->find("code")->as_string(), "unsupported_version");
+  // v2 analysis fields must live under params.
+  r = handle(R"({"v":2,"id":1,"kind":"op","netlist":"V1 a 0 1\n"})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_EQ(r.find("error")->find("code")->as_string(), "invalid_request");
+  EXPECT_NE(r.find("error")->find("message")->as_string().find("params"),
+            std::string::npos);
+  // Bad params keep their own code.
+  r = handle(R"({"v":2,"id":1,"kind":"op","params":{}})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_EQ(r.find("error")->find("code")->as_string(), "bad_params");
+  // A request id must round-trip exactly; 1e999 would echo as null.
+  r = handle(R"({"v":2,"id":1e999,"kind":"ping"})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_EQ(r.find("error")->find("code")->as_string(), "invalid_request");
+  // cancel is v2-only vocabulary.
+  r = handle(R"({"id":1,"kind":"cancel","params":{"target":2}})");
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  EXPECT_NE(r.find("error")->as_string().find("unknown request kind"),
+            std::string::npos);
+}
+
 TEST_F(ServerTest, ServeLoopsOverStream) {
   std::istringstream in(
       "{\"id\":1,\"kind\":\"ping\"}\n"
@@ -155,6 +224,59 @@ TEST_F(ServerTest, ServeLoopsOverStream) {
   EXPECT_TRUE(r.find("ok")->as_bool());
 }
 
+TEST_F(ServerTest, ServeSurvivesEveryMalformedLine) {
+  // A session must never exit on bad input: every line gets exactly one
+  // response and the session still answers afterwards.
+  const std::string garbage[] = {
+      "{nope",
+      "[1,2,3",
+      "\"lone string\"",
+      "42",
+      "{\"v\":2,\"id\":{},\"kind\":\"ping\"}",
+      "{\"v\":\"two\",\"id\":1,\"kind\":\"ping\"}",
+      "{\"id\":1e999,\"kind\":\"ping\"}",
+      "{\"id\":1}",
+      "{\"id\":1,\"kind\":42}",
+      "\xff\xfe not even text",
+      "{\"v\":2,\"id\":1,\"kind\":\"op\",\"params\":3}",
+      "{\"v\":2,\"id\":1,\"kind\":\"ping\",\"stray\":1}",
+  };
+  std::string input;
+  for (const std::string& g : garbage) input += g + "\n";
+  input += "{\"v\":2,\"id\":\"alive\",\"kind\":\"ping\"}\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  session_.serve(in, out);
+  const std::string text = out.str();
+  ASSERT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            std::size(garbage) + 1)
+      << text;
+  // Every garbage line produced a parseable, failed response.
+  std::istringstream lines(text);
+  std::string line;
+  for (std::size_t i = 0; i < std::size(garbage); ++i) {
+    ASSERT_TRUE(std::getline(lines, line));
+    const JsonValue r = json_parse(line);
+    EXPECT_FALSE(r.find("ok")->as_bool()) << line;
+  }
+  ASSERT_TRUE(std::getline(lines, line));
+  const JsonValue last = json_parse(line);
+  EXPECT_TRUE(last.find("ok")->as_bool()) << line;
+  EXPECT_EQ(last.find("id")->as_string(), "alive");
+}
+
+TEST_F(ServerTest, CrlfAndWhitespaceLinesAreTolerated) {
+  std::istringstream in(
+      "{\"v\":2,\"id\":1,\"kind\":\"ping\"}\r\n"
+      "   \t\n"
+      "{\"v\":2,\"id\":2,\"kind\":\"ping\"}\n");
+  std::ostringstream out;
+  session_.serve(in, out);
+  const std::string text = out.str();
+  ASSERT_EQ(std::count(text.begin(), text.end(), '\n'), 2) << text;
+  EXPECT_EQ(text.find('\r'), std::string::npos);
+}
+
 TEST_F(ServerTest, ApplyMixerConfigParsesEveryFieldKind) {
   core::MixerConfig cfg;
   const JsonValue obj = json_parse(
@@ -165,8 +287,32 @@ TEST_F(ServerTest, ApplyMixerConfigParsesEveryFieldKind) {
   EXPECT_DOUBLE_EQ(cfg.f_lo_hz, 3.0e9);
   EXPECT_DOUBLE_EQ(cfg.quad_ron, 40.5);
   EXPECT_DOUBLE_EQ(cfg.tia_rf, 2000.0);
-  EXPECT_THROW(apply_mixer_config(json_parse(R"({"nope":1})"), cfg),
-               std::invalid_argument);
+  EXPECT_THROW(apply_mixer_config(json_parse(R"({"nope":1})"), cfg), RequestError);
+}
+
+TEST_F(ServerTest, ParseRequestClassifiesVersions) {
+  ParsedRequest req = parse_request(json_parse(R"({"id":1,"kind":"ping"})"));
+  EXPECT_EQ(req.version, 1);
+  req = parse_request(json_parse(R"({"v":1,"id":1,"kind":"ping"})"));
+  EXPECT_EQ(req.version, 1);
+  req = parse_request(json_parse(R"({"v":2,"id":1,"kind":"ping"})"));
+  EXPECT_EQ(req.version, 2);
+  try {
+    parse_request(json_parse(R"({"v":7,"id":1,"kind":"ping"})"));
+    FAIL() << "expected RequestError";
+  } catch (const RequestError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnsupportedVersion);
+  }
+  // v2 cancel parses into the dedicated fields.
+  req = parse_request(
+      json_parse(R"({"v":2,"id":3,"kind":"cancel","params":{"target":"job-7"}})"));
+  EXPECT_EQ(req.kind, "cancel");
+  EXPECT_EQ(req.cancel_target, "\"job-7\"");
+  // timeout_ms and priority ride the envelope.
+  req = parse_request(json_parse(
+      R"({"v":2,"id":4,"kind":"ping","priority":9,"timeout_ms":1500})"));
+  EXPECT_EQ(req.priority, 9);
+  EXPECT_DOUBLE_EQ(req.timeout_ms, 1500.0);
 }
 
 }  // namespace
