@@ -1,0 +1,310 @@
+// CLUSTER: rfmix-router under load, with and without chaos.
+//
+// Spins a real Supervisor (rfmixd worker processes) fronted by an
+// in-process RouterLoop, then drives it with a fleet of round-trip
+// clients sending a mixed op / ac / mixer_metric workload (distinct keys
+// plus deliberate repeats, so the router's cache tier sees traffic too).
+// Two measured passes: a calm one, and one with a chaos thread SIGKILLing
+// random workers mid-flight. Every response of both passes must be
+// "ok":true — the replay path turns worker murder into tail latency, not
+// errors — and the report shows exactly what that tail costs: req/s and
+// p50/p99/p999 side by side, plus the router's replay/restart counters.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/cli.hpp"
+#include "rf/table.hpp"
+
+#ifndef _WIN32
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <thread>
+
+#include "svc/cache.hpp"
+#include "svc/router.hpp"
+#include "svc/supervisor.hpp"
+
+using namespace rfmix;
+
+#ifndef RFMIXD_BIN
+#error "RFMIXD_BIN must point at the rfmixd binary"
+#endif
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+/// One request line of the mixed workload. `tag` keys the physics so
+/// distinct tags are distinct cache keys; every 4th request reuses a tag
+/// it has seen before, so repeats flow through the router cache tier.
+std::string make_request(int tag, int seq) {
+  const int kind = tag % 3;
+  const std::string id = "\"q" + std::to_string(seq) + "\"";
+  if (kind == 0) {
+    return "{\"v\":2,\"id\":" + id +
+           ",\"kind\":\"op\",\"params\":{\"netlist\":\"V1 in 0 DC 1\\nR1 in out " +
+           std::to_string(1000 + tag) + "\\nR2 out 0 1000\\n.end\"}}";
+  }
+  if (kind == 1) {
+    return "{\"v\":2,\"id\":" + id +
+           ",\"kind\":\"ac\",\"params\":{\"netlist\":\"V1 in 0 DC 0 AC 1\\nR1 in out " +
+           std::to_string(1000 + tag) +
+           "\\nC1 out 0 1n\\n.end\",\"ac\":{\"f_start_hz\":1e3,\"f_stop_hz\":1e8,"
+           "\"points\":64,\"probe\":\"out\"}}}";
+  }
+  return "{\"v\":2,\"id\":" + id +
+         ",\"kind\":\"mixer_metric\",\"params\":{\"metric\":\"gain_db\","
+         "\"config\":{\"f_lo_hz\":" +
+         std::to_string(1.0e9 + 1.0e6 * tag) + "}}}";
+}
+
+/// Connect, run `reqs` strictly request/response, record each round-trip
+/// in `lat_us`. Returns the number of "ok":true responses.
+int drive_conn(const std::string& path, const std::vector<std::string>& reqs,
+               std::vector<double>& lat_us) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  int ok = 0;
+  std::string buf;
+  for (const std::string& req : reqs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string line = req + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n =
+          ::send(fd, line.data() + off, line.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        ::close(fd);
+        return ok;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    std::size_t nl;
+    while ((nl = buf.find('\n')) == std::string::npos) {
+      pollfd p{fd, POLLIN, 0};
+      if (::poll(&p, 1, 120000) <= 0) {
+        ::close(fd);
+        return ok;
+      }
+      char chunk[65536];
+      const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        ::close(fd);
+        return ok;
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                  t0)
+            .count());
+    if (buf.find("\"ok\":true") < nl) ++ok;
+    buf.erase(0, nl + 1);
+  }
+  ::close(fd);
+  return ok;
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = q * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + frac * (v[hi] - v[lo]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_load_replay");
+  std::ostream& out = cli.out();
+  if (!cli.csv())
+    out << "=== CLUSTER: rfmix-router load + worker-murder replay ===\n\n";
+
+  constexpr int kWorkers = 3;
+  constexpr int kThreads = 16;
+  constexpr int kConnsPerThread = 16;  // 256 client connections per pass
+  constexpr int kReqsPerConn = 8;      // 2048 round-trips per pass
+  constexpr int kTotal = kThreads * kConnsPerThread * kReqsPerConn;
+
+  const std::string base =
+      "/tmp/rfmix-bench-replay-" + std::to_string(::getpid());
+  const std::string sock = base + ".sock";
+  const std::string wdir = base + ".workers";
+  ::unlink(sock.c_str());
+  ::mkdir(wdir.c_str(), 0700);
+
+  svc::Supervisor::Options sopts;
+  sopts.worker_bin = RFMIXD_BIN;
+  sopts.socket_dir = wdir;
+  sopts.workers = kWorkers;
+  sopts.backoff_initial_ms = 25.0;
+  sopts.fast_failure_ms = 0.0;  // murdered workers are not a crash loop
+  svc::Supervisor sup(sopts);
+  std::string err;
+  if (!sup.start(&err)) {
+    out << "supervisor start failed: " << err << "\n";
+    return 1;
+  }
+
+  svc::ResultCache cache(4096);
+  svc::RouterLoop::Options ropts;
+  ropts.max_replays = 64;  // whole-fleet blips must not fail requests
+  svc::RouterLoop router(sup, cache, ropts);
+  if (!router.listen_unix(sock, &err)) {
+    out << "listen failed: " << err << "\n";
+    return 1;
+  }
+  std::thread router_thread([&] { router.run(); });
+
+  // Per-connection request scripts. Three of four tags are globally
+  // unique; every 4th reuses the connection's first tag (a warm repeat).
+  const auto scripts = [&](int pass) {
+    std::vector<std::vector<std::string>> all;
+    int seq = pass * kTotal;
+    for (int t = 0; t < kThreads; ++t) {
+      for (int c = 0; c < kConnsPerThread; ++c) {
+        std::vector<std::string> reqs;
+        const int first = seq;
+        for (int r = 0; r < kReqsPerConn; ++r, ++seq) {
+          const int tag = (r % 4 == 3) ? first : seq;
+          reqs.push_back(make_request(tag, seq));
+        }
+        all.push_back(std::move(reqs));
+      }
+    }
+    return all;
+  };
+
+  const auto run_pass = [&](const std::vector<std::vector<std::string>>& all,
+                            std::vector<double>& lat_us) {
+    std::vector<std::thread> threads;
+    std::vector<std::vector<double>> lats(kThreads);
+    std::vector<int> oks(kThreads, 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int c = 0; c < kConnsPerThread; ++c)
+          oks[t] += drive_conn(sock, all[static_cast<std::size_t>(
+                                        t * kConnsPerThread + c)],
+                               lats[static_cast<std::size_t>(t)]);
+      });
+    }
+    for (auto& t : threads) t.join();
+    int ok = 0;
+    for (const int n : oks) ok += n;
+    for (const auto& l : lats) lat_us.insert(lat_us.end(), l.begin(), l.end());
+    return std::pair<double, int>(ms_since(t0), ok);
+  };
+
+  // Pass 1: calm. Pass 2: a chaos thread SIGKILLs a random worker every
+  // 40-120 ms while the same-sized workload runs.
+  std::vector<double> calm_us, chaos_us;
+  const auto [calm_ms, calm_ok] = run_pass(scripts(0), calm_us);
+
+  std::atomic<bool> chaos_on{true};
+  std::atomic<int> kills{0};
+  std::thread chaos([&] {
+    std::mt19937 rng(1234);
+    std::uniform_int_distribution<int> victim(0, kWorkers - 1);
+    std::uniform_int_distribution<int> pause_ms(40, 120);
+    while (chaos_on.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms(rng)));
+      const auto& w = sup.workers()[static_cast<std::size_t>(victim(rng))];
+      if (w.state == svc::Supervisor::WorkerState::kRunning && w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+        kills.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  const auto [chaos_ms, chaos_ok] = run_pass(scripts(1), chaos_us);
+  chaos_on.store(false, std::memory_order_relaxed);
+  chaos.join();
+
+  router.request_shutdown();
+  router_thread.join();
+  const svc::RouterLoop::Stats rs = router.stats();
+  sup.shutdown(2000.0);
+  ::unlink(sock.c_str());
+
+  const double calm_rps = calm_ms > 0.0 ? 1000.0 * kTotal / calm_ms : 0.0;
+  const double chaos_rps = chaos_ms > 0.0 ? 1000.0 * kTotal / chaos_ms : 0.0;
+
+  rf::ConsoleTable table(
+      {"pass", "ok", "req/s", "p50 (us)", "p99 (us)", "p999 (us)"});
+  table.add_row({"calm", std::to_string(calm_ok) + "/" + std::to_string(kTotal),
+                 rf::ConsoleTable::num(calm_rps, 0),
+                 rf::ConsoleTable::num(percentile(calm_us, 0.50), 0),
+                 rf::ConsoleTable::num(percentile(calm_us, 0.99), 0),
+                 rf::ConsoleTable::num(percentile(calm_us, 0.999), 0)});
+  table.add_row({"chaos", std::to_string(chaos_ok) + "/" + std::to_string(kTotal),
+                 rf::ConsoleTable::num(chaos_rps, 0),
+                 rf::ConsoleTable::num(percentile(chaos_us, 0.50), 0),
+                 rf::ConsoleTable::num(percentile(chaos_us, 0.99), 0),
+                 rf::ConsoleTable::num(percentile(chaos_us, 0.999), 0)});
+  if (cli.csv()) {
+    table.print_csv(out);
+  } else {
+    table.print(out);
+    out << "\nchaos pass: " << kills.load() << " worker kill(s), "
+        << rs.replays << " ticket replay(s), " << rs.unavailable
+        << " unavailable, " << rs.cache_hits << " router-tier hit(s)\n";
+  }
+
+  cli.set_config("workers", kWorkers);
+  cli.set_config("clients", kThreads * kConnsPerThread);
+  cli.set_config("requests_per_pass", kTotal);
+  cli.add_metric("calm_req_per_s", calm_rps);
+  cli.add_metric("calm_p99_us", percentile(calm_us, 0.99));
+  cli.add_metric("chaos_req_per_s", chaos_rps);
+  cli.add_metric("chaos_p50_us", percentile(chaos_us, 0.50));
+  cli.add_metric("chaos_p99_us", percentile(chaos_us, 0.99));
+  cli.add_metric("chaos_p999_us", percentile(chaos_us, 0.999));
+  cli.add_metric("worker_kills", kills.load());
+  cli.add_metric("replays", static_cast<double>(rs.replays));
+  cli.add_metric("unavailable", static_cast<double>(rs.unavailable));
+
+  // The contract under chaos: murder becomes latency, never errors.
+  if (calm_ok != kTotal || chaos_ok != kTotal || rs.unavailable != 0) {
+    out << "replay contract violated: calm " << calm_ok << "/" << kTotal
+        << ", chaos " << chaos_ok << "/" << kTotal << ", unavailable "
+        << rs.unavailable << "\n";
+    cli.finish();
+    return 1;
+  }
+  return cli.finish();
+}
+
+#else  // _WIN32
+
+int main(int argc, char** argv) {
+  rfmix::obs::BenchCli cli(argc, argv, "bench_load_replay");
+  cli.out() << "bench_load_replay requires Unix sockets\n";
+  return cli.finish();
+}
+
+#endif  // _WIN32

@@ -93,13 +93,50 @@ std::string ResultCache::disk_path(const Hash128& key) const {
   return disk_dir_ + "/" + key.hex() + ".json";
 }
 
+namespace {
+
+// On-disk entry format, version 1: "rfmix-cache 1 <payload_bytes>\n"
+// followed by exactly that many payload bytes and one trailing newline.
+constexpr const char kDiskMagic[] = "rfmix-cache 1 ";
+
+/// Extract the payload from raw file bytes, or nullopt when the file is
+/// not a well-formed entry (bad header, wrong length, missing trailing
+/// newline — i.e. a torn, truncated, or foreign file).
+std::optional<std::string> parse_disk_entry(const std::string& raw) {
+  constexpr std::size_t magic_len = sizeof(kDiskMagic) - 1;
+  if (raw.compare(0, magic_len, kDiskMagic) != 0) return std::nullopt;
+  std::size_t pos = magic_len;
+  std::uint64_t len = 0;
+  bool any_digit = false;
+  while (pos < raw.size() && raw[pos] >= '0' && raw[pos] <= '9') {
+    len = len * 10 + static_cast<std::uint64_t>(raw[pos] - '0');
+    ++pos;
+    any_digit = true;
+  }
+  if (!any_digit || pos >= raw.size() || raw[pos] != '\n') return std::nullopt;
+  ++pos;
+  if (raw.size() != pos + len + 1 || raw.back() != '\n') return std::nullopt;
+  return raw.substr(pos, len);
+}
+
+}  // namespace
+
 std::optional<std::string> ResultCache::disk_get(const Hash128& key) {
-  std::ifstream in(disk_path(key), std::ios::binary);
+  const std::string path = disk_path(key);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::ostringstream ss;
   ss << in.rdbuf();
   if (!in.good() && !in.eof()) return std::nullopt;
-  return ss.str();
+  if (std::optional<std::string> payload = parse_disk_entry(ss.str()))
+    return payload;
+  // Corrupt or truncated entry: quarantine it for post-mortems (never
+  // served, never retried every lookup) and fall through to a miss.
+  std::rename(path.c_str(), (path + ".bad").c_str());
+  RFMIX_OBS_COUNT("svc.cache.disk_corrupt");
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.disk_corrupt;
+  return std::nullopt;
 }
 
 void ResultCache::disk_put(const Hash128& key, const std::string& payload) {
@@ -114,7 +151,7 @@ void ResultCache::disk_put(const Hash128& key, const std::string& payload) {
   {
     std::ofstream out(tmp.str(), std::ios::binary | std::ios::trunc);
     if (!out) return;
-    out << payload;
+    out << kDiskMagic << payload.size() << '\n' << payload << '\n';
     if (!out.good()) {
       out.close();
       std::remove(tmp.str().c_str());

@@ -6,10 +6,19 @@
 // hit is bit-identical to the run that populated the entry — the property
 // the svc/ bit-exactness tests pin down.
 //
+// Disk entries are self-validating: each file is a header line
+// `rfmix-cache 1 <payload_bytes>` followed by the payload and a trailing
+// newline. Reads verify the header, the exact length, and the trailing
+// newline; anything else (truncated write that survived a crash, torn or
+// hand-edited file, a pre-header-format entry) is quarantined by renaming
+// it to `<name>.bad` and treated as a miss — a corrupt entry can cost a
+// recompute, never a wrong or torn payload.
+//
 // Thread safety: every public method is safe to call concurrently; the
 // cache never calls user code while holding its lock. Counters
-// (svc.cache.hit/miss/evict/store, svc.cache.disk_hit/disk_store) mirror
-// the Stats struct into the obs registry so run reports carry them.
+// (svc.cache.hit/miss/evict/store, svc.cache.disk_hit/disk_store/
+// disk_corrupt) mirror the Stats struct into the obs registry so run
+// reports carry them.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,7 @@ class ResultCache {
     std::uint64_t stores = 0;
     std::uint64_t disk_hits = 0;   // subset of hits satisfied from disk
     std::uint64_t disk_stores = 0;
+    std::uint64_t disk_corrupt = 0;  // entries quarantined to <name>.bad
   };
 
   /// `max_entries` bounds the in-memory LRU; `disk_dir` enables

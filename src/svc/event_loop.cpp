@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "svc/fault.hpp"
 
 namespace rfmix::svc {
 
@@ -252,8 +253,10 @@ void ServerLoop::read_from(Conn& conn) {
 
 void ServerLoop::write_to(Conn& conn) {
   while (conn.wpos < conn.wbuf.size()) {
-    const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.wpos,
-                             conn.wbuf.size() - conn.wpos, MSG_NOSIGNAL);
+    fault::maybe_stall();
+    const std::size_t want = fault::clamp_write(conn.wbuf.size() - conn.wpos);
+    const ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.wpos, want,
+                             MSG_NOSIGNAL);
     if (n > 0) {
       RFMIX_OBS_COUNT_N("svc.server.bytes_out", n);
       conn.wpos += static_cast<std::size_t>(n);
@@ -261,12 +264,17 @@ void ServerLoop::write_to(Conn& conn) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
+    // EPIPE/ECONNRESET: the peer hung up with responses still queued.
+    // Strictly that peer's problem — reap this connection, serve the rest.
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET))
+      RFMIX_OBS_COUNT("svc.server.peer_resets");
     conn.dead = true;
     return;
   }
   if (conn.wpos == conn.wbuf.size()) {
     conn.wbuf.clear();
     conn.wpos = 0;
+    if (conn.drop_after_flush) conn.dead = true;
   } else if (conn.wpos > (1u << 16)) {
     conn.wbuf.erase(0, conn.wpos);
     conn.wpos = 0;
@@ -274,9 +282,16 @@ void ServerLoop::write_to(Conn& conn) {
 }
 
 void ServerLoop::enqueue_response(Conn& conn, const Response& r) {
+  fault::on_response_write();
   conn.wbuf += r.line;
   conn.wbuf.push_back('\n');
+  if (fault::should_drop_conn()) conn.drop_after_flush = true;
   RFMIX_OBS_COUNT("svc.server.responses");
+  // Eager flush: put the response on the wire now instead of waiting a
+  // full poll round-trip (EAGAIN leaves the tail for POLLOUT as before).
+  // Besides the latency, this bounds what a mid-batch crash can destroy
+  // to the single response being built, not a whole drained batch.
+  if (!conn.dead) write_to(conn);
 }
 
 void ServerLoop::dispatch_buffered(Conn& conn) {

@@ -99,6 +99,7 @@ class ServerLoop {
     bool discard_input = false; // shutdown: unparsed bytes are dropped
     bool paused = false;        // backpressure: POLLIN disabled
     bool dead = false;          // I/O error: reaped without draining
+    bool drop_after_flush = false;  // fault drop_conn: hang up once drained
   };
 
   struct Completion {

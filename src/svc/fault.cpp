@@ -1,0 +1,126 @@
+#include "svc/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace rfmix::svc::fault {
+
+namespace {
+
+Spec g_spec;  // written once at startup (install), read from I/O threads
+std::atomic<Kind> g_kind{Kind::kNone};
+std::atomic<std::uint64_t> g_hits{0};
+
+std::uint64_t parse_u64(std::string_view tok, std::string_view what) {
+  if (tok.empty()) throw std::invalid_argument("fault spec: empty " + std::string(what));
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("fault spec: bad " + std::string(what) + " '" +
+                                  std::string(tok) + "'");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+Spec parse_spec(std::string_view text) {
+  Spec spec;
+  std::size_t start = 0;
+  bool have_kind = false;
+  while (start <= text.size()) {
+    const std::size_t semi = text.find(';', start);
+    std::string_view tok = text.substr(
+        start, semi == std::string_view::npos ? std::string_view::npos : semi - start);
+    if (tok.empty())
+      throw std::invalid_argument("fault spec: empty token in '" + std::string(text) + "'");
+    const std::size_t colon = tok.find(':');
+    const std::string_view name = tok.substr(0, colon);
+    const std::string_view arg =
+        colon == std::string_view::npos ? std::string_view{} : tok.substr(colon + 1);
+    if (name == "seed") {
+      spec.seed = parse_u64(arg, "seed");
+    } else if (have_kind) {
+      throw std::invalid_argument("fault spec: more than one fault in '" +
+                                  std::string(text) + "'");
+    } else if (name == "crash_after") {
+      spec.kind = Kind::kCrashAfter;
+      spec.n = parse_u64(arg, "crash_after count");
+      if (spec.n == 0)
+        throw std::invalid_argument("fault spec: crash_after count must be >= 1");
+      have_kind = true;
+    } else if (name == "stall_ms") {
+      spec.kind = Kind::kStallMs;
+      spec.ms = static_cast<double>(parse_u64(arg, "stall_ms duration"));
+      have_kind = true;
+    } else if (name == "torn_write") {
+      if (colon != std::string_view::npos)
+        throw std::invalid_argument("fault spec: torn_write takes no argument");
+      spec.kind = Kind::kTornWrite;
+      have_kind = true;
+    } else if (name == "drop_conn") {
+      if (colon != std::string_view::npos)
+        throw std::invalid_argument("fault spec: drop_conn takes no argument");
+      spec.kind = Kind::kDropConn;
+      have_kind = true;
+    } else {
+      throw std::invalid_argument("fault spec: unknown fault '" + std::string(name) +
+                                  "' (crash_after:N, stall_ms:M, torn_write, drop_conn)");
+    }
+    if (semi == std::string_view::npos) break;
+    start = semi + 1;
+  }
+  if (!have_kind)
+    throw std::invalid_argument("fault spec: no fault named in '" + std::string(text) + "'");
+  return spec;
+}
+
+void install(const Spec& spec) {
+  g_spec = spec;
+  g_hits.store(spec.seed, std::memory_order_relaxed);
+  g_kind.store(spec.kind, std::memory_order_release);
+}
+
+void init_from_env() {
+  const char* env = std::getenv("RFMIX_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  install(parse_spec(env));
+}
+
+const Spec& spec() { return g_spec; }
+
+void on_response_write() {
+  if (g_kind.load(std::memory_order_acquire) != Kind::kCrashAfter) return;
+  const std::uint64_t hit = g_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hit >= g_spec.n) {
+#ifndef _WIN32
+    ::_exit(kCrashExitCode);
+#else
+    std::_Exit(kCrashExitCode);
+#endif
+  }
+}
+
+void maybe_stall() {
+  if (g_kind.load(std::memory_order_acquire) != Kind::kStallMs) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(g_spec.ms));
+}
+
+std::size_t clamp_write(std::size_t want) {
+  if (g_kind.load(std::memory_order_acquire) != Kind::kTornWrite) return want;
+  return want == 0 ? 0 : 1;
+}
+
+bool should_drop_conn() {
+  return g_kind.load(std::memory_order_acquire) == Kind::kDropConn;
+}
+
+}  // namespace rfmix::svc::fault

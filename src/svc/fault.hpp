@@ -1,0 +1,86 @@
+// Deterministic fault injection for the service transports.
+//
+// A single process-wide FaultSpec — parsed from RFMIX_FAULT by the
+// daemon binaries (rfmixd, rfmix-router), or installed programmatically by
+// tests — is honored at well-defined injection sites in the I/O paths:
+//
+//   RFMIX_FAULT=crash_after:N   _exit(66) immediately after the N-th
+//                               response is queued for writing (a crash
+//                               with work in flight, the replay test case)
+//   RFMIX_FAULT=stall_ms:M      sleep M ms before every socket write (a
+//                               hung-but-alive worker, the heartbeat case)
+//   RFMIX_FAULT=torn_write      every send(2) moves at most one byte, so
+//                               responses are torn across many packets
+//   RFMIX_FAULT=drop_conn       hang up on a connection right after its
+//                               first response flushes
+//
+// A spec may carry ";seed:K": the hit counter starts at K, shifting which
+// hit fires without changing anything else — runs are reproducible by
+// construction (counter-based, no wall clock, no entropy). With no spec
+// installed every hook compiles down to a cheap atomic load of "off".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rfmix::svc::fault {
+
+enum class Kind {
+  kNone,
+  kCrashAfter,  // _exit after the n-th response write
+  kStallMs,     // sleep before every write
+  kTornWrite,   // 1-byte writes
+  kDropConn,    // close a connection after its first response
+};
+
+/// What crash_after exits with — distinct from every exit code the
+/// daemons use for real errors, so the supervisor's logs tell an injected
+/// crash from a genuine one.
+inline constexpr int kCrashExitCode = 66;
+
+struct Spec {
+  Kind kind = Kind::kNone;
+  std::uint64_t n = 0;      // crash_after threshold (1-based)
+  double ms = 0.0;          // stall duration
+  std::uint64_t seed = 0;   // initial hit-counter value
+};
+
+/// Parse "crash_after:N" / "stall_ms:M" / "torn_write" / "drop_conn",
+/// optionally followed by ";seed:K". Throws std::invalid_argument with the
+/// offending token on anything else (a typo'd fault plan must fail loudly,
+/// not silently run fault-free).
+Spec parse_spec(std::string_view text);
+
+/// Install `spec` process-wide (replacing any previous one) and reset the
+/// hit counter to spec.seed.
+void install(const Spec& spec);
+
+/// install(parse_spec($RFMIX_FAULT)) when the variable is set and
+/// non-empty; no-op otherwise. Called once from daemon main()s — library
+/// code never reads the environment, so in-process tests stay fault-free
+/// unless they opt in via install().
+void init_from_env();
+
+/// The active spec (kind == kNone when faults are off).
+const Spec& spec();
+inline bool enabled() { return spec().kind != Kind::kNone; }
+
+// --- Injection sites -------------------------------------------------------
+
+/// Response-queued site. Counts one hit; fires crash_after when the
+/// counter reaches n.
+void on_response_write();
+
+/// Pre-write site: blocks the calling thread for spec.ms under stall_ms.
+void maybe_stall();
+
+/// Write-size site: the byte budget for one send(2) (1 under torn_write,
+/// `want` otherwise).
+std::size_t clamp_write(std::size_t want);
+
+/// Post-flush site: true under drop_conn — the caller should hang up.
+bool should_drop_conn();
+
+}  // namespace rfmix::svc::fault

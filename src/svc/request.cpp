@@ -296,6 +296,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kExecFailed: return "exec_failed";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "internal_error";
 }
@@ -464,6 +465,101 @@ std::string request_canonical(const Request& req) {
 }
 
 Hash128 request_key(const Request& req) { return hash128(request_canonical(req)); }
+
+namespace {
+
+/// Every MixerConfig field, spelled exactly the way set_config_number
+/// accepts it (the worker parses strictly: an unknown field is an error,
+/// a missing one silently keeps its default — so serialize all of them).
+void serialize_mixer_config(std::string& out, const core::MixerConfig& c) {
+  out += "{\"mode\":";
+  out += json::quoted(frontend::mode_name(c.mode));
+  const auto field = [&out](std::string_view name, double v) {
+    out += ",\"";
+    out += name;
+    out += "\":";
+    out += json::number(v);
+  };
+  field("temperature_k", c.temperature_k);
+  field("vdd", c.vdd);
+  field("f_lo_hz", c.f_lo_hz);
+  field("lo_amplitude", c.lo_amplitude);
+  field("lo_common_mode", c.lo_common_mode);
+  field("lo_rise_fraction", c.lo_rise_fraction);
+  field("lo_phase_frac", c.lo_phase_frac);
+  field("rf_series_r", c.rf_series_r);
+  field("tca_gm", c.tca_gm);
+  field("tca_rout", c.tca_rout);
+  field("tca_cpar", c.tca_cpar);
+  field("tca_bias_ma", c.tca_bias_ma);
+  field("tca_nf_gamma", c.tca_nf_gamma);
+  field("tca_flicker_corner_hz", c.tca_flicker_corner_hz);
+  field("quad_w", c.quad_w);
+  field("quad_ron", c.quad_ron);
+  field("quad_l", c.quad_l);
+  field("sw12_w", c.sw12_w);
+  field("rdeg", c.rdeg);
+  field("rdeg_ideal_extra", c.rdeg_ideal_extra);
+  field("tg_resistance", c.tg_resistance);
+  field("cc_load", c.cc_load);
+  field("tia_rf", c.tia_rf);
+  field("tia_cf", c.tia_cf);
+  field("tia_ota_gm", c.tia_ota_gm);
+  field("tia_ota_rout", c.tia_ota_rout);
+  field("tia_ota_gbw_hz", c.tia_ota_gbw_hz);
+  field("tia_bias_ma", c.tia_bias_ma);
+  field("tia_input_noise_nv", c.tia_input_noise_nv);
+  field("tia_flicker_corner_hz", c.tia_flicker_corner_hz);
+  field("active_pair_noise_gm", c.active_pair_noise_gm);
+  field("active_pair_flicker_corner_hz", c.active_pair_flicker_corner_hz);
+  field("lo_buffer_ma", c.lo_buffer_ma);
+  field("bias_overhead_ma", c.bias_overhead_ma);
+  field("core_bias_ma", c.core_bias_ma);
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string serialize_v2_request(const ParsedRequest& req, const std::string& id_json) {
+  std::string out = "{\"v\":2,\"id\":" + id_json + ",\"kind\":" + json::quoted(req.kind);
+  if (req.priority != 0) out += ",\"priority\":" + json::number(double(req.priority));
+  if (req.timeout_ms > 0.0) out += ",\"timeout_ms\":" + json::number(req.timeout_ms);
+  if (req.kind == "cancel") {
+    out += ",\"params\":{\"target\":" + req.cancel_target + "}}";
+    return out;
+  }
+  if (!is_analysis_kind(req.kind)) {  // ping / stats: no params
+    out.push_back('}');
+    return out;
+  }
+  out += ",\"params\":{";
+  const Request& r = req.request;
+  switch (r.kind) {
+    case RequestKind::kOp:
+      out += "\"netlist\":" + json::quoted(r.netlist);
+      break;
+    case RequestKind::kAc:
+      out += "\"netlist\":" + json::quoted(r.netlist);
+      out += ",\"ac\":{\"f_start_hz\":" + json::number(r.ac.f_start_hz);
+      out += ",\"f_stop_hz\":" + json::number(r.ac.f_stop_hz);
+      out += ",\"points\":" + json::number(double(r.ac.points));
+      out += ",\"log_scale\":";
+      out += r.ac.log_scale ? "true" : "false";
+      out += ",\"probe\":" + json::quoted(r.ac.probe);
+      if (!r.ac.probe_ref.empty()) out += ",\"probe_ref\":" + json::quoted(r.ac.probe_ref);
+      out.push_back('}');
+      break;
+    case RequestKind::kMixerMetric:
+      out += "\"metric\":" + json::quoted(core::metric_name(r.metric.metric));
+      out += ",\"f_if_hz\":" + json::number(r.metric.f_if_hz);
+      out += ",\"f_rf_hz\":" + json::number(r.metric.f_rf_hz);
+      out += ",\"config\":";
+      serialize_mixer_config(out, r.metric.config);
+      break;
+  }
+  out += "}}";
+  return out;
+}
 
 std::string execute_request(const Request& req) {
   switch (req.kind) {

@@ -80,6 +80,9 @@ enum class ErrorCode {
                         // convergence failures)
   kTimeout,             // the request's deadline passed before completion
   kCancelled,           // a cancel op removed the request before completion
+  kUnavailable,         // no live worker can take the request (cluster
+                        // degraded); the error object carries
+                        // retry_after_ms as a backoff hint
 };
 
 /// The stable wire name of `code` (e.g. "parse_error").
@@ -118,6 +121,14 @@ bool is_analysis_kind(std::string_view kind);
 /// Parse one request document (any protocol version) into a ParsedRequest.
 /// Throws RequestError on every failure; never partially succeeds.
 ParsedRequest parse_request(const JsonValue& doc);
+
+/// Re-serialize a parsed analysis/control request as one v2 request line
+/// (no trailing newline) with `id_json` substituted for the client's id.
+/// The router forwards through this: parse → re-serialize round-trips to
+/// an identical Request (same canonical bytes, same content key, and so a
+/// byte-identical payload), which is what makes replay after a worker
+/// death transparent.
+std::string serialize_v2_request(const ParsedRequest& req, const std::string& id_json);
 
 /// Parse a mixer-config JSON object (field name -> number, "mode" ->
 /// "active"/"passive") onto `config`. Unknown fields and type mismatches

@@ -17,6 +17,7 @@
 #include "runtime/thread_pool.hpp"
 #include "svc/cache.hpp"
 #include "svc/event_loop.hpp"
+#include "svc/fault.hpp"
 #include "svc/server.hpp"
 
 #ifndef _WIN32
@@ -121,6 +122,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  try {
+    rfmix::svc::fault::init_from_env();
+  } catch (const std::exception& e) {
+    std::cerr << "rfmixd: bad RFMIX_FAULT: " << e.what() << "\n";
+    return 2;
+  }
+
+#ifndef _WIN32
+  // In every mode, not just socket mode: a stdin-mode client that closes
+  // its read end mid-response must surface as a write error, not SIGPIPE
+  // killing the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+
   rfmix::svc::ResultCache cache(max_entries, cache_dir);
   rfmix::svc::ServerSession session(cache, rfmix::runtime::ThreadPool::global());
 
@@ -168,8 +183,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Writes race disconnects by design; EPIPE is handled per-connection.
-  std::signal(SIGPIPE, SIG_IGN);
   g_loop = &loop;
   struct sigaction sa {};
   sa.sa_handler = handle_shutdown_signal;

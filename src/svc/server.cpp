@@ -15,17 +15,6 @@ namespace {
 
 namespace json = obs::json;
 
-/// Response prefix through the "ok" flag, version-dependent: v2 leads with
-/// the envelope version, v1 carries the deprecation marker so legacy
-/// clients see the migration notice on every reply.
-std::string response_head(int version, const std::string& id_json, bool ok) {
-  std::string out = version == 2 ? "{\"v\":2,\"id\":" : "{\"id\":";
-  out += id_json;
-  out += ok ? ",\"ok\":true" : ",\"ok\":false";
-  if (version != 2) out += ",\"deprecated\":true";
-  return out;
-}
-
 std::string stats_json(JobScheduler& sched) {
   const JobScheduler::Stats js = sched.stats();
   const ResultCache::Stats cs = sched.cache().stats();
@@ -42,12 +31,40 @@ std::string stats_json(JobScheduler& sched) {
   out += ",\"stores\":" + json::number(cs.stores);
   out += ",\"disk_hits\":" + json::number(cs.disk_hits);
   out += ",\"disk_stores\":" + json::number(cs.disk_stores);
+  out += ",\"disk_corrupt\":" + json::number(cs.disk_corrupt);
   out += ",\"entries\":" + json::number(std::uint64_t(sched.cache().size()));
   out += "}}";
   return out;
 }
 
 }  // namespace
+
+std::string response_head(int version, const std::string& id_json, bool ok) {
+  std::string out = version == 2 ? "{\"v\":2,\"id\":" : "{\"id\":";
+  out += id_json;
+  out += ok ? ",\"ok\":true" : ",\"ok\":false";
+  if (version != 2) out += ",\"deprecated\":true";
+  return out;
+}
+
+Response make_unavailable_response(int version, const std::string& id_json,
+                                   std::string_view message, double retry_after_ms) {
+  Response r;
+  r.ok = false;
+  r.line = response_head(version, id_json, /*ok=*/false);
+  if (version == 2) {
+    r.line += ",\"error\":{\"code\":\"unavailable\",\"message\":";
+    r.line += json::quoted(message);
+    r.line += ",\"retry_after_ms\":";
+    r.line += json::number(retry_after_ms);
+    r.line += "}}";
+  } else {
+    r.line += ",\"error\":";
+    r.line += json::quoted(message);
+    r.line += "}";
+  }
+  return r;
+}
 
 Response make_error_response(int version, const std::string& id_json, ErrorCode code,
                              std::string_view message, std::size_t offset) {

@@ -43,6 +43,19 @@ inline constexpr std::size_t kNoOffset = static_cast<std::size_t>(-1);
 Response make_error_response(int version, const std::string& id_json, ErrorCode code,
                              std::string_view message, std::size_t offset = kNoOffset);
 
+/// The response prefix through the "ok" flag: `{"v":2,"id":<id>,"ok":b`
+/// for v2, `{"id":<id>,"ok":b,"deprecated":true` for v1. Exposed for the
+/// router, which splices a worker response's tail (everything after this
+/// prefix) onto a head rebuilt in the client's protocol version — so a
+/// routed response is byte-identical to talking to the worker directly.
+std::string response_head(int version, const std::string& id_json, bool ok);
+
+/// The cluster's graceful-degradation answer: an `unavailable` error
+/// carrying `retry_after_ms`, the router's hint for when capacity is
+/// expected back (next restart attempt or breaker cooloff expiry).
+Response make_unavailable_response(int version, const std::string& id_json,
+                                   std::string_view message, double retry_after_ms);
+
 /// Serialize a non-analysis result (ping, stats, cancel) in the request's
 /// protocol version. `result_json` must be one compact JSON value.
 Response make_result_response(const ParsedRequest& req, std::string_view result_json);

@@ -1,0 +1,127 @@
+// Worker supervision for the rfmixd cluster: fork/exec N rfmixd worker
+// daemons (each on its own Unix socket), detect crashes, and restart them
+// with capped exponential backoff and a circuit breaker.
+//
+// The supervisor owns *processes*; the router (router.hpp) owns the
+// *connections* to them. Division of labor per failure mode:
+//  * worker exits (crash, kill -9, crash_after fault) — the router sees
+//    EOF on the worker connection immediately and replays that worker's
+//    in-flight requests elsewhere; the supervisor reaps the child on the
+//    next poll_children() (SIGCHLD wakes the router loop so "next" is
+//    "now") and schedules the respawn;
+//  * worker hangs (stall_ms fault, livelock) — the router's ping
+//    heartbeat times out and it asks the supervisor to kill_worker(),
+//    which turns the hang into the crash case above;
+//  * worker crash-loops — each death within fast_failure_ms of its spawn
+//    doubles the restart delay (capped), and after breaker_threshold
+//    consecutive fast failures the breaker opens: no restarts for
+//    breaker_cooloff_ms, after which one probe respawn is attempted
+//    (half-open) and either closes the breaker or re-opens it.
+//
+// Not thread-safe: every method is called from the router's loop thread.
+// Nothing here blocks — spawning is fork+execv, reaping is WNOHANG, and
+// timed decisions (backoff, breaker) are driven by the caller's clock via
+// poll_children()/spawn_due()/next_event().
+#pragma once
+
+#ifndef _WIN32
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace rfmix::svc {
+
+class Supervisor {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class WorkerState {
+    kDown,      // not running, respawn scheduled (restart_at)
+    kRunning,   // process alive as far as we know
+    kBroken,    // circuit breaker open: respawn deferred to breaker_until
+    kStopped,   // deliberately stopped (shutdown / restart disabled)
+  };
+
+  struct Options {
+    std::string worker_bin;                // path to the rfmixd binary
+    std::vector<std::string> worker_args;  // extra argv (e.g. --max-entries)
+    std::string socket_dir;                // worker sockets live here
+    int workers = 2;
+    bool restart = true;                   // false: a death is permanent
+    double backoff_initial_ms = 50.0;
+    double backoff_cap_ms = 2000.0;
+    double fast_failure_ms = 1000.0;       // uptime below this is a "fast" failure
+    int breaker_threshold = 5;             // consecutive fast failures to open
+    double breaker_cooloff_ms = 10000.0;
+    /// Environment for workers, as "KEY=VALUE" strings appended to the
+    /// parent environment (e.g. a per-worker RFMIX_FAULT plan).
+    std::vector<std::string> worker_env;
+  };
+
+  struct Worker {
+    int index = 0;
+    pid_t pid = -1;
+    std::string socket_path;
+    WorkerState state = WorkerState::kDown;
+    Clock::time_point spawned_at{};
+    Clock::time_point restart_at{};   // kDown: earliest respawn time
+    Clock::time_point breaker_until{};// kBroken: when half-open probing starts
+    double backoff_ms = 0.0;          // next restart delay
+    int fast_failures = 0;            // consecutive, resets on a slow failure
+    std::uint64_t spawn_count = 0;    // restarts = spawn_count - 1
+    int last_exit_status = 0;         // raw waitpid status of the last death
+  };
+
+  explicit Supervisor(Options opts);
+  ~Supervisor();  // kills every running worker (SIGKILL; shutdown() is the
+                  // polite path and should normally run first)
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawn every worker. Returns false (with a reason in *err) when any
+  /// fork/exec setup fails — a worker that execs and then dies is a
+  /// restart case, not a start failure.
+  bool start(std::string* err);
+
+  /// Reap dead children (waitpid WNOHANG loop) and schedule their
+  /// restarts. Returns the indices of workers that died since the last
+  /// call — the router replays their in-flight requests.
+  std::vector<int> poll_children();
+
+  /// Respawn every kDown worker whose restart_at has passed (and probe
+  /// kBroken ones whose cooloff ended). Returns the indices respawned.
+  std::vector<int> spawn_due();
+
+  /// Earliest future time at which spawn_due() would do something, or
+  /// time_point::max() when nothing is scheduled. Bounds the router's
+  /// poll timeout.
+  Clock::time_point next_event() const;
+
+  /// SIGKILL one worker (the heartbeat-timeout path; also the chaos
+  /// hook). The death is then observed by poll_children like any crash.
+  void kill_worker(int index);
+
+  /// Stop everything: SIGTERM all workers, wait up to grace_ms for them
+  /// to exit, SIGKILL stragglers. Workers end kStopped (never restarted).
+  void shutdown(double grace_ms = 2000.0);
+
+  const std::vector<Worker>& workers() const { return workers_; }
+  const Worker& worker(int index) const { return workers_[static_cast<std::size_t>(index)]; }
+  int alive_count() const;
+  const Options& options() const { return opts_; }
+
+ private:
+  bool spawn(Worker& w, std::string* err);
+  void on_death(Worker& w, int status);
+
+  Options opts_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace rfmix::svc
+
+#endif  // _WIN32

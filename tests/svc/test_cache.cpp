@@ -5,6 +5,8 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -99,6 +101,84 @@ TEST(ResultCache, ClearDropsMemoryButNotDisk) {
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(*hit, "V");
   EXPECT_EQ(cache.stats().disk_hits, 1u);
+}
+
+TEST(ResultCache, DiskEntryFormatIsSelfValidating) {
+  TempDir dir("fmt");
+  ResultCache cache(8, dir.str());
+  cache.put(key_of("k"), "PAYLOAD\nWITH\nNEWLINES");
+  // One entry file, header + payload + trailing newline.
+  ResultCache fresh(8, dir.str());
+  const auto hit = fresh.get(key_of("k"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "PAYLOAD\nWITH\nNEWLINES");  // embedded newlines survive
+  EXPECT_EQ(fresh.stats().disk_corrupt, 0u);
+}
+
+TEST(ResultCache, CorruptDiskEntriesAreQuarantinedAndMiss) {
+  TempDir dir("corrupt");
+  fs::create_directories(dir.str());
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  const std::vector<Case> cases = {
+      {"empty", ""},
+      {"garbage", "not a cache entry at all"},
+      {"pre-header legacy payload", "{\"v\":1}"},
+      {"truncated payload", "rfmix-cache 1 100\nonly a few bytes\n"},
+      {"missing trailing newline", "rfmix-cache 1 4\nBODY"},
+      {"length too short", "rfmix-cache 1 2\nBODY\n"},
+      {"bad version", "rfmix-cache 9 4\nBODY\n"},
+      {"no length", "rfmix-cache 1 \nBODY\n"},
+  };
+  int quarantined = 0;
+  for (const Case& c : cases) {
+    ResultCache cache(8, dir.str());
+    const Hash128 key = key_of(c.name);
+    const std::string path = dir.str() + "/" + key.hex() + ".json";
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << c.bytes;
+    }
+    EXPECT_FALSE(cache.get(key).has_value()) << c.name;
+    EXPECT_EQ(cache.stats().disk_corrupt, 1u) << c.name;
+    EXPECT_EQ(cache.stats().misses, 1u) << c.name;
+    // Quarantined, not deleted and not retried: the entry file is gone,
+    // a .bad file holds the original bytes for post-mortems.
+    EXPECT_FALSE(fs::exists(path)) << c.name;
+    ASSERT_TRUE(fs::exists(path + ".bad")) << c.name;
+    std::ifstream in(path + ".bad", std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), c.bytes) << c.name;
+    ++quarantined;
+    // A re-put heals the slot: the next get hits cleanly.
+    cache.clear();
+    cache.put(key, "healed");
+    ResultCache fresh(8, dir.str());
+    const auto hit = fresh.get(key);
+    ASSERT_TRUE(hit.has_value()) << c.name;
+    EXPECT_EQ(*hit, "healed") << c.name;
+  }
+  EXPECT_EQ(quarantined, static_cast<int>(cases.size()));
+}
+
+TEST(ResultCache, CorruptEntryDoesNotMaskMemoryTier) {
+  TempDir dir("mask");
+  ResultCache cache(8, dir.str());
+  cache.put(key_of("k"), "GOOD");
+  // Vandalize the disk file behind the cache's back; the memory tier
+  // still answers and the disk file is untouched until a disk probe.
+  const std::string path = dir.str() + "/" + key_of("k").hex() + ".json";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "junk";
+  }
+  const auto hit = cache.get(key_of("k"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "GOOD");
+  EXPECT_EQ(cache.stats().disk_corrupt, 0u);
 }
 
 TEST(ResultCache, ConcurrentMixedUseIsSafe) {

@@ -398,6 +398,33 @@ TEST_F(EventLoopTest, EofWithUnterminatedFinalLineStillAnswers) {
   EXPECT_EQ(lines[0], R"({"v":2,"id":"last","ok":true,"result":{"pong":true}})");
 }
 
+TEST_F(EventLoopTest, PeerDisconnectMidResponseIsConnectionCleanupNotDeath) {
+  // A client that vanishes with responses still owed must cost exactly its
+  // own connection: the pending write hits EPIPE/ECONNRESET (SIGPIPE is
+  // suppressed via MSG_NOSIGNAL), the conn is reaped, and unrelated
+  // clients are unaffected.
+  start();
+  {
+    Client doomed;
+    ASSERT_TRUE(doomed.connect_to(path_));
+    std::string burst;
+    for (int i = 0; i < 4; ++i) burst += slow_request(std::to_string(i), 70 + i) + "\n";
+    ASSERT_TRUE(doomed.send_all(burst));
+    // Destructor closes the socket with all four responses unread and the
+    // analyses still running.
+  }
+  // The loop keeps serving: a fresh client gets normal service while the
+  // orphaned completions are written into the void and cleaned up.
+  Client c;
+  ASSERT_TRUE(c.connect_to(path_));
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(c.send_all("{\"v\":2,\"id\":7,\"kind\":\"ping\"}\n"));
+    const auto lines = c.read_lines(1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], R"({"v":2,"id":7,"ok":true,"result":{"pong":true}})");
+  }
+}
+
 }  // namespace
 }  // namespace rfmix::svc
 
