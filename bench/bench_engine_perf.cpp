@@ -11,13 +11,23 @@
 #include "mathx/sparse.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
+#include "spice/devices_passive.hpp"
+#include "spice/devices_sources.hpp"
 #include "spice/montecarlo.hpp"
+#include "spice/mosfet.hpp"
 #include "spice/op.hpp"
+#include "spice/pss.hpp"
+#include "spice/solver.hpp"
+#include "spice/tech65.hpp"
 #include "spice/tran.hpp"
 
 namespace {
 
 using namespace rfmix;
+
+mathx::SolverMode mode_arg(const benchmark::State& state) {
+  return state.range(0) == 0 ? mathx::SolverMode::kClassic : mathx::SolverMode::kReuse;
+}
 
 void BM_DenseLuSolve(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -74,7 +84,12 @@ void BM_MixerOperatingPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_MixerOperatingPoint)->Arg(0)->Arg(1);
 
+// Arg 0 = classic (analyze every factorization), 1 = reuse (analyze once,
+// refactor per Newton iteration). The ratio of these two is the headline
+// number for the solver fast path: a Newton-heavy transient does hundreds
+// of factorizations on one unchanging sparsity pattern.
 void BM_MixerTransientSteps(benchmark::State& state) {
+  mathx::ScopedSolverMode scoped(mode_arg(state));
   core::MixerConfig cfg;
   cfg.mode = core::MixerMode::kActive;
   auto mixer = core::build_transistor_mixer(cfg);
@@ -88,7 +103,86 @@ void BM_MixerTransientSteps(benchmark::State& state) {
   }
   state.SetItemsProcessed(steps);
 }
-BENCHMARK(BM_MixerTransientSteps);
+BENCHMARK(BM_MixerTransientSteps)->Arg(0)->Arg(1);
+
+void BM_MixerPssPeriods(benchmark::State& state) {
+  mathx::ScopedSolverMode scoped(mode_arg(state));
+  core::MixerConfig cfg;
+  cfg.mode = core::MixerMode::kActive;
+  for (auto _ : state) {
+    auto mixer = core::build_transistor_mixer(cfg);
+    spice::PssOptions opts;
+    opts.samples_per_period = 32;
+    opts.max_periods = 4;
+    opts.min_periods = 2;
+    auto result = spice::periodic_steady_state(mixer->circuit, 1.0 / cfg.f_lo_hz, opts);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MixerPssPeriods)->Arg(0)->Arg(1);
+
+// The raw kernel behind the engine ratio: numeric refactorization against a
+// pinned symbolic vs a from-scratch analyzing factorization of the same
+// matrix (pattern discovery + pivot search).
+void BM_SparseLuRefactor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  mathx::Rng rng(2);
+  mathx::TripletMatrix<double> t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.add(i, i, 6.0 + rng.uniform());
+    for (int k = 0; k < 4; ++k) t.add(i, rng.uniform_index(n), rng.normal() * 0.3);
+  }
+  const mathx::CscMatrix<double> a(t);
+  mathx::SparseLuSymbolic<double> sym;
+  const mathx::SparseLu<double> analyzed(a, sym);
+  mathx::SparseLu<double> lu;
+  mathx::VectorD b(n, 1.0);
+  for (auto _ : state) {
+    const bool ok = lu.refactor_from(sym, a);
+    benchmark::DoNotOptimize(ok);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_SparseLuRefactor)->Arg(128)->Arg(512)->Arg(1024);
+
+// Solver-mode scaling probe: an N-stage RC-coupled common-source ladder
+// (2N+4 unknowns) under a sine drive. Unlike the mixer, whose Jacobian
+// magnitudes barely reorder between steps, the swinging ladder makes
+// partial pivoting drift often — this is the case the drift-repair path
+// exists for (without it, reuse pays a wasted partial refactor plus a full
+// re-analysis per drift and loses to classic at large N).
+// Args: (stages, 0=classic/1=reuse).
+void BM_NewtonLadderTransient(benchmark::State& state) {
+  const int stages = static_cast<int>(state.range(0));
+  mathx::ScopedSolverMode scoped(state.range(1) == 0 ? mathx::SolverMode::kClassic
+                                                     : mathx::SolverMode::kReuse);
+  for (auto _ : state) {
+    spice::Circuit c;
+    const auto vdd = c.node("vdd");
+    const auto in = c.node("in");
+    c.add<spice::VoltageSource>("Vdd", vdd, spice::kGround, spice::Waveform::dc(1.2));
+    c.add<spice::VoltageSource>("Vin", in, spice::kGround,
+                                spice::Waveform::sine(0.05, 1e9, 0.0));
+    spice::NodeId prev = in;
+    for (int i = 0; i < stages; ++i) {
+      const auto g = c.node("g" + std::to_string(i));
+      const auto d = c.node("d" + std::to_string(i));
+      c.add<spice::Capacitor>("Cc" + std::to_string(i), prev, g, 1e-12);
+      c.add<spice::Resistor>("Rb1" + std::to_string(i), vdd, g, 200e3);
+      c.add<spice::Resistor>("Rb2" + std::to_string(i), g, spice::kGround, 120e3);
+      c.add<spice::Mosfet>("M" + std::to_string(i), d, g, spice::kGround,
+                           spice::kGround, spice::tech65::nmos(4e-6));
+      c.add<spice::Resistor>("Rl" + std::to_string(i), vdd, d, 2e3);
+      c.add<spice::Capacitor>("Cl" + std::to_string(i), d, spice::kGround, 20e-15);
+      prev = d;
+    }
+    const double dt = 1.0 / (1e9 * 16);
+    auto result = spice::transient(c, 100 * dt, dt, {{prev, spice::kGround, "out"}});
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NewtonLadderTransient)
+    ->Args({8, 0})->Args({8, 1})->Args({64, 0})->Args({64, 1});
 
 void BM_LptvConversionGain(benchmark::State& state) {
   core::MixerConfig cfg;

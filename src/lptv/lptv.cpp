@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "mathx/fft.hpp"
+#include "mathx/solver_config.hpp"
 #include "mathx/sparse.hpp"
 #include "mathx/units.hpp"
 #include "obs/obs.hpp"
@@ -115,37 +116,79 @@ Complex PacSolution::v(int k, int node) const {
 
 // ---------------------------------------------------------------------------
 
+/// Shared analyze-once state for one direction (forward or adjoint) of the
+/// block system: the first base-frequency point to factor publishes the
+/// pivot order and symbolic structure under the once_flag; every later
+/// point refactors against the immutable symbolic.
+struct ConversionAnalysis::LuShared {
+  std::once_flag once;
+  std::shared_ptr<const mathx::SparseLuSymbolic<Complex>> sym;
+
+  /// Numerically factor `mat`, reusing (or, first time through, publishing)
+  /// this cache's shared symbolic. Counts one lptv.lu.factorizations per
+  /// call regardless of path, so the 2-per-(gain+noise)-point invariant is
+  /// unchanged from the analyze-every-time implementation.
+  std::unique_ptr<mathx::SparseLu<Complex>> factor(const mathx::CscMatrix<Complex>& mat);
+};
+
+std::unique_ptr<mathx::SparseLu<Complex>> ConversionAnalysis::LuShared::factor(
+    const mathx::CscMatrix<Complex>& mat) {
+  LuShared& cache = *this;
+  RFMIX_OBS_COUNT("lptv.lu.factorizations");
+  if (mathx::solver_mode() == mathx::SolverMode::kClassic) {
+    RFMIX_OBS_COUNT("lptv.lu.analyze");
+    return std::make_unique<mathx::SparseLu<Complex>>(mat);
+  }
+  std::unique_ptr<mathx::SparseLu<Complex>> analyzed;
+  std::call_once(cache.once, [&] {
+    auto sym = std::make_shared<mathx::SparseLuSymbolic<Complex>>();
+    RFMIX_OBS_COUNT("lptv.lu.analyze");
+    analyzed = std::make_unique<mathx::SparseLu<Complex>>(mat, *sym);
+    cache.sym = std::move(sym);
+  });
+  if (analyzed) return analyzed;
+  if (cache.sym->pattern_matches(mat)) {
+    auto lu = std::make_unique<mathx::SparseLu<Complex>>();
+    if (lu->refactor_from(*cache.sym, mat)) {
+      RFMIX_OBS_COUNT("lptv.lu.refactor");
+      return lu;
+    }
+  }
+  // Pattern or pivot disagreement at this base frequency: analyze privately
+  // without touching the shared symbolic (still bit-identical to classic).
+  RFMIX_OBS_COUNT("lptv.lu.fallback");
+  RFMIX_OBS_COUNT("lptv.lu.analyze");
+  return std::make_unique<mathx::SparseLu<Complex>>(mat);
+}
+
 /// Assembled block system at one base frequency. The forward and adjoint
 /// factorizations are built lazily (and thread-safely) on first use: a
 /// gain-only point never pays for the adjoint factor, and a noise-only
 /// point never pays for the forward one.
 struct ConversionAnalysis::Factored::System {
+  const ConversionAnalysis* an;
   mathx::CscMatrix<Complex> a;
   mathx::CscMatrix<Complex> at;
   mutable std::once_flag once_fwd, once_adj;
   mutable std::unique_ptr<mathx::SparseLu<Complex>> fwd, adj;
 
-  System(mathx::CscMatrix<Complex> a_in, mathx::CscMatrix<Complex> at_in)
-      : a(std::move(a_in)), at(std::move(at_in)) {}
+  System(const ConversionAnalysis* an_in, mathx::CscMatrix<Complex> a_in,
+         mathx::CscMatrix<Complex> at_in)
+      : an(an_in), a(std::move(a_in)), at(std::move(at_in)) {}
 
   const mathx::SparseLu<Complex>& forward() const {
-    std::call_once(once_fwd, [&] {
-      RFMIX_OBS_COUNT("lptv.lu.factorizations");
-      fwd = std::make_unique<mathx::SparseLu<Complex>>(a);
-    });
+    std::call_once(once_fwd, [&] { fwd = an->lu_fwd_->factor(a); });
     return *fwd;
   }
   const mathx::SparseLu<Complex>& adjoint() const {
-    std::call_once(once_adj, [&] {
-      RFMIX_OBS_COUNT("lptv.lu.factorizations");
-      adj = std::make_unique<mathx::SparseLu<Complex>>(at);
-    });
+    std::call_once(once_adj, [&] { adj = an->lu_adj_->factor(at); });
     return *adj;
   }
 };
 
 ConversionAnalysis::ConversionAnalysis(const LptvCircuit& ckt, ConversionOptions opts)
-    : ckt_(ckt), opts_(opts) {
+    : ckt_(ckt), opts_(opts),
+      lu_fwd_(std::make_unique<LuShared>()), lu_adj_(std::make_unique<LuShared>()) {
   if (opts_.harmonics < 1) throw std::invalid_argument("harmonics must be >= 1");
   if (ckt_.num_samples() < 4 * opts_.harmonics + 2)
     throw std::invalid_argument(
@@ -154,6 +197,8 @@ ConversionAnalysis::ConversionAnalysis(const LptvCircuit& ckt, ConversionOptions
   block_count_ = 2 * opts_.harmonics + 1;
   if (n_unknowns_ < 1) throw std::invalid_argument("LPTV circuit has no nodes");
 }
+
+ConversionAnalysis::~ConversionAnalysis() = default;
 
 std::vector<Complex> ConversionAnalysis::fourier_coeffs(const PeriodicWave& w) const {
   // W_m = (1/M) sum_n w[n] e^{-j 2 pi m n / M}; FFT gives all m in one pass.
@@ -239,7 +284,7 @@ ConversionAnalysis::Factored::Factored(const ConversionAnalysis* an, double f_ba
       }
   }
 
-  sys_ = std::make_shared<System>(mathx::CscMatrix<Complex>(a),
+  sys_ = std::make_shared<System>(an, mathx::CscMatrix<Complex>(a),
                                   mathx::CscMatrix<Complex>(at));
 }
 

@@ -147,6 +147,9 @@ struct LptvNoiseResult {
 class ConversionAnalysis {
  public:
   ConversionAnalysis(const LptvCircuit& ckt, ConversionOptions opts);
+  ~ConversionAnalysis();
+  ConversionAnalysis(const ConversionAnalysis&) = delete;
+  ConversionAnalysis& operator=(const ConversionAnalysis&) = delete;
 
   /// The assembled block system at one base frequency, reusable across any
   /// number of injection and adjoint solves. Forward and adjoint LU
@@ -207,6 +210,14 @@ class ConversionAnalysis {
   ConversionOptions opts_;
   int n_unknowns_;  // nodes minus ground
   int block_count_; // 2K+1
+
+  // Shared analyze-once symbolic LU patterns (mathx::SparseLuSymbolic behind
+  // an opaque holder so this header stays light). The block-system sparsity
+  // is fixed by (circuit, K), not by f_base, so the first factor() pays a
+  // full analysis per direction and every later base-frequency point only
+  // refactors. Mutable: factor() is const but warms these caches.
+  struct LuShared;
+  mutable std::unique_ptr<LuShared> lu_fwd_, lu_adj_;
 };
 
 }  // namespace rfmix::lptv

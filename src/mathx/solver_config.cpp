@@ -1,0 +1,39 @@
+#include "mathx/solver_config.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rfmix::mathx {
+
+namespace {
+
+std::atomic<int> g_mode{-1};  // -1 = not yet read from the environment
+
+int mode_from_env() {
+  const char* e = std::getenv("RFMIX_SOLVER");
+  if (e == nullptr || *e == '\0') return static_cast<int>(SolverMode::kReuse);
+  const std::string v(e);
+  if (v == "classic") return static_cast<int>(SolverMode::kClassic);
+  if (v == "reuse") return static_cast<int>(SolverMode::kReuse);
+  throw std::invalid_argument("RFMIX_SOLVER must be 'classic' or 'reuse', got '" + v + "'");
+}
+
+}  // namespace
+
+SolverMode solver_mode() {
+  int m = g_mode.load(std::memory_order_relaxed);
+  if (m < 0) {
+    // Benign race: concurrent first calls parse the same environment value.
+    m = mode_from_env();
+    g_mode.store(m, std::memory_order_relaxed);
+  }
+  return static_cast<SolverMode>(m);
+}
+
+void set_solver_mode(SolverMode m) {
+  g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+}  // namespace rfmix::mathx

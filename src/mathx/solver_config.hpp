@@ -1,0 +1,34 @@
+// Process-wide numeric solver mode. `kReuse` enables the analyze-once/
+// refactor-per-step sparse LU fast path (see docs/solver.md); `kClassic`
+// re-analyzes every factorization. Results are byte-identical in both modes
+// by construction — the switch exists so the parity test harness, CI lanes
+// and benchmarks can pin either path.
+//
+// The default comes from the RFMIX_SOLVER environment variable
+// ("classic" | "reuse"; unset means "reuse"); tests and benchmarks override
+// it at runtime through set_solver_mode / ScopedSolverMode.
+#pragma once
+
+namespace rfmix::mathx {
+
+enum class SolverMode { kClassic, kReuse };
+
+/// Current mode; first call reads RFMIX_SOLVER (throws std::invalid_argument
+/// on an unrecognized value).
+SolverMode solver_mode();
+
+void set_solver_mode(SolverMode m);
+
+/// RAII mode override for tests and benchmarks.
+class ScopedSolverMode {
+ public:
+  explicit ScopedSolverMode(SolverMode m) : saved_(solver_mode()) { set_solver_mode(m); }
+  ~ScopedSolverMode() { set_solver_mode(saved_); }
+  ScopedSolverMode(const ScopedSolverMode&) = delete;
+  ScopedSolverMode& operator=(const ScopedSolverMode&) = delete;
+
+ private:
+  SolverMode saved_;
+};
+
+}  // namespace rfmix::mathx

@@ -68,72 +68,237 @@ std::vector<T> CscMatrix<T>::multiply(const std::vector<T>& x) const {
   return y;
 }
 
+template <typename T>
+void TripletCscMap<T>::build(const TripletMatrix<T>& t) {
+  rows_ = t.rows();
+  cols_ = t.cols();
+  trip_rows_ = t.row_indices();
+  trip_cols_ = t.col_indices();
+  const auto& tr = trip_rows_;
+  const auto& tc = trip_cols_;
+  const std::size_t m = tr.size();
+
+  // Mirror the CscMatrix(TripletMatrix) constructor step for step — count,
+  // prefix-sum, scatter in arrival order, per-column sort by row — but
+  // record where each entry lands instead of accumulating values, so the
+  // sort sees the identical index sequence (and thus produces the identical
+  // permutation, ties included).
+  std::vector<std::size_t> cp(cols_ + 1, 0);
+  std::vector<std::size_t> count(cols_, 0);
+  for (std::size_t k = 0; k < m; ++k) ++count[tc[k]];
+  for (std::size_t j = 0; j < cols_; ++j) cp[j + 1] = cp[j] + count[j];
+
+  std::vector<std::size_t> next(cp.begin(), cp.end() - 1);
+  std::vector<std::size_t> ri(m);
+  std::vector<std::size_t> arrival(m);  // scatter position -> arrival index
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t p = next[tc[k]]++;
+    ri[p] = tr[k];
+    arrival[p] = k;
+  }
+
+  walk_src_.clear();
+  walk_dst_.clear();
+  walk_first_.clear();
+  walk_src_.reserve(m);
+  walk_dst_.reserve(m);
+  walk_first_.reserve(m);
+  col_ptr_.assign(cols_ + 1, 0);
+  row_idx_.clear();
+  row_idx_.reserve(m);
+  std::vector<std::size_t> order;
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const std::size_t lo = cp[j], hi = cp[j + 1];
+    order.resize(hi - lo);
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = lo + k;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return ri[a] < ri[b]; });
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const std::size_t p = order[k];
+      const bool dup = col_ptr_[j + 1] > col_ptr_[j] && row_idx_.back() == ri[p];
+      if (!dup) {
+        row_idx_.push_back(ri[p]);
+        ++col_ptr_[j + 1];
+      }
+      walk_src_.push_back(arrival[p]);
+      walk_dst_.push_back(row_idx_.size() - 1);
+      walk_first_.push_back(dup ? 0 : 1);
+    }
+    col_ptr_[j + 1] += col_ptr_[j];
+  }
+}
+
+template <typename T>
+void TripletCscMap<T>::fill(const TripletMatrix<T>& t, CscMatrix<T>& csc) const {
+  const auto& tv = t.values();
+  if (tv.size() != walk_src_.size())
+    throw std::invalid_argument("TripletCscMap::fill: triplet does not match map");
+  if (csc.rows() != rows_ || csc.cols() != cols_ || csc.col_ptr() != col_ptr_ ||
+      csc.row_idx() != row_idx_) {
+    csc = CscMatrix<T>(rows_, cols_, col_ptr_, row_idx_,
+                       std::vector<T>(row_idx_.size(), T{}));
+  }
+  std::vector<T>& v = csc.mutable_values();
+  // Assign-then-accumulate matches the constructor's push_back/+= merge
+  // exactly (an initial `T{} + x` would flip the sign of a -0.0 stamp).
+  for (std::size_t w = 0; w < walk_src_.size(); ++w) {
+    if (walk_first_[w])
+      v[walk_dst_[w]] = tv[walk_src_[w]];
+    else
+      v[walk_dst_[w]] += tv[walk_src_[w]];
+  }
+}
+
+template <typename T>
+SparseLu<T>::SparseLu(const CscMatrix<T>& a, double pivot_tol) {
+  factorize(a, pivot_tol, nullptr, nullptr);
+}
+
+template <typename T>
+SparseLu<T>::SparseLu(const CscMatrix<T>& a, SparseLuSymbolic<T>& sym_out, double pivot_tol) {
+  factorize(a, pivot_tol, nullptr, &sym_out);
+}
+
+template <typename T>
+bool SparseLu<T>::refactor_from(const SparseLuSymbolic<T>& sym, const CscMatrix<T>& a,
+                                double pivot_tol, SparseLuSymbolic<T>* repair,
+                                bool* repaired) {
+  if (repaired) *repaired = false;
+  if (!sym.pattern_matches(a)) {
+    n_ = 0;
+    return false;
+  }
+  return factorize(a, pivot_tol, &sym, repair, repaired);
+}
+
 // Left-looking column LU with partial pivoting, using a dense work column in
 // *original* row coordinates. L columns store original row indices so no
 // renumbering pass is needed; the permutation maps elimination step -> chosen
-// pivot row. The per-column update loop scans all previous columns, which is
-// O(n^2) in symbolic terms but with O(1) work per empty hit — entirely
-// adequate for the <= few-thousand-unknown systems this project builds, and
-// straightforward to reason about.
+// pivot row.
+//
+// Analyze mode (sym == nullptr): the per-column update loop scans all
+// previous columns, which is O(n^2) in symbolic terms but with O(1) work per
+// empty hit — entirely adequate for the <= few-thousand-unknown systems this
+// project builds, and straightforward to reason about.
+//
+// Replay mode (sym != nullptr): the scan is restricted to the symbolic
+// update lists. Those lists are a structural superset of the updates any
+// value assignment can trigger (closure over structure alone, see below), so
+// applying the same value-dependent skips to the restricted list visits
+// exactly the updates the full scan would, in the same ascending order; the
+// scatter sequence — and therefore the discovered pattern order, the pivot
+// scan, and every emitted byte of L and U — is identical to analyze mode as
+// long as the pivot-selection scan picks the pinned pivot. The ascending
+// update order is topologically valid because L column k only holds rows not
+// yet pivoted at step k, so a later update can never touch an earlier pivot
+// row.
 template <typename T>
-SparseLu<T>::SparseLu(const CscMatrix<T>& a, double pivot_tol) : n_(a.rows()) {
+bool SparseLu<T>::factorize(const CscMatrix<T>& a, double pivot_tol,
+                            const SparseLuSymbolic<T>* sym, SparseLuSymbolic<T>* sym_out,
+                            bool* drifted) {
   if (a.rows() != a.cols()) throw std::invalid_argument("SparseLu requires square matrix");
-  const std::size_t n = n_;
+  const bool replay = sym != nullptr;
+  bool drift_repaired = false;
+  const std::size_t n = a.rows();
+  n_ = n;
   l_col_ptr_.assign(n + 1, 0);
   u_col_ptr_.assign(n + 1, 0);
+  l_row_idx_.clear();
+  l_values_.clear();
+  u_row_idx_.clear();
+  u_values_.clear();
   perm_.assign(n, static_cast<std::size_t>(-1));
   perm_inv_.assign(n, static_cast<std::size_t>(-1));
+  if (sym) {
+    l_row_idx_.reserve(sym->l_capacity_);
+    l_values_.reserve(sym->l_capacity_);
+    u_row_idx_.reserve(sym->u_capacity_);
+    u_values_.reserve(sym->u_capacity_);
+  }
 
-  std::vector<T> work(n, T{});      // dense column, original row coords
-  std::vector<char> occupied(n, 0); // nonzero-pattern flags for `work`
-  std::vector<std::size_t> pattern; // rows currently occupied
-  std::vector<char> pivoted(n, 0);  // original row already chosen as pivot?
+  work_.assign(n, T{});      // dense column, original row coords
+  occupied_.assign(n, 0);    // nonzero-pattern flags for `work_`
+  pattern_.clear();          // rows currently occupied
+  pivoted_.assign(n, 0);     // original row already chosen as pivot?
 
   const auto& acp = a.col_ptr();
   const auto& ari = a.row_idx();
   const auto& av = a.values();
 
   auto scatter = [&](std::size_t row, T value) {
-    if (!occupied[row]) {
-      occupied[row] = 1;
-      pattern.push_back(row);
+    if (!occupied_[row]) {
+      occupied_[row] = 1;
+      pattern_.push_back(row);
     }
-    work[row] += value;
+    work_[row] += value;
   };
 
+  auto apply_update = [&](std::size_t k) {
+    const std::size_t piv_row_k = perm_[k];
+    if (!occupied_[piv_row_k]) return;
+    const T ukj = work_[piv_row_k];
+    if (ukj == T{}) return;
+    for (std::size_t p = l_col_ptr_[k]; p < l_col_ptr_[k + 1]; ++p)
+      scatter(l_row_idx_[p], -l_values_[p] * ukj);
+  };
+
+  std::vector<std::pair<std::size_t, T>> ucol;  // (elim step, value)
   for (std::size_t j = 0; j < n; ++j) {
-    pattern.clear();
+    pattern_.clear();
     for (std::size_t p = acp[j]; p < acp[j + 1]; ++p) scatter(ari[p], av[p]);
 
-    // Apply updates from all previous elimination steps in order.
-    for (std::size_t k = 0; k < j; ++k) {
-      const std::size_t piv_row_k = perm_[k];
-      if (!occupied[piv_row_k]) continue;
-      const T ukj = work[piv_row_k];
-      if (ukj == T{}) continue;
-      for (std::size_t p = l_col_ptr_[k]; p < l_col_ptr_[k + 1]; ++p)
-        scatter(l_row_idx_[p], -l_values_[p] * ukj);
+    // Apply updates from previous elimination steps in ascending order.
+    if (sym) {
+      for (std::size_t q = sym->upd_ptr_[j]; q < sym->upd_ptr_[j + 1]; ++q)
+        apply_update(sym->upd_step_[q]);
+    } else {
+      for (std::size_t k = 0; k < j; ++k) apply_update(k);
     }
 
     // Choose pivot among rows not yet pivoted.
     std::size_t piv_row = static_cast<std::size_t>(-1);
     double best = pivot_tol;
-    for (const std::size_t r : pattern) {
-      if (pivoted[r]) continue;
-      const double mag = std::abs(work[r]);
+    for (const std::size_t r : pattern_) {
+      if (pivoted_[r]) continue;
+      const double mag = std::abs(work_[r]);
       if (mag > best) {
         best = mag;
         piv_row = r;
       }
     }
-    if (piv_row == static_cast<std::size_t>(-1)) throw SingularMatrixError(j);
-    const T piv_val = work[piv_row];
+    if (sym) {
+      if (piv_row != sym->perm_[j]) {
+        if (sym_out) {
+          // Drift repair: everything eliminated so far is identical to a
+          // fresh analysis (the restricted scan visits exactly the updates
+          // a full scan would; the pivot scan above is the analyze-mode
+          // scan), so adopt the freshly scanned pivot and continue in
+          // analyze mode — the remaining columns can no longer trust the
+          // old symbolic's update lists.
+          if (piv_row == static_cast<std::size_t>(-1)) throw SingularMatrixError(j);
+          drift_repaired = true;
+          sym = nullptr;
+        } else {
+          // Strict replay: abort so the caller re-analyzes (keeping the
+          // analyze path the only source of pivot decisions).
+          for (const std::size_t r : pattern_) {
+            work_[r] = T{};
+            occupied_[r] = 0;
+          }
+          n_ = 0;
+          return false;
+        }
+      }
+    } else if (piv_row == static_cast<std::size_t>(-1)) {
+      throw SingularMatrixError(j);
+    }
+    const T piv_val = work_[piv_row];
 
     // Emit U column j: previously pivoted rows, ordered by elimination step,
     // then the diagonal last (solve() relies on diagonal-last).
-    std::vector<std::pair<std::size_t, T>> ucol;  // (elim step, value)
-    for (const std::size_t r : pattern) {
-      if (pivoted[r] && work[r] != T{}) ucol.emplace_back(perm_inv_[r], work[r]);
+    ucol.clear();
+    for (const std::size_t r : pattern_) {
+      if (pivoted_[r] && work_[r] != T{}) ucol.emplace_back(perm_inv_[r], work_[r]);
     }
     std::sort(ucol.begin(), ucol.end(),
               [](const auto& x, const auto& y) { return x.first < y.first; });
@@ -146,23 +311,76 @@ SparseLu<T>::SparseLu(const CscMatrix<T>& a, double pivot_tol) : n_(a.rows()) {
     u_col_ptr_[j + 1] = u_values_.size();
 
     // Emit L column j (original row indices, scaled by pivot).
-    for (const std::size_t r : pattern) {
-      if (!pivoted[r] && r != piv_row && work[r] != T{}) {
+    for (const std::size_t r : pattern_) {
+      if (!pivoted_[r] && r != piv_row && work_[r] != T{}) {
         l_row_idx_.push_back(r);
-        l_values_.push_back(work[r] / piv_val);
+        l_values_.push_back(work_[r] / piv_val);
       }
     }
     l_col_ptr_[j + 1] = l_values_.size();
 
     perm_[j] = piv_row;
     perm_inv_[piv_row] = j;
-    pivoted[piv_row] = 1;
+    pivoted_[piv_row] = 1;
 
-    for (const std::size_t r : pattern) {
-      work[r] = T{};
-      occupied[r] = 0;
+    for (const std::size_t r : pattern_) {
+      work_[r] = T{};
+      occupied_[r] = 0;
     }
   }
+
+  // Structure-only closure under the now-pinned permutation. The numeric
+  // factors above drop entries that are exactly zero at the analyzed values;
+  // a symbolic built from them could miss updates that become nonzero at
+  // other values. This pass re-runs the reachability with every structural
+  // entry treated as nonzero, so the update lists cover any value
+  // assignment with this pattern.
+  // In replay mode the caller's symbolic is only rewritten when a drift
+  // actually invalidated it — a clean replay leaves it untouched (it may
+  // alias `sym`; all reads of `sym` happened in the column loop above).
+  if (sym_out && (!replay || drift_repaired)) {
+    SparseLuSymbolic<T>& s = *sym_out;
+    s.n_ = n;
+    s.perm_ = perm_;
+    s.perm_inv_ = perm_inv_;
+    s.pat_col_ptr_ = acp;
+    s.pat_row_idx_ = ari;
+    s.upd_ptr_.assign(n + 1, 0);
+    s.upd_step_.clear();
+    s.l_capacity_ = 0;
+    s.u_capacity_ = 0;
+
+    std::vector<std::size_t> sl_col_ptr(n + 1, 0);
+    std::vector<std::size_t> sl_row_idx;
+    std::vector<char> occ(n, 0);
+    std::vector<std::size_t> pat;
+    for (std::size_t j = 0; j < n; ++j) {
+      pat.clear();
+      auto touch = [&](std::size_t row) {
+        if (!occ[row]) {
+          occ[row] = 1;
+          pat.push_back(row);
+        }
+      };
+      for (std::size_t p = acp[j]; p < acp[j + 1]; ++p) touch(ari[p]);
+      for (std::size_t k = 0; k < j; ++k) {
+        if (!occ[perm_[k]]) continue;
+        s.upd_step_.push_back(k);
+        for (std::size_t p = sl_col_ptr[k]; p < sl_col_ptr[k + 1]; ++p)
+          touch(sl_row_idx[p]);
+      }
+      s.upd_ptr_[j + 1] = s.upd_step_.size();
+      for (const std::size_t r : pat) {
+        if (perm_inv_[r] > j) sl_row_idx.push_back(r);
+        occ[r] = 0;
+      }
+      sl_col_ptr[j + 1] = sl_row_idx.size();
+    }
+    s.l_capacity_ = sl_row_idx.size();
+    s.u_capacity_ = s.upd_step_.size() + n;
+  }
+  if (drifted) *drifted = drift_repaired;
+  return true;
 }
 
 template <typename T>
@@ -189,10 +407,39 @@ std::vector<T> SparseLu<T>::solve(const std::vector<T>& b) const {
   return x;
 }
 
+// With P A = L U (elimination-step coordinates, as in solve()), A^T x = b
+// becomes U^T L^T (P x) = b: a forward solve with U^T (gather form, columns
+// ascending, diagonal stored last), a backward solve with L^T (unit
+// diagonal, entries gathered through perm_inv_), then undo the permutation.
+template <typename T>
+std::vector<T> SparseLu<T>::solve_transposed(const std::vector<T>& b) const {
+  if (b.size() != n_) throw std::invalid_argument("SparseLu::solve_transposed size mismatch");
+  std::vector<T> w(b);
+  for (std::size_t j = 0; j < n_; ++j) {
+    const std::size_t lo = u_col_ptr_[j], hi = u_col_ptr_[j + 1];
+    T s = w[j];
+    for (std::size_t p = lo; p + 1 < hi; ++p) s -= u_values_[p] * w[u_row_idx_[p]];
+    w[j] = s / u_values_[hi - 1];
+  }
+  for (std::size_t jj = n_; jj-- > 0;) {
+    T s = w[jj];
+    for (std::size_t p = l_col_ptr_[jj]; p < l_col_ptr_[jj + 1]; ++p)
+      s -= l_values_[p] * w[perm_inv_[l_row_idx_[p]]];
+    w[jj] = s;
+  }
+  std::vector<T> x(n_);
+  for (std::size_t j = 0; j < n_; ++j) x[perm_[j]] = w[j];
+  return x;
+}
+
 template class TripletMatrix<double>;
 template class TripletMatrix<std::complex<double>>;
 template class CscMatrix<double>;
 template class CscMatrix<std::complex<double>>;
+template class TripletCscMap<double>;
+template class TripletCscMap<std::complex<double>>;
+template class SparseLuSymbolic<double>;
+template class SparseLuSymbolic<std::complex<double>>;
 template class SparseLu<double>;
 template class SparseLu<std::complex<double>>;
 

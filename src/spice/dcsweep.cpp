@@ -6,6 +6,7 @@
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "runtime/parallel_for.hpp"
+#include "spice/solver.hpp"
 
 namespace rfmix::spice {
 
@@ -22,16 +23,20 @@ void sweep_range(Circuit& ckt, VoltageSource& source, double start, double stop,
   StampParams params;
   params.mode = AnalysisMode::kDc;
 
+  // One session per chunk: chunk boundaries are fixed by kDcSweepChunk, so
+  // the analyze/refactor counter totals are identical at any thread count.
+  SolverSession session;
+
   Solution guess = Solution::zeros(layout);
   for (int i = i0; i < i1; ++i) {
     RFMIX_OBS_COUNT("spice.dcsweep.points");
     const double v = start + (stop - start) * i / (points - 1);
     source.set_waveform(Waveform::dc(v));
-    NewtonResult nr = solve_newton(ckt, guess, params, opts.newton);
+    NewtonResult nr = solve_newton(ckt, guess, params, opts.newton, &session);
     if (!nr.converged) {
       // Cold restart through the full homotopy machinery.
       try {
-        nr.solution = dc_operating_point(ckt, opts);
+        nr.solution = dc_operating_point(ckt, opts, &session);
       } catch (const ConvergenceError&) {
         throw ConvergenceError("dc_sweep: no convergence at value " + std::to_string(v));
       }

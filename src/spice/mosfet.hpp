@@ -13,13 +13,18 @@
 // in transient and AC, and ignored in DC.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "spice/device.hpp"
 #include "spice/devices_passive.hpp"
 
 namespace rfmix::spice {
+
+class Circuit;
 
 enum class MosType { kNmos, kPmos };
 enum class MosModelLevel { kEkv, kLevel1 };
@@ -45,6 +50,15 @@ struct MosParams {
   double af = 1.0;           // flicker frequency exponent
 
   double beta() const { return kp * w / l; }
+};
+
+/// One linearization of the DC drain-current model: the signed drain
+/// current plus its partials wrt the absolute terminal voltages. This is
+/// what a Newton iteration stamps; the batch evaluator produces one per
+/// bound transistor per iteration.
+struct MosEval {
+  double ids = 0.0;        // current into drain, out of source (signed)
+  double dg = 0.0, dd = 0.0, ds = 0.0, db = 0.0;  // d ids / d v{g,d,s,b}
 };
 
 /// Operating-point summary of one transistor, exposed for tests, power
@@ -81,6 +95,11 @@ class Mosfet : public Device {
   /// from `op`).
   MosOperatingPoint evaluate(const Solution& op) const;
 
+  /// Linearize the DC drain-current model at the given absolute terminal
+  /// voltages. The batch evaluator routes through this same model core, so
+  /// batch and per-device results are bitwise identical.
+  MosEval eval(double vg, double vd, double vs, double vb) const;
+
   DeviceDesc describe() const override {
     return {"mosfet",
             {d_, g_, s_, b_},
@@ -102,19 +121,59 @@ class Mosfet : public Device {
   }
 
  private:
-  struct Eval {
-    double ids;             // current into drain, out of source (signed)
-    double dg, dd, ds, db;  // partial derivatives wrt absolute terminal voltages
-  };
-  Eval eval_model(double vg, double vd, double vs, double vb) const;
-  Eval eval_ekv(double vg, double vd, double vs, double vb) const;
-  Eval eval_level1(double vg, double vd, double vs, double vb) const;
-
   NodeId d_, g_, s_, b_;
   MosParams p_;
   // Geometry-derived constant parasitics, composed (not registered in the
   // circuit; this device forwards stamp/transient calls).
   std::unique_ptr<Capacitor> cgs_, cgd_, cdb_, csb_;
+};
+
+/// Structure-of-arrays batch evaluator: binds every Mosfet in a circuit
+/// once, grouped by model class (EKV/level-1 x NMOS/PMOS), and linearizes
+/// each group in one tight loop per Newton iteration. Each per-element
+/// computation calls the same model core as Mosfet::eval, so the batch is
+/// bitwise identical to the per-device path.
+///
+/// Device bypass: a transistor whose four terminal voltages are bitwise
+/// unchanged since its last evaluation keeps the cached linearization
+/// (exact by definition). With RFMIX_BYPASS_TOL > 0 (see docs/solver.md) a
+/// device additionally bypasses when every terminal moved by less than the
+/// tolerance; that result is approximate, so tol_bypass_used() reports it
+/// and the Newton loop re-certifies convergence with a full evaluation.
+class MosBatchEvaluator {
+ public:
+  /// Bind all Mosfet devices currently registered in `ckt`.
+  explicit MosBatchEvaluator(const Circuit& ckt);
+
+  std::size_t device_count() const { return count_; }
+
+  /// Linearize every bound device at `x` (counts spice.dev.evaluated and
+  /// spice.dev.bypassed).
+  void evaluate(const Solution& x);
+
+  /// True if the last evaluate() reused any within-tolerance (inexact)
+  /// cached result.
+  bool tol_bypass_used() const { return tol_bypassed_; }
+
+  /// Drop all cached linearizations, forcing the next evaluate() to be full.
+  void invalidate();
+
+  /// Cached linearization for `m`, or null if `m` is not bound.
+  const MosEval* lookup(const Mosfet* m) const;
+
+ private:
+  struct Group {
+    std::vector<const Mosfet*> devs;
+    // SoA inputs/outputs, index-aligned with `devs`.
+    std::vector<double> vg, vd, vs, vb;
+    std::vector<MosEval> out;
+    std::vector<char> valid;
+  };
+  Group groups_[4];  // [level][type]
+  std::unordered_map<const Mosfet*, std::pair<int, std::size_t>> index_;
+  std::size_t count_ = 0;
+  bool tol_bypassed_ = false;
+  double tol_ = 0.0;  // RFMIX_BYPASS_TOL; 0 = exact-only bypass
 };
 
 }  // namespace rfmix::spice

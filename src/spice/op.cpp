@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "mathx/lu.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "spice/mna.hpp"
+#include "spice/mosfet.hpp"
+#include "spice/solver.hpp"
 
 namespace rfmix::spice {
 
@@ -29,26 +32,37 @@ bool step_converged(const MnaLayout& layout, const mathx::VectorD& x_old,
 }  // namespace
 
 NewtonResult solve_newton(const Circuit& ckt, const Solution& initial,
-                          const StampParams& params, const NewtonOptions& opts) {
+                          const StampParams& params, const NewtonOptions& opts,
+                          SolverSession* session) {
   const MnaLayout layout = ckt.layout();
   const std::size_t n = static_cast<std::size_t>(layout.size());
+
+  std::unique_ptr<SolverSession> local;
+  if (session == nullptr) {
+    local = std::make_unique<SolverSession>();
+    session = local.get();
+  }
+  MosBatchEvaluator* batch = session->batch(ckt);
+  StampParams sp = params;
+  sp.batch = batch;
 
   NewtonResult result;
   result.solution = initial;
 
   RFMIX_OBS_COUNT("spice.newton.solves");
 
+  mathx::TripletMatrix<double> g(n, n);
+  mathx::VectorD b;
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     RFMIX_OBS_COUNT("spice.newton.iterations");
-    mathx::TripletMatrix<double> g(n, n);
-    mathx::VectorD b(n, 0.0);
-    assemble_real(ckt, result.solution, params, opts.gmin, g, b);
+    g.clear();
+    b.assign(n, 0.0);
+    if (batch != nullptr) batch->evaluate(result.solution);
+    assemble_real(ckt, result.solution, sp, opts.gmin, g, b);
 
     mathx::VectorD x_new;
     try {
-      // Counted before the attempt: a singular pivot still did the work.
-      RFMIX_OBS_COUNT("spice.lu.factorizations");
-      x_new = mathx::LuFactorization<double>(g.to_dense()).solve(b);
+      x_new = session->factor(g).solve(b);
     } catch (const mathx::SingularMatrixError&) {
       // Singular Jacobian mid-iteration: bail out; the caller's homotopy
       // (larger gmin) usually repairs this.
@@ -78,6 +92,13 @@ NewtonResult solve_newton(const Circuit& ckt, const Solution& initial,
     result.solution = Solution(layout, std::move(x_next));
     result.iterations = iter + 1;
     if (converged) {
+      if (batch != nullptr && batch->tol_bypass_used()) {
+        // Convergence was reached with stale (within-tolerance) device
+        // linearizations; re-certify with a fully evaluated iteration.
+        RFMIX_OBS_COUNT("spice.newton.bypass_recheck");
+        batch->invalidate();
+        continue;
+      }
       result.converged = true;
       return result;
     }
@@ -87,16 +108,21 @@ NewtonResult solve_newton(const Circuit& ckt, const Solution& initial,
   return result;
 }
 
-Solution dc_operating_point(Circuit& ckt, const OpOptions& opts) {
+Solution dc_operating_point(Circuit& ckt, const OpOptions& opts, SolverSession* session) {
   RFMIX_OBS_SCOPED_TIMER("spice.op");
   RFMIX_OBS_TRACE_SCOPE("spice.op");
   RFMIX_OBS_COUNT("spice.op.calls");
   const MnaLayout layout = ckt.finalize();
+  std::unique_ptr<SolverSession> local;
+  if (session == nullptr) {
+    local = std::make_unique<SolverSession>();
+    session = local.get();
+  }
   StampParams params;
   params.mode = AnalysisMode::kDc;
 
   // Plain Newton from zero.
-  NewtonResult r = solve_newton(ckt, Solution::zeros(layout), params, opts.newton);
+  NewtonResult r = solve_newton(ckt, Solution::zeros(layout), params, opts.newton, session);
   if (r.converged) return r.solution;
 
   // gmin stepping: start heavily damped, relax gmin geometrically, warm-
@@ -108,7 +134,7 @@ Solution dc_operating_point(Circuit& ckt, const OpOptions& opts) {
     for (double gmin = 1e-2; gmin >= opts.newton.gmin; gmin /= 10.0) {
       RFMIX_OBS_COUNT("spice.op.gmin_steps");
       n.gmin = gmin;
-      NewtonResult stage = solve_newton(ckt, x, params, n);
+      NewtonResult stage = solve_newton(ckt, x, params, n, session);
       if (!stage.converged) {
         ok = false;
         break;
@@ -117,7 +143,7 @@ Solution dc_operating_point(Circuit& ckt, const OpOptions& opts) {
     }
     if (ok) {
       n.gmin = opts.newton.gmin;
-      NewtonResult final = solve_newton(ckt, x, params, n);
+      NewtonResult final = solve_newton(ckt, x, params, n, session);
       if (final.converged) return final.solution;
     }
   }
@@ -130,7 +156,7 @@ Solution dc_operating_point(Circuit& ckt, const OpOptions& opts) {
       RFMIX_OBS_COUNT("spice.op.source_steps");
       StampParams sp = params;
       sp.source_scale = scale;
-      NewtonResult stage = solve_newton(ckt, x, sp, opts.newton);
+      NewtonResult stage = solve_newton(ckt, x, sp, opts.newton, session);
       if (!stage.converged) {
         ok = false;
         break;

@@ -8,6 +8,8 @@
 
 namespace rfmix::spice {
 
+class SolverSession;
+
 struct NewtonOptions {
   int max_iterations = 200;
   double reltol = 1e-4;
@@ -29,13 +31,18 @@ struct NewtonResult {
   int iterations = 0;
 };
 
-/// One Newton solve at fixed StampParams, starting from `initial`.
+/// One Newton solve at fixed StampParams, starting from `initial`. Pass a
+/// SolverSession to reuse the stamp mapping / symbolic LU / batch device
+/// caches across calls (timesteps, sweep points); with no session each call
+/// opens a private one.
 NewtonResult solve_newton(const Circuit& ckt, const Solution& initial,
-                          const StampParams& params, const NewtonOptions& opts);
+                          const StampParams& params, const NewtonOptions& opts,
+                          SolverSession* session = nullptr);
 
 /// Full DC operating point with homotopy fallbacks. Throws
 /// ConvergenceError if every strategy fails.
-Solution dc_operating_point(Circuit& ckt, const OpOptions& opts = {});
+Solution dc_operating_point(Circuit& ckt, const OpOptions& opts = {},
+                            SolverSession* session = nullptr);
 
 /// Total power delivered by sources / dissipated in devices at `op` [W].
 double total_dissipated_power(const Circuit& ckt, const Solution& op);

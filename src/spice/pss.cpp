@@ -5,6 +5,7 @@
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "spice/mna.hpp"
+#include "spice/solver.hpp"
 
 namespace rfmix::spice {
 
@@ -17,9 +18,12 @@ PssResult periodic_steady_state(Circuit& ckt, double period_s, const PssOptions&
   RFMIX_OBS_TRACE_SCOPE("spice.pss");
   RFMIX_OBS_COUNT("spice.pss.calls");
 
+  // One session across the DC start and every shooting period.
+  SolverSession session;
+
   OpOptions op_opts;
   op_opts.newton = opts.newton;
-  Solution x = dc_operating_point(ckt, op_opts);
+  Solution x = dc_operating_point(ckt, op_opts, &session);
   for (const auto& dev : ckt.devices()) dev->tran_begin(x);
 
   const MnaLayout layout = ckt.layout();
@@ -45,12 +49,12 @@ PssResult periodic_steady_state(Circuit& ckt, double period_s, const PssOptions&
       sp.time = static_cast<double>(step) * dt;
       // First step backward Euler (consistent start), trapezoidal after.
       sp.integrator = step == 1 ? Integrator::kBackwardEuler : Integrator::kTrapezoidal;
-      NewtonResult nr = solve_newton(ckt, x, sp, opts.newton);
+      NewtonResult nr = solve_newton(ckt, x, sp, opts.newton, &session);
       if (!nr.converged) {
         NewtonOptions retry = opts.newton;
         retry.max_step_v = 0.05;
         retry.max_iterations = opts.newton.max_iterations * 2;
-        nr = solve_newton(ckt, x, sp, retry);
+        nr = solve_newton(ckt, x, sp, retry, &session);
         if (!nr.converged)
           throw ConvergenceError("PSS: transient Newton failed at t=" +
                                  std::to_string(sp.time));

@@ -1,0 +1,62 @@
+#include "spice/solver.hpp"
+
+#include "obs/obs.hpp"
+#include "spice/circuit.hpp"
+#include "spice/mosfet.hpp"
+
+namespace rfmix::spice {
+
+SolverSession::SolverSession() : mode_(solver_mode()) {}
+
+SolverSession::~SolverSession() = default;
+
+const mathx::SparseLu<double>& SolverSession::factor(const mathx::TripletMatrix<double>& g) {
+  // Counted before the attempt: a singular pivot still did the work.
+  RFMIX_OBS_COUNT("spice.lu.factorizations");
+  if (mode_ == SolverMode::kClassic) {
+    RFMIX_OBS_COUNT("spice.lu.analyze");
+    csc_ = mathx::CscMatrix<double>(g);
+    lu_ = mathx::SparseLu<double>(csc_);
+    return lu_;
+  }
+  if (!have_map_ || !map_.matches(g)) {
+    if (have_map_) RFMIX_OBS_COUNT("spice.lu.pattern_rebuild");
+    map_.build(g);
+    have_map_ = true;
+    have_sym_ = false;  // the symbolic is tied to the old pattern
+  }
+  map_.fill(g, csc_);
+  if (have_sym_) {
+    // Repair mode: on pivot drift the factorization continues as a fresh
+    // analysis from the drift column (rewriting sym_ in place) instead of
+    // throwing away the columns already eliminated and restarting — without
+    // it, drift-heavy circuits pay a wasted partial refactor plus a full
+    // re-analysis and reuse can lose to classic.
+    bool repaired = false;
+    if (lu_.refactor_from(sym_, csc_, 0.0, &sym_, &repaired)) {
+      if (repaired) {
+        RFMIX_OBS_COUNT("spice.lu.fallback");
+        RFMIX_OBS_COUNT("spice.lu.analyze");
+      } else {
+        RFMIX_OBS_COUNT("spice.lu.refactor");
+      }
+      return lu_;
+    }
+    RFMIX_OBS_COUNT("spice.lu.fallback");
+  }
+  RFMIX_OBS_COUNT("spice.lu.analyze");
+  lu_ = mathx::SparseLu<double>(csc_, sym_);
+  have_sym_ = true;
+  return lu_;
+}
+
+MosBatchEvaluator* SolverSession::batch(const Circuit& ckt) {
+  if (mode_ == SolverMode::kClassic) return nullptr;
+  if (batch_ckt_ != &ckt) {
+    batch_ = std::make_unique<MosBatchEvaluator>(ckt);
+    batch_ckt_ = &ckt;
+  }
+  return batch_->device_count() > 0 ? batch_.get() : nullptr;
+}
+
+}  // namespace rfmix::spice

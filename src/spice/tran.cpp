@@ -6,19 +6,20 @@
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "spice/mna.hpp"
+#include "spice/solver.hpp"
 
 namespace rfmix::spice {
 
 namespace {
 
 NewtonResult solve_timepoint(const Circuit& ckt, const Solution& guess, double time,
-                             double dt, const TranOptions& opts) {
+                             double dt, const TranOptions& opts, SolverSession& session) {
   StampParams sp;
   sp.mode = AnalysisMode::kTransient;
   sp.time = time;
   sp.dt = dt;
   sp.integrator = opts.integrator;
-  return solve_newton(ckt, guess, sp, opts.newton);
+  return solve_newton(ckt, guess, sp, opts.newton, &session);
 }
 
 void accept_step(Circuit& ckt, const Solution& x, double time, double dt,
@@ -42,6 +43,11 @@ TranResult transient(Circuit& ckt, double t_stop, double dt, const std::vector<P
   RFMIX_OBS_TRACE_SCOPE("spice.tran");
   RFMIX_OBS_COUNT("spice.tran.calls");
 
+  // One session for the whole run: the DC pattern differs from the
+  // transient pattern (companion stamps), so the map rebuilds once at the
+  // first timestep and is then reused across every step and iteration.
+  SolverSession session;
+
   Solution x0;
   if (opts.initial_state != nullptr) {
     ckt.finalize();
@@ -49,7 +55,7 @@ TranResult transient(Circuit& ckt, double t_stop, double dt, const std::vector<P
   } else {
     OpOptions op_opts;
     op_opts.newton = opts.newton;
-    x0 = dc_operating_point(ckt, op_opts);
+    x0 = dc_operating_point(ckt, op_opts, &session);
   }
 
   for (const auto& dev : ckt.devices()) dev->tran_begin(x0);
@@ -77,7 +83,7 @@ TranResult transient(Circuit& ckt, double t_stop, double dt, const std::vector<P
           (k == 1) ? Integrator::kBackwardEuler : opts.integrator;
       const double t_new = static_cast<double>(k) * dt;
       RFMIX_OBS_COUNT("spice.tran.steps_attempted");
-      NewtonResult nr = solve_timepoint(ckt, x, t_new, dt, step_opts);
+      NewtonResult nr = solve_timepoint(ckt, x, t_new, dt, step_opts, session);
       if (!nr.converged) {
         // One retry from a damped restart before giving up: freeze the
         // previous solution as the guess with a tighter step clamp.
@@ -86,7 +92,7 @@ TranResult transient(Circuit& ckt, double t_stop, double dt, const std::vector<P
         TranOptions retry = step_opts;
         retry.newton.max_step_v = std::min(0.05, step_opts.newton.max_step_v);
         retry.newton.max_iterations = step_opts.newton.max_iterations * 2;
-        nr = solve_timepoint(ckt, x, t_new, dt, retry);
+        nr = solve_timepoint(ckt, x, t_new, dt, retry, session);
         if (!nr.converged) {
           RFMIX_OBS_COUNT("spice.tran.steps_rejected");
           throw ConvergenceError("transient: Newton failed at t=" + std::to_string(t_new));
@@ -111,7 +117,7 @@ TranResult transient(Circuit& ckt, double t_stop, double dt, const std::vector<P
     h = std::min(h, t_stop - t);
     const double t_new = t + h;
     RFMIX_OBS_COUNT("spice.tran.steps_attempted");
-    NewtonResult nr = solve_timepoint(ckt, x, t_new, h, opts);
+    NewtonResult nr = solve_timepoint(ckt, x, t_new, h, opts, session);
     if (!nr.converged) {
       RFMIX_OBS_COUNT("spice.tran.steps_rejected");
       h *= 0.5;

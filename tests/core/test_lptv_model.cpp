@@ -10,7 +10,9 @@
 
 #include "lptv/lptv.hpp"
 #include "mathx/interp.hpp"
+#include "mathx/solver_config.hpp"
 #include "mathx/units.hpp"
+#include "obs/obs.hpp"
 
 namespace rfmix::core {
 namespace {
@@ -165,6 +167,67 @@ TEST(LptvMixer, GainConvergesWithHarmonicCount) {
 TEST(LptvMixer, RfSweepRequiresRfAboveIf) {
   EXPECT_THROW(lptv_conversion_gain_at_rf_db(config_for(MixerMode::kActive), 1e6, 5e6),
                std::invalid_argument);
+}
+
+#if RFMIX_OBS_ENABLED
+
+TEST(LptvMixer, NfPointCostsExactlyTwoFactorizations) {
+  // Regression for the Factored caching contract: one NF point = one
+  // forward LU (shared by both sideband injections) plus one adjoint LU
+  // (the noise solve) — never one per solve, and the analyze/refactor
+  // migration must not change this accounting.
+  for (const auto m : {mathx::SolverMode::kClassic, mathx::SolverMode::kReuse}) {
+    mathx::ScopedSolverMode scoped(m);
+    const std::uint64_t before = obs::counter_value("lptv.lu.factorizations");
+    (void)lptv_nf_dsb(config_for(MixerMode::kActive), 5e6);
+    EXPECT_EQ(obs::counter_value("lptv.lu.factorizations") - before, 2u)
+        << (m == mathx::SolverMode::kClassic ? "classic" : "reuse");
+  }
+}
+
+TEST(LptvMixer, BaseFrequencySweepAnalyzesOncePerDirection) {
+  // One ConversionAnalysis factored at several base frequencies: in reuse
+  // mode only the first point pays a forward analysis; the rest refactor
+  // against the shared symbolic (the block-system pattern is fixed by the
+  // circuit and K, not by f_base).
+  mathx::ScopedSolverMode scoped(mathx::SolverMode::kReuse);
+  const auto model = build_lptv_mixer(config_for(MixerMode::kActive));
+  lptv::ConversionAnalysis an(model->circuit, {config_for(MixerMode::kActive).f_lo_hz, 6});
+  const std::uint64_t fact0 = obs::counter_value("lptv.lu.factorizations");
+  const std::uint64_t analyze0 = obs::counter_value("lptv.lu.analyze");
+  const std::uint64_t refactor0 = obs::counter_value("lptv.lu.refactor");
+  const std::uint64_t fallback0 = obs::counter_value("lptv.lu.fallback");
+  const std::vector<double> f_ifs = {1e6, 2e6, 5e6, 10e6};
+  for (const double f : f_ifs)
+    (void)an.conversion_transimpedance(f, 0, model->in, +1, model->out_p,
+                                       model->out_m, 0);
+  EXPECT_EQ(obs::counter_value("lptv.lu.factorizations") - fact0, f_ifs.size());
+  const std::uint64_t fallbacks = obs::counter_value("lptv.lu.fallback") - fallback0;
+  EXPECT_EQ(obs::counter_value("lptv.lu.analyze") - analyze0, 1u + fallbacks);
+  EXPECT_EQ(obs::counter_value("lptv.lu.refactor") - refactor0,
+            f_ifs.size() - 1u - fallbacks);
+}
+
+#endif  // RFMIX_OBS_ENABLED
+
+TEST(LptvMixer, SolverModesAgreeBitExactlyOnConversionGain) {
+  // The LPTV engine's solves must be byte-identical across solver modes —
+  // same contract the spice engines pin in test_solver_parity.
+  auto gain = [](mathx::SolverMode m) {
+    mathx::ScopedSolverMode scoped(m);
+    const auto model = build_lptv_mixer(config_for(MixerMode::kPassive));
+    lptv::ConversionAnalysis an(model->circuit,
+                                {config_for(MixerMode::kPassive).f_lo_hz, 8});
+    std::vector<double> bits;
+    for (const double f : {1e6, 5e6}) {
+      const lptv::Complex h = an.conversion_transimpedance(
+          f, 0, model->in, +1, model->out_p, model->out_m, 0);
+      bits.push_back(h.real());
+      bits.push_back(h.imag());
+    }
+    return bits;
+  };
+  EXPECT_EQ(gain(mathx::SolverMode::kClassic), gain(mathx::SolverMode::kReuse));
 }
 
 }  // namespace

@@ -399,7 +399,12 @@ TEST_F(RouterTest, HungWorkersAreKilledByHeartbeatAndRequestsDegrade) {
 }
 
 TEST_F(RouterTest, CancelRemovesInflightTicket) {
-  start(1);
+  // Stall the worker's response write so the job is guaranteed to still be
+  // in flight when the cancel lands — without the stall, a fast machine can
+  // finish the sweep inside the 30ms window and the cancel hits nothing.
+  Supervisor::Options sopts;
+  sopts.worker_env = {"RFMIX_FAULT=stall_ms:30000"};
+  start(1, sopts);
   Client c;
   ASSERT_TRUE(c.connect_to(path_));
   ASSERT_TRUE(c.send_all(slow_request("\"job\"", 1, 4000) + "\n"));
