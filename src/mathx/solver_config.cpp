@@ -36,4 +36,8 @@ void set_solver_mode(SolverMode m) {
   g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
 }
 
+const char* solver_mode_name(SolverMode m) {
+  return m == SolverMode::kClassic ? "classic" : "reuse";
+}
+
 }  // namespace rfmix::mathx

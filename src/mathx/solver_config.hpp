@@ -19,6 +19,10 @@ SolverMode solver_mode();
 
 void set_solver_mode(SolverMode m);
 
+/// Stable wire name of `m` ("classic" / "reuse") — the same spelling
+/// RFMIX_SOLVER accepts, reported by the rfmixd stats op.
+const char* solver_mode_name(SolverMode m);
+
 /// RAII mode override for tests and benchmarks.
 class ScopedSolverMode {
  public:

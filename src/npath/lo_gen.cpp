@@ -1,0 +1,104 @@
+#include "npath/lo_gen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "mathx/units.hpp"
+
+namespace rfmix::npath {
+
+using mathx::kTwoPi;
+
+void validate(const LoSpec& spec) {
+  if (spec.phases < 2 || spec.phases > 64)
+    throw std::invalid_argument("LoSpec: phases must be in [2, 64], got " +
+                                std::to_string(spec.phases));
+  if (spec.samples < 8 || spec.samples > 4096)
+    throw std::invalid_argument("LoSpec: samples must be in [8, 4096], got " +
+                                std::to_string(spec.samples));
+  if (!(spec.duty > 0.0))
+    throw std::invalid_argument("LoSpec: duty must be positive");
+  // duty > 1/N would make adjacent ON windows intersect — the defining
+  // non-overlap constraint of an N-path clock set.
+  if (spec.duty * spec.phases > 1.0 + 1e-12)
+    throw std::invalid_argument(
+        "LoSpec: duty must not exceed 1/phases (non-overlapping clocks)");
+  if (spec.overlap_guard < 0.0 || spec.overlap_guard >= spec.duty)
+    throw std::invalid_argument("LoSpec: overlap_guard must be in [0, duty)");
+  const double width = spec.duty - spec.overlap_guard;
+  if (spec.rise_frac < 0.0)
+    throw std::invalid_argument("LoSpec: rise_frac must be >= 0");
+  if (2.0 * spec.rise_frac > width)
+    throw std::invalid_argument(
+        "LoSpec: rise and fall edges (2*rise_frac) must fit inside the ON "
+        "window (duty - overlap_guard)");
+}
+
+lptv::PeriodicWave phase_wave(const LoSpec& spec, int phase, double lo, double hi) {
+  validate(spec);
+  if (phase < 0 || phase >= spec.phases)
+    throw std::invalid_argument("phase_wave: phase must be in [0, phases)");
+  const int m = spec.samples;
+  const double width = spec.duty - spec.overlap_guard;
+  const double start =
+      static_cast<double>(phase) / spec.phases + spec.overlap_guard / 2.0;
+  const double rise = spec.rise_frac;
+  lptv::PeriodicWave w(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    // Position relative to the window start, wrapped into [0, 1).
+    double r = static_cast<double>(i) / m - start;
+    r -= std::floor(r);
+    double v;
+    if (r >= width) {
+      v = lo;
+    } else if (rise <= 0.0) {
+      v = hi;
+    } else if (r < rise) {
+      v = lo + (hi - lo) * (r / rise);  // rising edge
+    } else if (r < width - rise) {
+      v = hi;
+    } else {
+      v = hi + (lo - hi) * (r - (width - rise)) / rise;  // falling edge
+    }
+    w[static_cast<std::size_t>(i)] = v;
+  }
+  return w;
+}
+
+std::vector<lptv::PeriodicWave> lo_waveforms(const LoSpec& spec, double lo, double hi) {
+  validate(spec);
+  std::vector<lptv::PeriodicWave> waves;
+  waves.reserve(static_cast<std::size_t>(spec.phases));
+  for (int p = 0; p < spec.phases; ++p) waves.push_back(phase_wave(spec, p, lo, hi));
+  return waves;
+}
+
+bool non_overlapping(const std::vector<lptv::PeriodicWave>& waves,
+                     double on_threshold) {
+  if (waves.empty()) return true;
+  const std::size_t m = waves.front().size();
+  for (const auto& w : waves)
+    if (w.size() != m)
+      throw std::invalid_argument("non_overlapping: waveform lengths differ");
+  for (std::size_t i = 0; i < m; ++i) {
+    int on = 0;
+    for (const auto& w : waves)
+      if (w[i] > on_threshold && ++on > 1) return false;
+  }
+  return true;
+}
+
+std::complex<double> fourier_coeff(const lptv::PeriodicWave& w, int m) {
+  const int big_m = static_cast<int>(w.size());
+  if (big_m == 0) throw std::invalid_argument("fourier_coeff: empty waveform");
+  std::complex<double> acc{};
+  for (int n = 0; n < big_m; ++n) {
+    const double theta = -kTwoPi * m * n / big_m;
+    acc += w[static_cast<std::size_t>(n)] *
+           std::complex<double>(std::cos(theta), std::sin(theta));
+  }
+  return acc / static_cast<double>(big_m);
+}
+
+}  // namespace rfmix::npath

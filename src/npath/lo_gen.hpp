@@ -1,0 +1,66 @@
+// Multi-phase non-overlapping LO synthesis for N-path front ends.
+//
+// An N-path filter/mixer is driven by N clock phases of nominal duty 1/N,
+// each one period-shifted by 1/N of the LO period, switching one path's
+// baseband impedance onto the shared RF node. The waveforms produced here
+// are *conductance* waveforms (g_on while the switch conducts, g_off while
+// it is open) sampled uniformly over one LO period, which is exactly the
+// periodic-drive format the LPTV conversion-matrix engine consumes
+// (lptv::LptvCircuit::add_periodic_conductance).
+//
+// The generator is parameterized by phase count, duty cycle, trapezoidal
+// rise/fall width and an overlap guard (enforced dead time), and it
+// guarantees by construction that phases never conduct simultaneously as
+// long as the spec validates: the ON window of phase i is
+// [i/N + guard/2, i/N + duty - guard/2) with the rise and fall ramps
+// contained inside the window, and validate() rejects duty > 1/N.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "lptv/lptv.hpp"
+
+namespace rfmix::npath {
+
+/// One multi-phase LO clocking scheme. All widths are fractions of the LO
+/// period. The defaults are the canonical 4-phase 25%-duty quadrature set.
+struct LoSpec {
+  int phases = 4;            // N: number of clock phases (>= 2)
+  double duty = 0.25;        // nominal ON fraction per phase, in (0, 1/N]
+  double rise_frac = 0.0;    // trapezoidal edge width per transition (>= 0)
+  double overlap_guard = 0.0;  // enforced dead time subtracted from the ON
+                               // window (split evenly between both edges)
+  int samples = 256;         // waveform resolution per LO period
+};
+
+/// Throws std::invalid_argument unless the spec describes a realizable
+/// non-overlapping phase set: 2 <= phases <= 64, 0 < duty <= 1/phases,
+/// 0 <= overlap_guard < duty, both edges fit inside the ON window
+/// (2*rise_frac <= duty - overlap_guard), and samples >= 8.
+void validate(const LoSpec& spec);
+
+/// Conductance waveform of clock phase `phase` in [0, phases): `lo` while
+/// the switch is open, `hi` while it conducts, with linear ramps of width
+/// rise_frac at both edges (rise_frac == 0 gives the ideal rectangular
+/// clock). Sampled at spec.samples points over one period.
+lptv::PeriodicWave phase_wave(const LoSpec& spec, int phase, double lo, double hi);
+
+/// All `phases` conductance waveforms, phase i shifted by i/N of a period.
+std::vector<lptv::PeriodicWave> lo_waveforms(const LoSpec& spec, double lo, double hi);
+
+/// True iff at every sample index at most one waveform is strictly above
+/// `on_threshold` — the non-overlap guarantee the switch quad needs (two
+/// simultaneously conducting paths would short their baseband impedances).
+/// All waveforms must have the same length.
+bool non_overlapping(const std::vector<lptv::PeriodicWave>& waves,
+                     double on_threshold);
+
+/// m-th complex Fourier coefficient of a sampled periodic waveform, using
+/// the same convention as the LPTV engine:
+///   W_m = (1/M) * sum_n w[n] * exp(-j 2 pi m n / M).
+/// Direct O(M) evaluation — a closed-form cross-check for tests and small
+/// harmonic counts, not a bulk transform.
+std::complex<double> fourier_coeff(const lptv::PeriodicWave& w, int m);
+
+}  // namespace rfmix::npath

@@ -125,6 +125,62 @@ std::string execute_ac(const Request& req) {
   return out;
 }
 
+std::vector<double> npath_freq_grid(const NpathSweepSpec& ns) {
+  return ns.log_scale ? spice::log_space(ns.f_start_hz, ns.f_stop_hz, ns.points)
+                      : spice::lin_space(ns.f_start_hz, ns.f_stop_hz, ns.points);
+}
+
+std::string execute_npath_zin(const Request& req) {
+  const NpathSweepSpec& ns = req.npath;
+  const npath::ZinSweep sw = npath::zin_sweep(ns.spec, npath_freq_grid(ns));
+  const auto append_array = [](std::string& out, std::string_view name, auto&& value) {
+    out += ",\"";
+    out += name;
+    out += "\":[";
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += json::number(value[i]);
+    }
+    out.push_back(']');
+  };
+  std::vector<double> zin_re, zin_im, s11_db, rerad3;
+  zin_re.reserve(sw.points.size());
+  zin_im.reserve(sw.points.size());
+  s11_db.reserve(sw.points.size());
+  rerad3.reserve(sw.points.size());
+  for (const npath::ZinPoint& pt : sw.points) {
+    zin_re.push_back(pt.zin.real());
+    zin_im.push_back(pt.zin.imag());
+    // |S11| of a passive one-port is > 0; the clamp only guards the exact-
+    // match singularity (log of 0 is not representable in JSON).
+    s11_db.push_back(20.0 * std::log10(std::max(std::abs(pt.s11), 1e-12)));
+    rerad3.push_back(pt.rerad_3lo);
+  }
+  std::string out = "{\"analysis\":\"npath_zin\",\"phases\":";
+  out += json::number(double(ns.spec.lo.phases));
+  out += ",\"f_lo_hz\":";
+  out += json::number(ns.spec.f_lo_hz);
+  append_array(out, "freqs_hz", sw.freqs_hz);
+  append_array(out, "zin_real", zin_re);
+  append_array(out, "zin_imag", zin_im);
+  append_array(out, "s11_db", s11_db);
+  append_array(out, "rerad3_rel", rerad3);
+  out += ",\"summary\":{\"f_peak_hz\":";
+  out += json::number(sw.summary.f_peak_hz);
+  out += ",\"zin_peak_ohm\":";
+  out += json::number(sw.summary.zin_peak_ohm);
+  out += ",\"zin_floor_ohm\":";
+  out += json::number(sw.summary.zin_floor_ohm);
+  out += ",\"bw_3db_hz\":";
+  out += json::number(sw.summary.bw_3db_hz);
+  out += ",\"q\":";
+  out += json::number(sw.summary.q);
+  out += ",\"rerad3_max\":";
+  out += json::number(sw.summary.rerad_3lo_max);
+  out += "}}";
+  return out;
+}
+
 std::string execute_metric(const Request& req) {
   const double value = core::evaluate_metric(req.metric);
   std::string out = "{\"analysis\":\"metric\",\"metric\":";
@@ -233,8 +289,61 @@ AcSpec parse_ac_spec(const JsonValue& obj) {
   return ac;
 }
 
+/// Strict npath_zin parameter object: every NpathSpec knob plus the sweep
+/// grid. Unknown fields are errors (a silently dropped knob would collide
+/// two different front ends on one cache key), and the spec is validated
+/// here so an unrealizable clock set fails as bad_params, not mid-solve.
+NpathSweepSpec parse_npath_params(const JsonValue& obj) {
+  NpathSweepSpec ns;
+  npath::NpathSpec& s = ns.spec;
+  s.lo.phases = int_field(obj, "phases", s.lo.phases);
+  s.lo.duty = number_field(obj, "duty", s.lo.duty);
+  s.lo.rise_frac = number_field(obj, "rise_frac", s.lo.rise_frac);
+  s.lo.overlap_guard = number_field(obj, "overlap_guard", s.lo.overlap_guard);
+  s.lo.samples = int_field(obj, "samples", s.lo.samples);
+  s.f_lo_hz = number_field(obj, "f_lo_hz", s.f_lo_hz);
+  s.r_source = number_field(obj, "r_source", s.r_source);
+  s.switch_ron = number_field(obj, "switch_ron", s.switch_ron);
+  s.zbb_r = number_field(obj, "zbb_r", s.zbb_r);
+  s.zbb_c = number_field(obj, "zbb_c", s.zbb_c);
+  s.c_rf = number_field(obj, "c_rf", s.c_rf);
+  s.harmonics = int_field(obj, "harmonics", s.harmonics);
+  if (const JsonValue* sweep = obj.find("sweep")) {
+    ns.f_start_hz = number_field(*sweep, "f_start_hz", ns.f_start_hz);
+    ns.f_stop_hz = number_field(*sweep, "f_stop_hz", ns.f_stop_hz);
+    ns.points = int_field(*sweep, "points", ns.points);
+    if (const JsonValue* v = sweep->find("log_scale")) ns.log_scale = v->as_bool();
+    for (const auto& [key, value] : sweep->as_object()) {
+      (void)value;
+      if (key != "f_start_hz" && key != "f_stop_hz" && key != "points" &&
+          key != "log_scale")
+        throw std::invalid_argument("unknown sweep field '" + key + "'");
+    }
+  }
+  for (const auto& [key, value] : obj.as_object()) {
+    (void)value;
+    if (key != "phases" && key != "duty" && key != "rise_frac" &&
+        key != "overlap_guard" && key != "samples" && key != "f_lo_hz" &&
+        key != "r_source" && key != "switch_ron" && key != "zbb_r" &&
+        key != "zbb_c" && key != "c_rf" && key != "harmonics" && key != "sweep")
+      throw std::invalid_argument("unknown npath_zin field '" + key + "'");
+  }
+  if (ns.points < 2 || ns.points > 4096)
+    throw std::invalid_argument("npath_zin sweep points must be in [2, 4096]");
+  if (!(ns.f_start_hz > 0.0) || !(ns.f_stop_hz > ns.f_start_hz))
+    throw std::invalid_argument(
+        "npath_zin sweep requires 0 < f_start_hz < f_stop_hz");
+  npath::validate(ns.spec);
+  return ns;
+}
+
 Request parse_analysis_params(const std::string& kind, const JsonValue& params) {
   Request req;
+  if (kind == "npath_zin") {
+    req.kind = RequestKind::kNpathZin;
+    req.npath = parse_npath_params(params);
+    return req;
+  }
   if (kind == "op" || kind == "ac") {
     req.kind = kind == "op" ? RequestKind::kOp : RequestKind::kAc;
     req.netlist = required_string(params, "netlist");
@@ -321,7 +430,8 @@ void apply_mixer_config(const JsonValue& obj, core::MixerConfig& config) {
 }
 
 bool is_analysis_kind(std::string_view kind) {
-  return kind == "op" || kind == "ac" || kind == "mixer_metric";
+  return kind == "op" || kind == "ac" || kind == "mixer_metric" ||
+         kind == "npath_zin";
 }
 
 ParsedRequest parse_request(const JsonValue& doc) {
@@ -348,15 +458,21 @@ ParsedRequest parse_request(const JsonValue& doc) {
     throw RequestError(ErrorCode::kInvalidRequest, "field 'kind' must be a string");
   out.kind = kind->as_string();
 
-  const bool known_kind = out.kind == "ping" || out.kind == "stats" ||
-                          is_analysis_kind(out.kind) ||
-                          (out.version == 2 && out.kind == "cancel");
+  // npath_zin (like cancel) postdates the v1 freeze, so v1 rejects it as
+  // unknown rather than growing new top-level fields.
+  const bool base_kind = out.kind == "ping" || out.kind == "stats" ||
+                         out.kind == "op" || out.kind == "ac" ||
+                         out.kind == "mixer_metric";
+  const bool known_kind =
+      base_kind ||
+      (out.version == 2 && (out.kind == "cancel" || out.kind == "npath_zin"));
   if (!known_kind)
     throw RequestError(
         ErrorCode::kUnknownKind,
         "unknown request kind '" + out.kind +
             (out.version == 2
-                 ? "' (expected ping, stats, cancel, op, ac, or mixer_metric)"
+                 ? "' (expected ping, stats, cancel, op, ac, mixer_metric, or "
+                   "npath_zin)"
                  : "' (expected ping, stats, op, ac, or mixer_metric)"));
 
   try {
@@ -460,6 +576,34 @@ std::string request_canonical(const Request& req) {
       w.end_record();
       break;
     }
+    case RequestKind::kNpathZin: {
+      // New record tags under the kCanonicalEpoch append-only rule: npath
+      // requests hash over every front-end knob plus the sweep grid, so
+      // two sweeps collide iff they describe the same physics.
+      const npath::NpathSpec& s = req.npath.spec;
+      w.begin_record("npath");
+      w.field("phases", s.lo.phases);
+      w.field("duty", s.lo.duty);
+      w.field("rise_frac", s.lo.rise_frac);
+      w.field("overlap_guard", s.lo.overlap_guard);
+      w.field("samples", s.lo.samples);
+      w.field("f_lo_hz", s.f_lo_hz);
+      w.field("r_source", s.r_source);
+      w.field("switch_ron", s.switch_ron);
+      w.field("zbb_r", s.zbb_r);
+      w.field("zbb_c", s.zbb_c);
+      w.field("c_rf", s.c_rf);
+      w.field("harmonics", s.harmonics);
+      w.end_record();
+      w.begin_record("analysis");
+      w.field("kind", "npath_zin");
+      w.field("f_start_hz", req.npath.f_start_hz);
+      w.field("f_stop_hz", req.npath.f_stop_hz);
+      w.field("points", req.npath.points);
+      w.field("scale", req.npath.log_scale ? "log" : "lin");
+      w.end_record();
+      break;
+    }
   }
   return w.str();
 }
@@ -556,6 +700,31 @@ std::string serialize_v2_request(const ParsedRequest& req, const std::string& id
       out += ",\"config\":";
       serialize_mixer_config(out, r.metric.config);
       break;
+    case RequestKind::kNpathZin: {
+      // Serialize every knob (the parser is strict on unknowns but quiet
+      // on missing ones) so the replayed line parses to the same Request,
+      // same canonical bytes, same key.
+      const npath::NpathSpec& s = r.npath.spec;
+      out += "\"phases\":" + json::number(double(s.lo.phases));
+      out += ",\"duty\":" + json::number(s.lo.duty);
+      out += ",\"rise_frac\":" + json::number(s.lo.rise_frac);
+      out += ",\"overlap_guard\":" + json::number(s.lo.overlap_guard);
+      out += ",\"samples\":" + json::number(double(s.lo.samples));
+      out += ",\"f_lo_hz\":" + json::number(s.f_lo_hz);
+      out += ",\"r_source\":" + json::number(s.r_source);
+      out += ",\"switch_ron\":" + json::number(s.switch_ron);
+      out += ",\"zbb_r\":" + json::number(s.zbb_r);
+      out += ",\"zbb_c\":" + json::number(s.zbb_c);
+      out += ",\"c_rf\":" + json::number(s.c_rf);
+      out += ",\"harmonics\":" + json::number(double(s.harmonics));
+      out += ",\"sweep\":{\"f_start_hz\":" + json::number(r.npath.f_start_hz);
+      out += ",\"f_stop_hz\":" + json::number(r.npath.f_stop_hz);
+      out += ",\"points\":" + json::number(double(r.npath.points));
+      out += ",\"log_scale\":";
+      out += r.npath.log_scale ? "true" : "false";
+      out += "}";
+      break;
+    }
   }
   out += "}}";
   return out;
@@ -566,6 +735,7 @@ std::string execute_request(const Request& req) {
     case RequestKind::kOp: return execute_op(req);
     case RequestKind::kAc: return execute_ac(req);
     case RequestKind::kMixerMetric: return execute_metric(req);
+    case RequestKind::kNpathZin: return execute_npath_zin(req);
   }
   throw std::invalid_argument("unhandled request kind");
 }

@@ -22,6 +22,7 @@
 #include <string_view>
 
 #include "core/metrics.hpp"
+#include "npath/zin.hpp"
 #include "svc/hash.hpp"
 
 namespace rfmix::svc {
@@ -32,6 +33,7 @@ enum class RequestKind {
   kOp,           // DC operating point of a netlist
   kAc,           // AC sweep of a netlist, probed at one node (pair)
   kMixerMetric,  // core::evaluate_metric over a MixerConfig
+  kNpathZin,     // N-path mixer-first Zin/S11 sweep (v2 only)
 };
 
 struct AcSpec {
@@ -43,11 +45,22 @@ struct AcSpec {
   std::string probe_ref;     // optional reference node: probe - probe_ref
 };
 
+/// Sweep grid for the npath_zin op: the NpathSpec names the front end, the
+/// grid names the absolute frequencies Zin/S11 are evaluated at.
+struct NpathSweepSpec {
+  npath::NpathSpec spec;
+  double f_start_hz = 5e8;
+  double f_stop_hz = 1.5e9;
+  int points = 21;
+  bool log_scale = false;
+};
+
 struct Request {
   RequestKind kind = RequestKind::kOp;
   std::string netlist;        // kOp / kAc
   AcSpec ac;                  // kAc
   core::MetricQuery metric;   // kMixerMetric
+  NpathSweepSpec npath;       // kNpathZin
 };
 
 /// Full canonical byte string (version record included). Exposed so tests

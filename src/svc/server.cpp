@@ -5,8 +5,10 @@
 #include <ostream>
 #include <utility>
 
+#include "mathx/solver_config.hpp"
 #include "obs/json_writer.hpp"
 #include "runtime/thread_pool.hpp"
+#include "svc/canonical.hpp"
 #include "svc/json_parse.hpp"
 
 namespace rfmix::svc {
@@ -33,7 +35,12 @@ std::string stats_json(JobScheduler& sched) {
   out += ",\"disk_stores\":" + json::number(cs.disk_stores);
   out += ",\"disk_corrupt\":" + json::number(cs.disk_corrupt);
   out += ",\"entries\":" + json::number(std::uint64_t(sched.cache().size()));
-  out += "}}";
+  // Numeric provenance: which solver path produced the cached payloads and
+  // which canonicalization epoch keyed them. Both modes are byte-identical
+  // by construction, but a client debugging a mismatch wants this pinned.
+  out += "},\"solver_mode\":" + json::quoted(mathx::solver_mode_name(mathx::solver_mode()));
+  out += ",\"canonical_epoch\":" + json::number(std::uint64_t(kCanonicalEpoch));
+  out.push_back('}');
   return out;
 }
 

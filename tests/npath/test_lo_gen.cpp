@@ -1,0 +1,203 @@
+// Multi-phase LO synthesis invariants: the non-overlap guarantee across
+// the whole (phases, duty, guard, rise) grid, Fourier coefficients pinned
+// against the closed-form geometric series for the ideal rectangular
+// clock, and the structural properties (phase rotation, constant-sum)
+// that make an N-path set an N-path set.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "npath/lo_gen.hpp"
+
+namespace rfmix::npath {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(LoGenTest, NonOverlapAcrossSpecGrid) {
+  // Every realizable spec must produce strictly non-overlapping clocks;
+  // this is the property the switch quad depends on (two conducting paths
+  // would short their baseband impedances together).
+  for (const int phases : {2, 3, 4, 8, 16}) {
+    const double full = 1.0 / phases;
+    for (const double duty : {0.5 * full, 0.8 * full, full}) {
+      for (const double guard : {0.0, 0.2 * duty}) {
+        const double width = duty - guard;
+        for (const double rise : {0.0, 0.25 * width}) {
+          LoSpec spec;
+          spec.phases = phases;
+          spec.duty = duty;
+          spec.overlap_guard = guard;
+          spec.rise_frac = rise;
+          spec.samples = 480;  // divisible by 2,3,4,8,16: grid-aligned edges
+          ASSERT_NO_THROW(validate(spec));
+          const auto waves = lo_waveforms(spec, 0.0, 1.0);
+          ASSERT_EQ(waves.size(), static_cast<std::size_t>(phases));
+          // Threshold at half swing: ramps may coexist below it at full
+          // duty, but two phases must never conduct hard simultaneously.
+          EXPECT_TRUE(non_overlapping(waves, 0.5))
+              << "phases=" << phases << " duty=" << duty << " guard=" << guard
+              << " rise=" << rise;
+        }
+      }
+    }
+  }
+}
+
+TEST(LoGenTest, IdealClockIsTwoLevel) {
+  LoSpec spec;  // defaults: 4 phases, 25% duty, no ramps
+  const auto waves = lo_waveforms(spec, 0.0, 1.0);
+  for (const auto& w : waves) {
+    int on = 0;
+    for (const double v : w) {
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+      if (v == 1.0) ++on;
+    }
+    // Exactly duty * samples samples conduct.
+    EXPECT_EQ(on, 64);
+  }
+}
+
+TEST(LoGenTest, FourierMatchesClosedFormForIdealQuadratureClock) {
+  // For the ideal (rectangular) 25%-duty 4-phase clock with M = 256 and
+  // phase i starting at sample n0 = 64 i with L = 64 ON samples, the DFT
+  // coefficient is a finite geometric series:
+  //   W_m = (1/M) e^{-j 2 pi m n0 / M} (1 - e^{-j 2 pi m L / M})
+  //                                    / (1 - e^{-j 2 pi m / M}),
+  // and W_0 = L/M = duty.
+  LoSpec spec;
+  spec.samples = 256;
+  const int big_m = spec.samples;
+  const int len = 64;
+  const auto waves = lo_waveforms(spec, 0.0, 1.0);
+  for (int phase = 0; phase < spec.phases; ++phase) {
+    const int n0 = 64 * phase;
+    for (int m = 0; m <= 9; ++m) {
+      const std::complex<double> got = fourier_coeff(waves[std::size_t(phase)], m);
+      std::complex<double> want;
+      if (m == 0) {
+        want = double(len) / big_m;
+      } else {
+        const auto ej = [&](double k) {
+          const double theta = -2.0 * kPi * m * k / big_m;
+          return std::complex<double>(std::cos(theta), std::sin(theta));
+        };
+        want = ej(n0) * (1.0 - ej(len)) / (1.0 - ej(1)) / double(big_m);
+      }
+      EXPECT_NEAR(std::abs(got - want), 0.0, 1e-12)
+          << "phase=" << phase << " m=" << m;
+    }
+  }
+}
+
+TEST(LoGenTest, FourierFundamentalMagnitudeIsSincOfDuty) {
+  // |W_1| for an ideal duty-D clock approaches D*sinc(pi D) = sin(pi D)/pi
+  // as the sampling gets fine; at M = 2048 the discrete sum is within a
+  // part in 1e3 of the continuous value.
+  for (const int phases : {4, 8}) {
+    LoSpec spec;
+    spec.phases = phases;
+    spec.duty = 1.0 / phases;
+    spec.samples = 2048;
+    const auto w = phase_wave(spec, 0, 0.0, 1.0);
+    const double got = std::abs(fourier_coeff(w, 1));
+    const double want = std::sin(kPi * spec.duty) / kPi;
+    EXPECT_NEAR(got, want, 1e-3 * want) << "phases=" << phases;
+  }
+}
+
+TEST(LoGenTest, PhaseRotationIsExactSampleShift) {
+  // Phase i is phase 0 delayed by i/N of a period. With samples divisible
+  // by phases the shift lands on the grid, so the rotation is bitwise.
+  // Guard and rise are dyadic fractions (1/64, 1/32) so every intermediate
+  // (start offset, wrapped position, ramp ratio) is exact in binary.
+  LoSpec spec;
+  spec.rise_frac = 0.03125;
+  spec.overlap_guard = 0.015625;
+  const auto waves = lo_waveforms(spec, 0.0, 2.5);
+  const int shift = spec.samples / spec.phases;
+  for (int p = 1; p < spec.phases; ++p) {
+    for (int i = 0; i < spec.samples; ++i) {
+      const int j = (i + p * shift) % spec.samples;
+      ASSERT_EQ(waves[std::size_t(p)][std::size_t(j)], waves[0][std::size_t(i)])
+          << "phase=" << p << " sample=" << i;
+    }
+  }
+}
+
+TEST(LoGenTest, FullDutyIdealSetSumsToConstant) {
+  // duty = 1/N with no guard and no ramps tiles the period exactly: at
+  // every instant exactly one switch conducts, so the sum of all phase
+  // conductances is the flat line g_on.
+  for (const int phases : {2, 4, 8}) {
+    LoSpec spec;
+    spec.phases = phases;
+    spec.duty = 1.0 / phases;
+    spec.samples = 256;
+    const auto waves = lo_waveforms(spec, 0.0, 0.1);
+    for (int i = 0; i < spec.samples; ++i) {
+      double sum = 0.0;
+      for (const auto& w : waves) sum += w[std::size_t(i)];
+      ASSERT_DOUBLE_EQ(sum, 0.1) << "phases=" << phases << " sample=" << i;
+    }
+  }
+}
+
+TEST(LoGenTest, ValidateRejectsUnrealizableSpecs) {
+  const auto reject = [](LoSpec s) { EXPECT_THROW(validate(s), std::invalid_argument); };
+  LoSpec s;
+  s.phases = 1;
+  reject(s);  // too few phases
+  s = LoSpec{};
+  s.phases = 65;
+  reject(s);  // too many phases
+  s = LoSpec{};
+  s.duty = 0.3;
+  reject(s);  // 4 * 0.3 > 1: overlapping windows
+  s = LoSpec{};
+  s.duty = 0.0;
+  reject(s);  // no ON window at all
+  s = LoSpec{};
+  s.overlap_guard = 0.25;
+  reject(s);  // guard swallows the window
+  s = LoSpec{};
+  s.rise_frac = 0.15;
+  reject(s);  // 2*rise > duty: edges collide
+  s = LoSpec{};
+  s.samples = 4;
+  reject(s);  // under-resolved
+  s = LoSpec{};
+  s.rise_frac = -0.01;
+  reject(s);
+  // And the boundary case that must pass: full duty, edges exactly filling
+  // the window.
+  s = LoSpec{};
+  s.duty = 0.25;
+  s.rise_frac = 0.125;
+  EXPECT_NO_THROW(validate(s));
+}
+
+TEST(LoGenTest, PhaseWaveRejectsOutOfRangePhase) {
+  LoSpec spec;
+  EXPECT_THROW(phase_wave(spec, -1, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(phase_wave(spec, 4, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(LoGenTest, DcCoefficientEqualsDutyWithRamps) {
+  // The trapezoid loses on one edge exactly what it gains on the other, so
+  // the mean stays at width-centred duty independent of rise_frac (for
+  // grid-aligned edges).
+  LoSpec spec;
+  spec.samples = 1024;
+  spec.rise_frac = 0.0625;  // 64 samples per edge
+  const auto w = phase_wave(spec, 0, 0.0, 1.0);
+  const std::complex<double> dc = fourier_coeff(w, 0);
+  EXPECT_NEAR(dc.real(), spec.duty - spec.rise_frac, 1e-3);
+  EXPECT_NEAR(dc.imag(), 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace rfmix::npath

@@ -1,0 +1,166 @@
+// Mixer-first Zin/S11 physics: the translated-impedance peak must sit at
+// f_LO and move with it, bandwidth must be set by the baseband pole (so Q
+// rises with Zbb resistance), switch Ron must degrade the out-of-band
+// floor, S11 must dip at the match, and the 8-phase clock set must cancel
+// the 3 f_LO re-radiation that the 4-phase set emits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "npath/zin.hpp"
+#include "spice/ac.hpp"
+
+namespace rfmix::npath {
+namespace {
+
+/// Small, fast default front end for the physics checks: 4 phases at 25%
+/// duty, modest resolution (K = 8 sidebands needs >= 34 samples).
+NpathSpec small_spec() {
+  NpathSpec s;
+  s.lo.samples = 64;
+  s.harmonics = 8;
+  s.f_lo_hz = 1e9;
+  s.switch_ron = 10.0;
+  s.zbb_r = 1e3;
+  return s;
+}
+
+TEST(NpathZinTest, PeakTracksLoFrequency) {
+  for (const double f_lo : {0.8e9, 1.0e9, 1.3e9}) {
+    NpathSpec s = small_spec();
+    s.f_lo_hz = f_lo;
+    s.zbb_c = 40e-12;  // sharpen the peak so argmax is unambiguous
+    const ZinSweep sw =
+        zin_sweep(s, spice::lin_space(0.5 * f_lo, 1.5 * f_lo, 41));
+    // The translated-impedance resonance sits at f_LO: the argmax of |Zin|
+    // must land within one grid step (f_lo/40) of it.
+    EXPECT_NEAR(sw.summary.f_peak_hz, f_lo, 1.05 * f_lo / 40.0) << "f_lo=" << f_lo;
+    // And the peak towers over the floor — this is a bandpass, not a ripple.
+    EXPECT_GT(sw.summary.zin_peak_ohm, 3.0 * sw.summary.zin_floor_ohm);
+  }
+}
+
+TEST(NpathZinTest, QIncreasesWithBasebandResistance) {
+  // The RF bandwidth is the translated baseband pole: BW ~ 1/(R_eff C), so
+  // raising zbb_r (with the 1/(N duty) source-side contribution fixed)
+  // narrows the peak and raises Q monotonically.
+  std::vector<double> q;
+  for (const double rb : {200.0, 1000.0, 5000.0}) {
+    NpathSpec s = small_spec();
+    s.zbb_r = rb;
+    s.zbb_c = 40e-12;
+    const ZinSweep sw = zin_sweep(s, spice::lin_space(0.7e9, 1.3e9, 121));
+    ASSERT_GT(sw.summary.bw_3db_hz, 0.0) << "rb=" << rb;
+    ASSERT_GT(sw.summary.q, 0.0) << "rb=" << rb;
+    q.push_back(sw.summary.q);
+  }
+  EXPECT_GT(q[1], q[0]);
+  EXPECT_GT(q[2], q[1]);
+}
+
+TEST(NpathZinTest, SwitchRonSetsOutOfBandFloorAndDegradesContrast) {
+  // Far from f_LO the paths look like Ron in series with the (shorted-out)
+  // baseband, so the floor tracks Ron; in-band the peak-to-floor contrast
+  // shrinks as Ron grows.
+  double prev_floor = -1.0, prev_contrast = 1e300;
+  for (const double ron : {2.0, 10.0, 50.0}) {
+    NpathSpec s = small_spec();
+    s.switch_ron = ron;
+    s.zbb_c = 40e-12;
+    const ZinSweep sw = zin_sweep(s, spice::lin_space(0.5e9, 1.5e9, 41));
+    EXPECT_GT(sw.summary.zin_floor_ohm, prev_floor) << "ron=" << ron;
+    const double contrast = sw.summary.zin_peak_ohm / sw.summary.zin_floor_ohm;
+    EXPECT_LT(contrast, prev_contrast) << "ron=" << ron;
+    prev_floor = sw.summary.zin_floor_ohm;
+    prev_contrast = contrast;
+  }
+}
+
+TEST(NpathZinTest, S11DipsAtTheTranslatedResonance) {
+  // Pick Zbb (R || C) so the translated impedance lands near 50 ohm at
+  // f_LO: the reflection coefficient must dip there, while off-band the
+  // baseband cap shorts the paths down to Ron and the match is poor. A
+  // purely resistive baseband would match broadband — the localized dip
+  // IS the N-path selectivity.
+  NpathSpec s = small_spec();
+  s.zbb_r = 200.0;
+  s.zbb_c = 40e-12;
+  const ZinSweep sw = zin_sweep(s, spice::lin_space(0.5e9, 1.5e9, 101));
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < sw.points.size(); ++i)
+    if (std::abs(sw.points[i].s11) < std::abs(sw.points[best].s11)) best = i;
+  EXPECT_NEAR(sw.freqs_hz[best], s.f_lo_hz, 0.05 * s.f_lo_hz);
+  const double dip = std::abs(sw.points[best].s11);
+  const double edge = std::abs(sw.points.front().s11);
+  EXPECT_LT(dip, edge - 0.2);
+}
+
+TEST(NpathZinTest, EightPhaseCancelsThirdHarmonicReradiation) {
+  // The N-path selection rule: N identical phase-shifted paths re-radiate
+  // only at sidebands k = multiples of +-N. A tone near f_LO therefore
+  // re-emits near 3 f_LO through a 4-phase set (k = -4 lands at |f - 4
+  // f_LO| ~ 3 f_LO) but NOT through an 8-phase one — the harmonic-
+  // rejection argument for more phases.
+  NpathSpec s4 = small_spec();
+  const ZinSweep sw4 = zin_sweep(s4, spice::lin_space(0.9e9, 1.1e9, 11));
+
+  NpathSpec s8 = small_spec();
+  s8.lo.phases = 8;
+  s8.lo.duty = 0.125;
+  s8.harmonics = 9;  // must retain the +-8 sidebands
+  s8.lo.samples = 64;
+  const ZinSweep sw8 = zin_sweep(s8, spice::lin_space(0.9e9, 1.1e9, 11));
+
+  EXPECT_GT(sw4.summary.rerad_3lo_max, 1e-3);
+  EXPECT_LT(sw8.summary.rerad_3lo_max, 1e-6);
+  // The +-N re-radiation pair itself is nonzero for both sets (it moved to
+  // 7/9 f_LO for N = 8, it did not disappear).
+  EXPECT_GT(sw4.points[5].rerad_minus, 0.0);
+  EXPECT_GT(sw8.points[5].rerad_minus, 0.0);
+}
+
+TEST(NpathZinTest, ZinIsPassiveAndReciprocalInMagnitude) {
+  // A passive network: Re(Zin) > 0 and |S11| <= 1 at every point.
+  NpathSpec s = small_spec();
+  s.zbb_c = 20e-12;
+  const ZinSweep sw = zin_sweep(s, spice::lin_space(0.3e9, 2.0e9, 35));
+  for (const ZinPoint& pt : sw.points) {
+    EXPECT_GT(pt.zin.real(), 0.0) << "f=" << pt.f_hz;
+    EXPECT_LE(std::abs(pt.s11), 1.0 + 1e-9) << "f=" << pt.f_hz;
+  }
+}
+
+TEST(NpathZinTest, ValidateRejectsUnderResolvedSpecs) {
+  NpathSpec s = small_spec();
+  s.harmonics = 4;  // < phases + 1: would drop the +-N sidebands
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s = small_spec();
+  s.lo.samples = 32;  // < 4K + 2
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s = small_spec();
+  s.harmonics = 65;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s = small_spec();
+  s.switch_ron = 0.0;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s = small_spec();
+  s.f_lo_hz = -1e9;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+  s = small_spec();
+  s.zbb_c = -1e-12;
+  EXPECT_THROW(validate(s), std::invalid_argument);
+}
+
+TEST(NpathZinTest, CircuitShapeMatchesSpec) {
+  const NpathSpec s = small_spec();
+  const NpathCircuit nc = build_npath_circuit(s);
+  EXPECT_EQ(nc.bb.size(), 4u);
+  // Ground + RF + one baseband node per path.
+  EXPECT_EQ(nc.ckt.num_nodes(), 6);
+}
+
+}  // namespace
+}  // namespace rfmix::npath

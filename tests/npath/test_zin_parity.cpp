@@ -1,0 +1,108 @@
+// Bit-exactness harness for the npath Zin sweep, mirroring the PR-7
+// solver-parity discipline: the sweep must produce byte-identical numbers
+// at any thread count and in classic vs reuse solver mode, because the
+// rfmixd cache stores one payload per content key and replays it to every
+// client — a single flipped mantissa bit would make a cache hit diverge
+// from a fresh run.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mathx/solver_config.hpp"
+#include "npath/zin.hpp"
+#include "runtime/thread_pool.hpp"
+#include "spice/ac.hpp"
+#include "svc/request.hpp"
+
+namespace rfmix::npath {
+namespace {
+
+NpathSpec parity_spec() {
+  NpathSpec s;
+  s.lo.phases = 4;
+  s.lo.rise_frac = 0.02;
+  s.lo.samples = 128;
+  s.harmonics = 10;
+  s.f_lo_hz = 1e9;
+  s.zbb_r = 2e3;
+  s.zbb_c = 25e-12;
+  s.c_rf = 1e-13;
+  return s;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Compare two sweeps field-by-field at the bit level (NaN-safe, -0.0
+/// sensitive) — "close" is not the contract here, "identical" is.
+void expect_bit_identical(const ZinSweep& a, const ZinSweep& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    ASSERT_EQ(bits(a.freqs_hz[i]), bits(b.freqs_hz[i])) << i;
+    ASSERT_EQ(bits(a.points[i].zin.real()), bits(b.points[i].zin.real())) << i;
+    ASSERT_EQ(bits(a.points[i].zin.imag()), bits(b.points[i].zin.imag())) << i;
+    ASSERT_EQ(bits(a.points[i].s11.real()), bits(b.points[i].s11.real())) << i;
+    ASSERT_EQ(bits(a.points[i].s11.imag()), bits(b.points[i].s11.imag())) << i;
+    ASSERT_EQ(bits(a.points[i].rerad_minus), bits(b.points[i].rerad_minus)) << i;
+    ASSERT_EQ(bits(a.points[i].rerad_plus), bits(b.points[i].rerad_plus)) << i;
+    ASSERT_EQ(bits(a.points[i].rerad_3lo), bits(b.points[i].rerad_3lo)) << i;
+  }
+  EXPECT_EQ(bits(a.summary.f_peak_hz), bits(b.summary.f_peak_hz));
+  EXPECT_EQ(bits(a.summary.zin_peak_ohm), bits(b.summary.zin_peak_ohm));
+  EXPECT_EQ(bits(a.summary.zin_floor_ohm), bits(b.summary.zin_floor_ohm));
+  EXPECT_EQ(bits(a.summary.bw_3db_hz), bits(b.summary.bw_3db_hz));
+  EXPECT_EQ(bits(a.summary.q), bits(b.summary.q));
+  EXPECT_EQ(bits(a.summary.rerad_3lo_max), bits(b.summary.rerad_3lo_max));
+}
+
+ZinSweep run(const NpathSpec& spec, int threads, mathx::SolverMode mode) {
+  runtime::ScopedPool pool(threads);
+  mathx::ScopedSolverMode solver(mode);
+  return zin_sweep(spec, spice::lin_space(0.6e9, 1.4e9, 33));
+}
+
+TEST(NpathZinParityTest, ThreadCountDoesNotChangeBits) {
+  const NpathSpec spec = parity_spec();
+  const ZinSweep serial = run(spec, 1, mathx::SolverMode::kReuse);
+  const ZinSweep parallel = run(spec, 8, mathx::SolverMode::kReuse);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST(NpathZinParityTest, ClassicAndReuseSolversAgreeBitwise) {
+  const NpathSpec spec = parity_spec();
+  const ZinSweep reuse = run(spec, 8, mathx::SolverMode::kReuse);
+  const ZinSweep classic = run(spec, 8, mathx::SolverMode::kClassic);
+  expect_bit_identical(reuse, classic);
+  // And the full 2x2 grid agrees with the serial-classic reference.
+  const ZinSweep ref = run(spec, 1, mathx::SolverMode::kClassic);
+  expect_bit_identical(ref, reuse);
+}
+
+TEST(NpathZinParityTest, ServicePayloadBytesAreInvariant) {
+  // The same invariance one layer up: the serialized npath_zin payload the
+  // cache stores must be string-equal across thread counts and solver
+  // modes.
+  svc::Request req;
+  req.kind = svc::RequestKind::kNpathZin;
+  req.npath.spec = parity_spec();
+  req.npath.f_start_hz = 0.8e9;
+  req.npath.f_stop_hz = 1.2e9;
+  req.npath.points = 17;
+
+  std::vector<std::string> payloads;
+  for (const int threads : {1, 8}) {
+    for (const auto mode : {mathx::SolverMode::kClassic, mathx::SolverMode::kReuse}) {
+      runtime::ScopedPool pool(threads);
+      mathx::ScopedSolverMode solver(mode);
+      payloads.push_back(svc::execute_request(req));
+    }
+  }
+  for (std::size_t i = 1; i < payloads.size(); ++i)
+    EXPECT_EQ(payloads[0], payloads[i]) << "variant " << i;
+  EXPECT_NE(payloads[0].find("\"analysis\":\"npath_zin\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfmix::npath

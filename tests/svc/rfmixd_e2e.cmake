@@ -25,8 +25,8 @@ endif()
 string(REGEX REPLACE "\n$" "" TRIMMED "${STDOUT}")
 string(REPLACE "\n" ";" LINES "${TRIMMED}")
 list(LENGTH LINES NLINES)
-if(NOT NLINES EQUAL 8)
-  message(FATAL_ERROR "expected 8 response lines, got ${NLINES}:\n${STDOUT}")
+if(NOT NLINES EQUAL 10)
+  message(FATAL_ERROR "expected 10 response lines, got ${NLINES}:\n${STDOUT}")
 endif()
 
 macro(expect_contains idx needle)
@@ -97,6 +97,31 @@ list(GET LINES 7 LINE8)
 string(REGEX MATCH "\"key\":\"[0-9a-f]+\"" KEY8 "${LINE8}")
 if(NOT KEY8 STREQUAL KEY3 OR KEY8 STREQUAL "")
   message(FATAL_ERROR "v2 envelope changed the content key: '${KEY3}' vs '${KEY8}'")
+endif()
+
+# 9: npath_zin (v2-only op), cold -> full Zin/S11 sweep payload
+expect_contains(8 "\"id\":9")
+expect_contains(8 "\"ok\":true")
+expect_contains(8 "\"cached\":false")
+expect_contains(8 "\"analysis\":\"npath_zin\"")
+expect_contains(8 "\"s11_db\"")
+expect_contains(8 "\"summary\"")
+
+# 10: identical npath_zin request -> cache hit, same key, byte-identical
+# result payload.
+expect_contains(9 "\"id\":10")
+expect_contains(9 "\"cached\":true")
+list(GET LINES 8 LINE9)
+list(GET LINES 9 LINE10)
+string(REGEX MATCH "\"key\":\"[0-9a-f]+\"" KEY9 "${LINE9}")
+string(REGEX MATCH "\"key\":\"[0-9a-f]+\"" KEY10 "${LINE10}")
+if(NOT KEY9 STREQUAL KEY10 OR KEY9 STREQUAL "")
+  message(FATAL_ERROR "repeated npath_zin changed the key: '${KEY9}' vs '${KEY10}'")
+endif()
+string(REGEX MATCH "\"result\":.*$" RES9 "${LINE9}")
+string(REGEX MATCH "\"result\":.*$" RES10 "${LINE10}")
+if(NOT RES9 STREQUAL RES10)
+  message(FATAL_ERROR "cached npath_zin result differs from cold run:\n${RES9}\n${RES10}")
 endif()
 
 message(STATUS "rfmixd e2e OK")

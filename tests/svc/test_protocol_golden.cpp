@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "mathx/solver_config.hpp"
 #include "runtime/thread_pool.hpp"
 #include "svc/json_parse.hpp"
 #include "svc/request.hpp"
@@ -44,12 +45,24 @@ TEST_F(ProtocolGoldenTest, PingV2) {
 }
 
 TEST_F(ProtocolGoldenTest, StatsOnFreshSession) {
+  // stats reports numeric provenance after the counters: the active solver
+  // mode (whatever RFMIX_SOLVER pinned — both spellings are wire format)
+  // and the canonicalization epoch behind every cache key.
+  mathx::ScopedSolverMode reuse(mathx::SolverMode::kReuse);
   EXPECT_EQ(
       reply(R"json({"v":2,"id":1,"kind":"stats"})json"),
       R"json({"v":2,"id":1,"ok":true,"result":{"jobs":{"submitted":0,"cache_hits":0,)json"
       R"json("deduped":0,"executed":0,"failed":0},"cache":{"hits":0,"misses":0,)json"
       R"json("evictions":0,"stores":0,"disk_hits":0,"disk_stores":0,"disk_corrupt":0,)json"
-      R"json("entries":0}}})json");
+      R"json("entries":0},"solver_mode":"reuse","canonical_epoch":2}})json");
+}
+
+TEST_F(ProtocolGoldenTest, StatsReportsClassicSolverMode) {
+  mathx::ScopedSolverMode classic(mathx::SolverMode::kClassic);
+  const std::string r = reply(R"json({"v":2,"id":1,"kind":"stats"})json");
+  EXPECT_NE(r.find(R"json("solver_mode":"classic","canonical_epoch":2}})json"),
+            std::string::npos)
+      << r;
 }
 
 TEST_F(ProtocolGoldenTest, CancelWithNothingPending) {
@@ -75,7 +88,7 @@ TEST_F(ProtocolGoldenTest, UnsupportedVersion) {
 TEST_F(ProtocolGoldenTest, UnknownKind) {
   EXPECT_EQ(reply(R"json({"v":2,"id":3,"kind":"explode"})json"),
             R"json({"v":2,"id":3,"ok":false,"error":{"code":"unknown_kind",)json"
-            R"json("message":"unknown request kind 'explode' (expected ping, stats, cancel, op, ac, or mixer_metric)json" R"x()"}})x");
+            R"json("message":"unknown request kind 'explode' (expected ping, stats, cancel, op, ac, mixer_metric, or npath_zin)json" R"x()"}})x");
   EXPECT_EQ(reply(R"json({"id":3,"kind":"explode"})json"),
             R"json({"id":3,"ok":false,"deprecated":true,)json"
             R"json("error":"unknown request kind 'explode' (expected ping, stats, op, ac, or mixer_metric)json" R"x()"})x");
@@ -118,6 +131,43 @@ TEST_F(ProtocolGoldenTest, AnalysisEnvelopeV2) {
                           R"json("cached":true)json");
   EXPECT_EQ(reply(R"json({"v":2,"id":"op-9","kind":"op","params":{"netlist":"V1 in 0 DC 10\nR1 in mid 6k\nR2 mid 0 4k\n"}})json"),
             cached_expected);
+}
+
+TEST_F(ProtocolGoldenTest, NpathZinEnvelopeV2) {
+  // Same envelope contract as op/ac/mixer_metric: cold run carries
+  // cached:false plus the content key; the identical request again returns
+  // the byte-identical payload with only the cached flag flipped.
+  const std::string line =
+      R"json({"v":2,"id":"np-1","kind":"npath_zin","params":{"phases":4,"harmonics":8,)json"
+      R"json("samples":64,"f_lo_hz":1e9,"sweep":{"f_start_hz":9e8,"f_stop_hz":1.1e9,"points":3}}})json";
+  const ParsedRequest req = parse_request(json_parse(line));
+  const std::string expected = std::string(R"json({"v":2,"id":"np-1","ok":true,)json") +
+                               R"json("cached":false,"deduped":false,"key":")json" +
+                               request_key(req.request).hex() + R"json(","result":)json" +
+                               execute_request(req.request) + "}";
+  EXPECT_EQ(reply(line), expected);
+  std::string cached_expected = expected;
+  cached_expected.replace(cached_expected.find(R"json("cached":false)json"),
+                          std::string(R"json("cached":false)json").size(),
+                          R"json("cached":true)json");
+  EXPECT_EQ(reply(line), cached_expected);
+}
+
+TEST_F(ProtocolGoldenTest, NpathZinRejectedInV1) {
+  // npath_zin postdates the v1 freeze: a version-less request gets the
+  // unchanged v1 unknown-kind message, which does not advertise it.
+  EXPECT_EQ(reply(R"json({"id":8,"kind":"npath_zin"})json"),
+            R"json({"id":8,"ok":false,"deprecated":true,)json"
+            R"json("error":"unknown request kind 'npath_zin' (expected ping, stats, op, ac, or mixer_metric)json" R"x()"})x");
+}
+
+TEST_F(ProtocolGoldenTest, NpathZinStrictParams) {
+  const std::string r = reply(
+      R"json({"v":2,"id":9,"kind":"npath_zin","params":{"phasez":4}})json");
+  EXPECT_EQ(r.find(R"json({"v":2,"id":9,"ok":false,"error":{"code":"bad_params",)json"
+                   R"json("message":"unknown npath_zin field 'phasez'")json"),
+            0u)
+      << r;
 }
 
 TEST_F(ProtocolGoldenTest, AnalysisEnvelopeV1AndV2ShareKeyAndPayload) {
