@@ -1,0 +1,144 @@
+// GEN-ARRAY: generated beamforming-array requests through the rfmixd
+// service layer.
+//
+// Builds a batch of v2 `gen` requests (mismatched rx_array, per-element
+// npath_zin analysis plus a mid-size DC op) and runs it twice through one
+// ServerSession: the cold pass executes, the warm pass must be served
+// entirely from cache with byte-identical response payloads.
+//
+// Also reports the number the gen op exists for: keying a 100k-device
+// array request from its GenSpec (microseconds) vs the old
+// parse-the-expanded-deck route (render + elaborate + canonicalize), which
+// is what every cache probe would cost if keys hashed the deck.
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "gen/templates.hpp"
+#include "obs/cli.hpp"
+#include "rf/table.hpp"
+#include "runtime/thread_pool.hpp"
+#include "spice/circuit.hpp"
+#include "spice/parser.hpp"
+#include "svc/canonical.hpp"
+#include "svc/json_parse.hpp"
+#include "svc/request.hpp"
+#include "svc/server.hpp"
+
+using namespace rfmix;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string gen_line(int id, int elements, const std::string& analysis,
+                     const std::string& extra) {
+  std::string line = "{\"v\":2,\"id\":" + std::to_string(id) +
+                     ",\"kind\":\"gen\",\"params\":{\"template\":\"rx_array\","
+                     "\"elements\":" +
+                     std::to_string(elements) +
+                     ",\"paths\":4,\"sections\":6,\"zbb_c\":2e-12,"
+                     "\"mismatch\":0.05,\"seed\":11,\"analysis\":\"" +
+                     analysis + "\"" + extra + "}}";
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchCli cli(argc, argv, "bench_gen_array");
+  std::ostream& out = cli.out();
+  if (!cli.csv())
+    out << "=== GEN-ARRAY: generated array requests through rfmixd ===\n\n";
+
+  // The request batch: per-element N-path sweeps over a spread of array
+  // sizes and seeds, plus a 128-element DC op (7424 devices).
+  std::vector<std::string> lines;
+  int id = 1;
+  for (const int elements : {8, 16, 32})
+    lines.push_back(gen_line(
+        id++, elements, "npath_zin",
+        ",\"sweep\":{\"f_start_hz\":8e8,\"f_stop_hz\":1.2e9,\"points\":11}"));
+  lines.push_back(gen_line(id++, 128, "op", ""));
+
+  svc::ResultCache cache(1024);
+  svc::ServerSession session(cache, runtime::ThreadPool::current());
+
+  const auto t_cold = std::chrono::steady_clock::now();
+  std::vector<std::string> cold;
+  for (const std::string& line : lines) cold.push_back(session.handle_line(line).line);
+  const double cold_ms = ms_since(t_cold);
+
+  const auto t_warm = std::chrono::steady_clock::now();
+  std::vector<std::string> warm;
+  for (const std::string& line : lines) warm.push_back(session.handle_line(line).line);
+  const double warm_ms = ms_since(t_warm);
+
+  // Responses may differ only in the cached flag.
+  bool identical = true;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string expect = cold[i];
+    const std::size_t at = expect.find("\"cached\":false");
+    if (at != std::string::npos) {
+      expect.replace(at, 14, "\"cached\":true");
+      ++hits;
+    }
+    if (warm[i] != expect) identical = false;
+  }
+
+  // Key-derivation comparison at 100k+ devices: GenSpec-derived canonical
+  // key vs hashing the elaborated deck.
+  svc::Request big;
+  big.kind = svc::RequestKind::kGen;
+  big.gen.spec.elements = 2048;
+  big.gen.spec.sections = 6;
+  big.gen.spec.zbb_c = 2e-12;
+  big.gen.spec.mismatch = 0.05;
+  const auto t_key = std::chrono::steady_clock::now();
+  const svc::Hash128 key = svc::request_key(big);
+  const double key_ms = ms_since(t_key);
+
+  const auto t_deck = std::chrono::steady_clock::now();
+  const spice::Circuit ckt = spice::parse_netlist(gen::render_netlist(big.gen.spec));
+  svc::CanonicalWriter w;
+  svc::append_canonical_circuit(w, ckt);
+  const svc::Hash128 deck_key = svc::hash128(w.str());
+  const double deck_ms = ms_since(t_deck);
+
+  rf::ConsoleTable table({"pass", "requests", "ms"});
+  table.add_row({"cold", rf::ConsoleTable::num(double(lines.size()), 0),
+                 rf::ConsoleTable::num(cold_ms, 1)});
+  table.add_row({"warm", rf::ConsoleTable::num(double(lines.size()), 0),
+                 rf::ConsoleTable::num(warm_ms, 1)});
+  if (!cli.csv()) {
+    table.print(out);
+    out << "\nwarm hits " << hits << "/" << lines.size()
+        << ", payloads bit-identical: " << (identical ? "yes" : "NO") << "\n";
+    out << "keying a " << ckt.devices().size()
+        << "-device gen request: " << rf::ConsoleTable::num(key_ms, 3)
+        << " ms from GenSpec vs " << rf::ConsoleTable::num(deck_ms, 1)
+        << " ms via the expanded deck (" << key.hex().substr(0, 8) << " / "
+        << deck_key.hex().substr(0, 8) << ")\n";
+  }
+
+  cli.set_config("requests", double(lines.size()));
+  cli.add_metric("cold_ms", cold_ms);
+  cli.add_metric("warm_ms", warm_ms);
+  cli.add_metric("speedup", warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+  cli.add_metric("hits", double(hits));
+  cli.add_metric("bit_identical", identical ? 1.0 : 0.0);
+  cli.add_metric("key_from_spec_ms", key_ms);
+  cli.add_metric("key_from_deck_ms", deck_ms);
+
+  if (!identical || hits != lines.size()) {
+    out << "GEN-ARRAY FAILED: warm pass not fully cached (" << hits << "/"
+        << lines.size() << ", identical=" << identical << ")\n";
+    cli.finish();
+    return 1;
+  }
+  return cli.finish();
+}

@@ -88,7 +88,8 @@ void add_quad(Circuit& c, const MixerConfig& cfg, const DeviceVariation& var,
               const std::string& prefix,
               NodeId src_p, NodeId src_m, NodeId lo_p, NodeId lo_m, NodeId out_p,
               NodeId out_m) {
-  const auto nominal = tech::nmos(cfg.quad_w, cfg.quad_l);
+  const QuadGeometry geo = quad_geometry(cfg);
+  const auto nominal = tech::nmos(geo.w, geo.l);
   c.add<Mosfet>(prefix + "_m3", out_p, lo_p, src_p, kGround, var.apply(nominal));
   c.add<Mosfet>(prefix + "_m4", out_m, lo_m, src_p, kGround, var.apply(nominal));
   c.add<Mosfet>(prefix + "_m5", out_p, lo_m, src_m, kGround, var.apply(nominal));
@@ -110,6 +111,10 @@ void add_tia_side(Circuit& c, const MixerConfig& cfg, const std::string& side,
 }
 
 }  // namespace
+
+QuadGeometry quad_geometry(const MixerConfig& config) {
+  return QuadGeometry{config.quad_w, config.quad_l};
+}
 
 std::unique_ptr<TransistorMixer> build_transistor_mixer(const MixerConfig& cfg,
                                                          const DeviceVariation& var) {

@@ -40,6 +40,16 @@ struct DeviceVariation {
   }
 };
 
+/// Switching-quad device geometry for a given config. Shared by the
+/// transistor-level builders here and the src/gen `mixer_slice` template,
+/// so programmatically generated array slices track the paper's sizing
+/// (and any future re-sizing) instead of hard-coding their own.
+struct QuadGeometry {
+  double w = 0.0;  // gate width [m]
+  double l = 0.0;  // gate length [m]
+};
+QuadGeometry quad_geometry(const MixerConfig& config);
+
 /// Handles into a constructed transistor-level mixer.
 struct TransistorMixer {
   spice::Circuit circuit;

@@ -1,0 +1,140 @@
+#include "gen/netlist_builder.hpp"
+
+#include <stdexcept>
+
+#include "obs/json_writer.hpp"
+
+namespace rfmix::gen {
+
+namespace {
+
+/// The parser types a card by the first letter of the last '.'-separated
+/// name segment; enforce that here so a template can never emit a card the
+/// parser will read as a different device.
+void check_leaf_type(char type, std::string_view name) {
+  if (name.empty()) throw std::invalid_argument("device name must not be empty");
+  const std::size_t dot = name.rfind('.');
+  const std::size_t leaf = (dot == std::string_view::npos) ? 0 : dot + 1;
+  if (leaf >= name.size())
+    throw std::invalid_argument("device name '" + std::string(name) +
+                                "' has an empty leaf segment");
+  if (name[leaf] != type)
+    throw std::invalid_argument("device name '" + std::string(name) +
+                                "' does not start with '" + std::string(1, type) +
+                                "' (parser types cards by leaf-segment initial)");
+}
+
+}  // namespace
+
+std::string value_token(double v) { return obs::json::number(v); }
+
+NetlistBuilder& NetlistBuilder::comment(std::string_view text) {
+  buf_ += "* ";
+  buf_ += text;
+  buf_ += '\n';
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::raw(std::string_view line) {
+  buf_ += line;
+  buf_ += '\n';
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::device_card(
+    char type, std::string_view name,
+    std::initializer_list<std::string_view> nodes, std::string_view tail) {
+  check_leaf_type(type, name);
+  buf_ += name;
+  for (const std::string_view n : nodes) {
+    buf_ += ' ';
+    buf_ += n;
+  }
+  if (!tail.empty()) {
+    buf_ += ' ';
+    buf_ += tail;
+  }
+  buf_ += '\n';
+  ++cards_;
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::resistor(std::string_view name, std::string_view a,
+                                         std::string_view b, double ohms) {
+  return device_card('r', name, {a, b}, value_token(ohms));
+}
+
+NetlistBuilder& NetlistBuilder::capacitor(std::string_view name, std::string_view a,
+                                          std::string_view b, double farads) {
+  return device_card('c', name, {a, b}, value_token(farads));
+}
+
+NetlistBuilder& NetlistBuilder::inductor(std::string_view name, std::string_view a,
+                                         std::string_view b, double henries) {
+  return device_card('l', name, {a, b}, value_token(henries));
+}
+
+NetlistBuilder& NetlistBuilder::vsource_dc(std::string_view name, std::string_view p,
+                                           std::string_view m, double volts) {
+  return device_card('v', name, {p, m}, "dc " + value_token(volts));
+}
+
+NetlistBuilder& NetlistBuilder::isource_dc(std::string_view name, std::string_view p,
+                                           std::string_view m, double amps) {
+  return device_card('i', name, {p, m}, "dc " + value_token(amps));
+}
+
+NetlistBuilder& NetlistBuilder::mosfet(std::string_view name, std::string_view d,
+                                       std::string_view g, std::string_view s,
+                                       std::string_view b, std::string_view model,
+                                       double w, double l) {
+  std::string tail;
+  tail += model;
+  tail += " w=";
+  tail += value_token(w);
+  tail += " l=";
+  tail += value_token(l);
+  return device_card('m', name, {d, g, s, b}, tail);
+}
+
+NetlistBuilder& NetlistBuilder::instance(std::string_view name,
+                                         const std::vector<std::string>& nodes,
+                                         std::string_view subckt) {
+  check_leaf_type('x', name);
+  buf_ += name;
+  for (const std::string& n : nodes) {
+    buf_ += ' ';
+    buf_ += n;
+  }
+  buf_ += ' ';
+  buf_ += subckt;
+  buf_ += '\n';
+  ++cards_;
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::begin_subckt(std::string_view name,
+                                             const std::vector<std::string>& ports) {
+  if (in_subckt_)
+    throw std::invalid_argument("nested .subckt definitions are not supported");
+  if (ports.empty())
+    throw std::invalid_argument(".subckt needs at least one port");
+  in_subckt_ = true;
+  buf_ += ".subckt ";
+  buf_ += name;
+  for (const std::string& p : ports) {
+    buf_ += ' ';
+    buf_ += p;
+  }
+  buf_ += '\n';
+  return *this;
+}
+
+NetlistBuilder& NetlistBuilder::end_subckt() {
+  if (!in_subckt_) throw std::invalid_argument(".ends without .subckt");
+  in_subckt_ = false;
+  buf_ += ".ends\n";
+  return *this;
+}
+
+}  // namespace rfmix::gen

@@ -1,0 +1,90 @@
+// Programmatic SPICE-deck construction (the FPGA-SPICE pattern: generate
+// enormous decks from a higher-level description instead of writing them).
+//
+// NetlistBuilder is a thin, append-only emitter for the dialect
+// spice::parse_netlist speaks: device cards, .subckt/.ends blocks, and
+// subcircuit instances. Two properties matter more than convenience:
+//
+//  * Value round-trip: every numeric value is printed with the shortest
+//    decimal that round-trips the exact double (obs::json::number), so a
+//    generated deck parses back to bit-identical device parameters — the
+//    precondition for flat and hierarchical renderings of the same design
+//    solving bit-identically.
+//  * Name discipline: the parser types a device card by the first letter
+//    of its name's last '.'-separated segment, so flat renderings can
+//    carry elaboration-style names ("xe0.rsw0"). The builder checks each
+//    emitted name against the device type it is asked to emit and throws
+//    on a mismatch, turning template bugs into immediate errors instead of
+//    mis-typed circuits.
+//
+// See docs/gen.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfmix::gen {
+
+class NetlistBuilder {
+ public:
+  /// '*'-prefixed comment line (stripped by the parser).
+  NetlistBuilder& comment(std::string_view text);
+
+  /// Raw line, emitted verbatim. Escape hatch for cards the typed helpers
+  /// do not cover; no name checking.
+  NetlistBuilder& raw(std::string_view line);
+
+  NetlistBuilder& resistor(std::string_view name, std::string_view a,
+                           std::string_view b, double ohms);
+  NetlistBuilder& capacitor(std::string_view name, std::string_view a,
+                            std::string_view b, double farads);
+  NetlistBuilder& inductor(std::string_view name, std::string_view a,
+                           std::string_view b, double henries);
+  NetlistBuilder& vsource_dc(std::string_view name, std::string_view p,
+                             std::string_view m, double volts);
+  NetlistBuilder& isource_dc(std::string_view name, std::string_view p,
+                             std::string_view m, double amps);
+  /// `model` is "nmos" or "pmos"; w/l in meters.
+  NetlistBuilder& mosfet(std::string_view name, std::string_view d,
+                         std::string_view g, std::string_view s,
+                         std::string_view b, std::string_view model, double w,
+                         double l);
+
+  /// Xname n1 n2 ... subckt_name.
+  NetlistBuilder& instance(std::string_view name,
+                           const std::vector<std::string>& nodes,
+                           std::string_view subckt);
+
+  /// .subckt blocks. Nesting definitions is rejected (as in the parser).
+  NetlistBuilder& begin_subckt(std::string_view name,
+                               const std::vector<std::string>& ports);
+  NetlistBuilder& end_subckt();
+
+  /// Number of device/instance cards emitted so far. Cards inside a
+  /// .subckt body count once (what elaboration multiplies them into is the
+  /// template's business, see gen::device_count).
+  std::size_t cards() const { return cards_; }
+
+  /// Finish (closes nothing; .end is optional in the dialect) and take the
+  /// deck text.
+  std::string str() && { return std::move(buf_); }
+  const std::string& text() const { return buf_; }
+
+ private:
+  NetlistBuilder& device_card(char type, std::string_view name,
+                              std::initializer_list<std::string_view> nodes,
+                              std::string_view tail);
+
+  std::string buf_;
+  std::size_t cards_ = 0;
+  bool in_subckt_ = false;
+};
+
+/// Shortest-round-trip decimal spelling of `v` as a SPICE value token
+/// (delegates to obs::json::number; parse_spice_number reads it back to
+/// the exact same double).
+std::string value_token(double v);
+
+}  // namespace rfmix::gen

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <unordered_map>
 
 #include "mathx/units.hpp"
 #include "spice/devices_diode.hpp"
@@ -190,6 +193,17 @@ SourceSpec parse_source(const std::vector<std::string>& t, std::size_t i, int li
 // ---------------------------------------------------------------------------
 // Deck structure: tokenized cards, with .subckt bodies collected separately
 // and expanded on X-card instantiation (flattening with hierarchical names).
+//
+// Elaboration is two-stage with structural sharing: each scope (the main
+// deck, or one .subckt body) is COMPILED exactly once — tokens are type-
+// dispatched, numbers parsed, model parameters resolved, and node tokens
+// interned into scope-local slots — into a list of device prototypes.
+// Instantiating a subcircuit then only maps slots to global NodeIds and
+// replays the prototypes, so an M-instance array pays the string/parse
+// work once, not M times, and elaboration cost stays linear in the number
+// of *emitted* devices. Subcircuit bodies compile lazily on first
+// instantiation (a never-instantiated body is never validated, matching
+// the historical flattening semantics).
 
 struct Card {
   int line_no = 0;
@@ -201,167 +215,320 @@ struct Subckt {
   std::vector<Card> cards;
 };
 
-class DeckBuilder {
- public:
-  DeckBuilder(Circuit& ckt, const std::map<std::string, Subckt>& subckts)
-      : ckt_(ckt), subckts_(subckts) {}
+/// Scope-local node reference: slot index into the instance's NodeId
+/// table, or kGroundSlot for "0"/"gnd" (ground never needs mapping).
+inline constexpr int kGroundSlot = -1;
+inline constexpr NodeId kNoNode = -1;
 
-  void emit(const std::vector<Card>& cards, const std::map<std::string, std::string>& ports,
-            const std::string& prefix, int depth) {
-    if (depth > 20) throw ParseError(0, "subcircuit nesting too deep (recursion?)");
-    for (const auto& card : cards) emit_card(card, ports, prefix, depth);
+struct CompiledScope;
+
+class Elaborator;
+
+/// Per-instance emission state: the global circuit, this instance's
+/// hierarchical prefix, and the lazily resolved slot -> NodeId table.
+/// Slots resolve on first use, so global node-creation order is identical
+/// to parsing the equivalent flattened deck card by card — which is what
+/// makes flat and hierarchical expansions of the same array solve
+/// bit-identically (same NodeIds, same matrix ordering).
+struct EmitCtx {
+  Circuit& ckt;
+  const CompiledScope& scope;
+  Elaborator& elab;
+  std::string prefix;  // "" at top level, "x1.x2" inside instances
+  std::vector<NodeId> slots;
+  int depth = 0;
+
+  NodeId node(int slot);
+  std::string qualify(const std::string& local) const {
+    return prefix.empty() ? local : prefix + "." + local;
   }
+};
+
+struct Proto {
+  int line_no = 0;
+  std::string card0;  // original first token, for error framing
+  std::function<void(EmitCtx&)> emit;
+};
+
+struct CompiledScope {
+  std::vector<std::string> slot_names;  // local node token per slot
+  std::vector<Proto> protos;            // in card order
+};
+
+NodeId EmitCtx::node(int slot) {
+  if (slot == kGroundSlot) return kGround;
+  NodeId& id = slots[static_cast<std::size_t>(slot)];
+  if (id == kNoNode)
+    id = ckt.node(qualify(scope.slot_names[static_cast<std::size_t>(slot)]));
+  return id;
+}
+
+/// Compiles scopes on demand and memoizes them; owns nothing else.
+class Elaborator {
+ public:
+  explicit Elaborator(const std::map<std::string, Subckt>& subckts)
+      : subckts_(subckts) {}
+
+  /// Compile the cards of one scope. `label` is empty for the main deck,
+  /// the subckt name otherwise (cited in duplicate-name errors).
+  std::unique_ptr<CompiledScope> compile(const std::vector<Card>& cards,
+                                         const std::vector<std::string>& ports,
+                                         const std::string& label);
+
+  /// Memoized lazy compilation of a subckt body.
+  const CompiledScope& compiled_subckt(const std::string& name, const Subckt& sub) {
+    auto it = compiled_.find(name);
+    if (it != compiled_.end()) return *it->second;
+    auto scope = compile(sub.cards, sub.ports, name);
+    return *compiled_.emplace(name, std::move(scope)).first->second;
+  }
+
+  const std::map<std::string, Subckt>& subckts() const { return subckts_; }
 
  private:
-  /// Map a node token through the port map / hierarchical prefix.
-  NodeId node(const std::string& tok, const std::map<std::string, std::string>& ports,
-              const std::string& prefix) {
-    if (tok == "0" || tok == "gnd") return kGround;
-    const auto it = ports.find(tok);
-    if (it != ports.end()) return ckt_.node(it->second);
-    return ckt_.node(prefix.empty() ? tok : prefix + "." + tok);
-  }
+  const std::map<std::string, Subckt>& subckts_;
+  std::unordered_map<std::string, std::unique_ptr<CompiledScope>> compiled_;
+};
 
-  void emit_card(const Card& card, const std::map<std::string, std::string>& ports,
-                 const std::string& prefix, int depth) {
-    const auto& t = card.tokens;
-    const int line_no = card.line_no;
+/// Emit every prototype of a compiled scope into `ctx`, framing non-parse
+/// errors (device constructor validation) with the card's line number.
+void emit_scope(EmitCtx& ctx) {
+  if (ctx.depth > 20) throw ParseError(0, "subcircuit nesting too deep (recursion?)");
+  for (const Proto& p : ctx.scope.protos) {
     try {
-      emit_card_impl(card, ports, prefix, depth);
+      p.emit(ctx);
     } catch (const ParseError&) {
       throw;  // already carries its line number
     } catch (const std::exception& e) {
-      // Value/model errors thrown below card level (number parsing, device
-      // constructor validation) get the card's line number attached here.
+      throw ParseError(p.line_no, std::string(e.what()) + " (card " + p.card0 + ")");
+    }
+  }
+}
+
+std::unique_ptr<CompiledScope> Elaborator::compile(const std::vector<Card>& cards,
+                                                   const std::vector<std::string>& ports,
+                                                   const std::string& label) {
+  auto scope = std::make_unique<CompiledScope>();
+  std::unordered_map<std::string, int> slot_index;
+  // Ports own the leading slots. Assignment (not emplace) keeps the
+  // historical "last port wins" behavior for a degenerate duplicated port
+  // name.
+  for (const std::string& p : ports) {
+    slot_index[p] = static_cast<int>(scope->slot_names.size());
+    scope->slot_names.push_back(p);
+  }
+  const std::size_t num_ports = ports.size();
+  // Locals append in first-reference order, which (with lazy resolution in
+  // EmitCtx::node) reproduces flat parsing's node-creation order exactly.
+  const auto slot = [&](const std::string& tok) -> int {
+    if (tok == "0" || tok == "gnd") return kGroundSlot;
+    const auto it = slot_index.find(tok);
+    if (it != slot_index.end()) return it->second;
+    const int s = static_cast<int>(scope->slot_names.size());
+    slot_index.emplace(tok, s);
+    scope->slot_names.push_back(tok);
+    return s;
+  };
+  (void)num_ports;
+
+  // Duplicate device / instance names are rejected per scope at compile
+  // time: Circuit::find_device silently returns the first match and the
+  // svc/ cache keys assume names are unique, so a colliding card is always
+  // a netlist bug. Distinct instance prefixes keep legitimate subcircuit
+  // reuse collision-free, and a body-level duplicate is reported once,
+  // citing the subckt it lives in.
+  std::unordered_map<std::string, int> device_lines;
+
+  for (const Card& card : cards) {
+    const auto& t = card.tokens;
+    const int line_no = card.line_no;
+    try {
+      const auto [dup_it, inserted] = device_lines.emplace(t[0], line_no);
+      if (!inserted)
+        throw ParseError(line_no,
+                         "duplicate device name '" + t[0] + "'" +
+                             (label.empty() ? std::string()
+                                            : " in .subckt '" + label + "'") +
+                             " (first defined at line " +
+                             std::to_string(dup_it->second) + ")");
+      auto need = [&](std::size_t n) {
+        if (t.size() < n) throw ParseError(line_no, "too few fields for " + t[0]);
+      };
+      const std::string nm = t[0];
+      // Hierarchical device names (as produced by elaboration, or written
+      // directly in a generated flat deck) are typed by their leaf
+      // segment: "xe0.rsw" is a resistor named xe0.rsw, so a flattened
+      // deck round-trips through the parser with elaboration-identical
+      // names.
+      const std::size_t dot = nm.rfind('.');
+      const char type_char = (dot == std::string::npos || dot + 1 >= nm.size())
+                                 ? nm[0]
+                                 : nm[dot + 1];
+
+      switch (type_char) {
+        case 'r': {
+          need(4);
+          const int a = slot(t[1]), b = slot(t[2]);
+          const double val = parse_spice_number(t[3]);
+          scope->protos.push_back({line_no, nm, [nm, a, b, val](EmitCtx& c) {
+            c.ckt.add<Resistor>(c.qualify(nm), c.node(a), c.node(b), val);
+          }});
+          break;
+        }
+        case 'c': {
+          need(4);
+          const int a = slot(t[1]), b = slot(t[2]);
+          const double val = parse_spice_number(t[3]);
+          scope->protos.push_back({line_no, nm, [nm, a, b, val](EmitCtx& c) {
+            c.ckt.add<Capacitor>(c.qualify(nm), c.node(a), c.node(b), val);
+          }});
+          break;
+        }
+        case 'l': {
+          need(4);
+          const int a = slot(t[1]), b = slot(t[2]);
+          const double val = parse_spice_number(t[3]);
+          scope->protos.push_back({line_no, nm, [nm, a, b, val](EmitCtx& c) {
+            c.ckt.add<Inductor>(c.qualify(nm), c.node(a), c.node(b), val);
+          }});
+          break;
+        }
+        case 'k': {
+          // Kname p1 m1 p2 m2 L1 L2 coupling [resr]: coupled inductor pair.
+          need(8);
+          const int n1 = slot(t[1]), n2 = slot(t[2]), n3 = slot(t[3]), n4 = slot(t[4]);
+          const double l1 = parse_spice_number(t[5]);
+          const double l2 = parse_spice_number(t[6]);
+          const double coup = parse_spice_number(t[7]);
+          const double resr = t.size() > 8 ? parse_spice_number(t[8]) : 0.1;
+          scope->protos.push_back(
+              {line_no, nm, [nm, n1, n2, n3, n4, l1, l2, coup, resr](EmitCtx& c) {
+                c.ckt.add<CoupledInductors>(c.qualify(nm), c.node(n1), c.node(n2),
+                                            c.node(n3), c.node(n4), l1, l2, coup, resr);
+              }});
+          break;
+        }
+        case 'v': {
+          need(3);
+          const int a = slot(t[1]), b = slot(t[2]);
+          const SourceSpec spec = parse_source(t, 3, line_no);
+          scope->protos.push_back({line_no, nm, [nm, a, b, spec](EmitCtx& c) {
+            auto& v = c.ckt.add<VoltageSource>(c.qualify(nm), c.node(a), c.node(b),
+                                               spec.wave);
+            if (spec.ac_mag != 0.0) v.set_ac(spec.ac_mag, spec.ac_phase);
+          }});
+          break;
+        }
+        case 'i': {
+          need(3);
+          const int a = slot(t[1]), b = slot(t[2]);
+          const SourceSpec spec = parse_source(t, 3, line_no);
+          scope->protos.push_back({line_no, nm, [nm, a, b, spec](EmitCtx& c) {
+            auto& src = c.ckt.add<CurrentSource>(c.qualify(nm), c.node(a), c.node(b),
+                                                 spec.wave);
+            if (spec.ac_mag != 0.0) src.set_ac(spec.ac_mag, spec.ac_phase);
+          }});
+          break;
+        }
+        case 'd': {
+          need(3);
+          const int a = slot(t[1]), b = slot(t[2]);
+          const KeyValues kv = extract_kv(t, 3);
+          DiodeParams dp;
+          dp.is = kv.get("is", dp.is);
+          dp.n = kv.get("n", dp.n);
+          scope->protos.push_back({line_no, nm, [nm, a, b, dp](EmitCtx& c) {
+            c.ckt.add<Diode>(c.qualify(nm), c.node(a), c.node(b), dp);
+          }});
+          break;
+        }
+        case 'm': {
+          need(6);
+          const std::string& model = t[5];
+          const KeyValues kv = extract_kv(t, 6);
+          const double w = kv.get("w", 1e-6);
+          const double l = kv.get("l", tech65::kLmin);
+          MosParams mp;
+          if (model == "nmos") {
+            mp = tech65::nmos(w, l);
+          } else if (model == "pmos") {
+            mp = tech65::pmos(w, l);
+          } else {
+            throw ParseError(line_no, "unknown MOS model: " + model);
+          }
+          const int d = slot(t[1]), g = slot(t[2]), s = slot(t[3]), bl = slot(t[4]);
+          scope->protos.push_back({line_no, nm, [nm, d, g, s, bl, mp](EmitCtx& c) {
+            c.ckt.add<Mosfet>(c.qualify(nm), c.node(d), c.node(g), c.node(s),
+                              c.node(bl), mp);
+          }});
+          break;
+        }
+        case 'e': {
+          need(6);
+          const int n1 = slot(t[1]), n2 = slot(t[2]), n3 = slot(t[3]), n4 = slot(t[4]);
+          const double gain = parse_spice_number(t[5]);
+          scope->protos.push_back({line_no, nm, [nm, n1, n2, n3, n4, gain](EmitCtx& c) {
+            c.ckt.add<Vcvs>(c.qualify(nm), c.node(n1), c.node(n2), c.node(n3),
+                            c.node(n4), gain);
+          }});
+          break;
+        }
+        case 'g': {
+          need(6);
+          const int n1 = slot(t[1]), n2 = slot(t[2]), n3 = slot(t[3]), n4 = slot(t[4]);
+          const double gm = parse_spice_number(t[5]);
+          scope->protos.push_back({line_no, nm, [nm, n1, n2, n3, n4, gm](EmitCtx& c) {
+            c.ckt.add<Vccs>(c.qualify(nm), c.node(n1), c.node(n2), c.node(n3),
+                            c.node(n4), gm);
+          }});
+          break;
+        }
+        case 'x': {
+          // Xname n1 n2 ... subname: instantiate a subcircuit. The body
+          // compiles lazily (memoized) at first emission; the port-count
+          // contract is checkable now from the definition header alone.
+          need(3);
+          const std::string subname = t.back();
+          const auto it = subckts_.find(subname);
+          if (it == subckts_.end())
+            throw ParseError(line_no, "unknown subcircuit: " + subname);
+          const Subckt& sub = it->second;
+          const std::size_t given = t.size() - 2;
+          if (given != sub.ports.size())
+            throw ParseError(line_no, "subcircuit " + subname + " expects " +
+                                          std::to_string(sub.ports.size()) +
+                                          " nodes, got " + std::to_string(given));
+          std::vector<int> args;
+          args.reserve(given);
+          for (std::size_t k = 0; k < given; ++k) args.push_back(slot(t[k + 1]));
+          const Subckt* subp = &sub;
+          scope->protos.push_back({line_no, nm, [nm, subname, subp, args](EmitCtx& c) {
+            const CompiledScope& child = c.elab.compiled_subckt(subname, *subp);
+            EmitCtx cc{c.ckt,
+                       child,
+                       c.elab,
+                       c.qualify(nm),
+                       std::vector<NodeId>(child.slot_names.size(), kNoNode),
+                       c.depth + 1};
+            for (std::size_t k = 0; k < args.size(); ++k)
+              cc.slots[k] = c.node(args[k]);
+            emit_scope(cc);
+          }});
+          break;
+        }
+        default:
+          throw ParseError(line_no, "unknown card: " + t[0]);
+      }
+    } catch (const ParseError&) {
+      throw;
+    } catch (const std::exception& e) {
+      // Value/model errors thrown below card level (number parsing, model
+      // table lookups) get the card's line number attached here.
       throw ParseError(line_no, std::string(e.what()) + " (card " + t[0] + ")");
     }
   }
-
-  void emit_card_impl(const Card& card, const std::map<std::string, std::string>& ports,
-                      const std::string& prefix, int depth) {
-    const auto& t = card.tokens;
-    const int line_no = card.line_no;
-    const std::string name = prefix.empty() ? t[0] : prefix + "." + t[0];
-    // Reject duplicate device / instance names: Circuit::find_device
-    // silently returns the first match and the svc/ cache keys assume names
-    // are unique, so a colliding card is always a netlist bug. Subcircuit
-    // instances get distinct hierarchical prefixes, so legitimate reuse of a
-    // subcircuit is unaffected.
-    const auto [dup_it, inserted] = device_lines_.emplace(name, line_no);
-    if (!inserted)
-      throw ParseError(line_no, "duplicate device name '" + name +
-                                    "' (first defined at line " +
-                                    std::to_string(dup_it->second) + ")");
-    auto need = [&](std::size_t n) {
-      if (t.size() < n) throw ParseError(line_no, "too few fields for " + t[0]);
-    };
-    auto nd = [&](std::size_t i) { return node(t[i], ports, prefix); };
-
-    switch (t[0][0]) {
-      case 'r': {
-        need(4);
-        ckt_.add<Resistor>(name, nd(1), nd(2), parse_spice_number(t[3]));
-        break;
-      }
-      case 'c': {
-        need(4);
-        ckt_.add<Capacitor>(name, nd(1), nd(2), parse_spice_number(t[3]));
-        break;
-      }
-      case 'l': {
-        need(4);
-        ckt_.add<Inductor>(name, nd(1), nd(2), parse_spice_number(t[3]));
-        break;
-      }
-      case 'k': {
-        // Kname p1 m1 p2 m2 L1 L2 coupling [resr]: coupled inductor pair.
-        need(8);
-        const double resr = t.size() > 8 ? parse_spice_number(t[8]) : 0.1;
-        ckt_.add<CoupledInductors>(name, nd(1), nd(2), nd(3), nd(4),
-                                   parse_spice_number(t[5]), parse_spice_number(t[6]),
-                                   parse_spice_number(t[7]), resr);
-        break;
-      }
-      case 'v': {
-        need(3);
-        const SourceSpec spec = parse_source(t, 3, line_no);
-        auto& v = ckt_.add<VoltageSource>(name, nd(1), nd(2), spec.wave);
-        if (spec.ac_mag != 0.0) v.set_ac(spec.ac_mag, spec.ac_phase);
-        break;
-      }
-      case 'i': {
-        need(3);
-        const SourceSpec spec = parse_source(t, 3, line_no);
-        auto& src = ckt_.add<CurrentSource>(name, nd(1), nd(2), spec.wave);
-        if (spec.ac_mag != 0.0) src.set_ac(spec.ac_mag, spec.ac_phase);
-        break;
-      }
-      case 'd': {
-        need(3);
-        const KeyValues kv = extract_kv(t, 3);
-        DiodeParams dp;
-        dp.is = kv.get("is", dp.is);
-        dp.n = kv.get("n", dp.n);
-        ckt_.add<Diode>(name, nd(1), nd(2), dp);
-        break;
-      }
-      case 'm': {
-        need(6);
-        const std::string& model = t[5];
-        const KeyValues kv = extract_kv(t, 6);
-        const double w = kv.get("w", 1e-6);
-        const double l = kv.get("l", tech65::kLmin);
-        MosParams mp;
-        if (model == "nmos") {
-          mp = tech65::nmos(w, l);
-        } else if (model == "pmos") {
-          mp = tech65::pmos(w, l);
-        } else {
-          throw ParseError(line_no, "unknown MOS model: " + model);
-        }
-        ckt_.add<Mosfet>(name, nd(1), nd(2), nd(3), nd(4), mp);
-        break;
-      }
-      case 'e': {
-        need(6);
-        ckt_.add<Vcvs>(name, nd(1), nd(2), nd(3), nd(4), parse_spice_number(t[5]));
-        break;
-      }
-      case 'g': {
-        need(6);
-        ckt_.add<Vccs>(name, nd(1), nd(2), nd(3), nd(4), parse_spice_number(t[5]));
-        break;
-      }
-      case 'x': {
-        // Xname n1 n2 ... subname: instantiate a subcircuit.
-        need(3);
-        const std::string& subname = t.back();
-        const auto it = subckts_.find(subname);
-        if (it == subckts_.end())
-          throw ParseError(line_no, "unknown subcircuit: " + subname);
-        const Subckt& sub = it->second;
-        const std::size_t given = t.size() - 2;
-        if (given != sub.ports.size())
-          throw ParseError(line_no, "subcircuit " + subname + " expects " +
-                                        std::to_string(sub.ports.size()) + " nodes, got " +
-                                        std::to_string(given));
-        std::map<std::string, std::string> port_map;
-        for (std::size_t k = 0; k < sub.ports.size(); ++k) {
-          const NodeId outer = nd(k + 1);
-          port_map[sub.ports[k]] = ckt_.node_name(outer);
-        }
-        emit(sub.cards, port_map, name, depth + 1);
-        break;
-      }
-      default:
-        throw ParseError(line_no, "unknown card: " + t[0]);
-    }
-  }
-
-  Circuit& ckt_;
-  const std::map<std::string, Subckt>& subckts_;
-  std::map<std::string, int> device_lines_;  // flattened name -> defining line
-};
+  return scope;
+}
 
 }  // namespace
 
@@ -413,10 +580,14 @@ Circuit parse_netlist(const std::string& text) {
   }
   if (open_sub != nullptr) throw ParseError(line_no, "unterminated .subckt");
 
-  // Pass 2: emit, expanding subcircuits.
+  // Pass 2: compile the main scope, then emit (subckt bodies compile
+  // lazily, once each, however many times they are instantiated).
   Circuit ckt;
-  DeckBuilder builder(ckt, subckts);
-  builder.emit(main_cards, {}, "", 0);
+  Elaborator elab(subckts);
+  const std::unique_ptr<CompiledScope> main_scope = elab.compile(main_cards, {}, "");
+  EmitCtx ctx{ckt, *main_scope, elab, "",
+              std::vector<NodeId>(main_scope->slot_names.size(), kNoNode), 0};
+  emit_scope(ctx);
   return ckt;
 }
 

@@ -1,0 +1,174 @@
+// Netlist analysis ops: `op` (DC operating point) and `ac` (small-signal
+// sweep probed at one node pair). Both take a SPICE deck as text; their
+// cache keys hash the *elaborated* canonical circuit, so two spellings of
+// the same physics share an entry.
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json_writer.hpp"
+#include "spice/ac.hpp"
+#include "spice/circuit.hpp"
+#include "spice/op.hpp"
+#include "spice/parser.hpp"
+#include "svc/canonical.hpp"
+#include "svc/json_parse.hpp"
+#include "svc/op_registry.hpp"
+#include "svc/ops/registrations.hpp"
+#include "svc/ops/shared.hpp"
+
+namespace rfmix::svc {
+
+namespace {
+
+namespace json = obs::json;
+
+std::vector<double> ac_freq_grid(const AcSpec& ac) {
+  return ac.log_scale ? spice::log_space(ac.f_start_hz, ac.f_stop_hz, ac.points)
+                      : spice::lin_space(ac.f_start_hz, ac.f_stop_hz, ac.points);
+}
+
+std::string execute_op(const Request& req) {
+  spice::Circuit ckt = spice::parse_netlist(req.netlist);
+  const spice::Solution op = spice::dc_operating_point(ckt);
+  // Node names sorted so the payload bytes are independent of declaration
+  // order, matching the key's normalization.
+  std::map<std::string, double> nodes;
+  for (spice::NodeId n = 1; n < ckt.num_nodes(); ++n) nodes[ckt.node_name(n)] = op.v(n);
+  std::string out = "{\"analysis\":\"op\",\"nodes\":{";
+  bool first = true;
+  for (const auto& [name, v] : nodes) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += json::quoted(name);
+    out.push_back(':');
+    out += json::number(v);
+  }
+  out += "},\"power_w\":";
+  out += json::number(spice::total_dissipated_power(ckt, op));
+  out.push_back('}');
+  return out;
+}
+
+std::string execute_ac(const Request& req) {
+  if (req.ac.probe.empty())
+    throw std::invalid_argument("ac request requires a probe node");
+  if (req.ac.points < 2)
+    throw std::invalid_argument("ac request requires at least 2 points");
+  spice::Circuit ckt = spice::parse_netlist(req.netlist);
+  const spice::NodeId probe = ckt.find_node(req.ac.probe);
+  const spice::NodeId ref =
+      req.ac.probe_ref.empty() ? spice::kGround : ckt.find_node(req.ac.probe_ref);
+  const spice::Solution op = spice::dc_operating_point(ckt);
+  const std::vector<double> freqs = ac_freq_grid(req.ac);
+  const spice::AcResult res = spice::ac_sweep(ckt, op, freqs);
+  std::string out = "{\"analysis\":\"ac\",\"probe\":";
+  out += json::quoted(req.ac.probe);
+  out += ",\"freqs_hz\":[";
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json::number(freqs[i]);
+  }
+  out += "],\"real\":[";
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json::number(res.vd(i, probe, ref).real());
+  }
+  out += "],\"imag\":[";
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += json::number(res.vd(i, probe, ref).imag());
+  }
+  out += "]}";
+  return out;
+}
+
+void serialize_ac_object(std::string& out, const AcSpec& ac) {
+  out += "\"ac\":{\"f_start_hz\":" + json::number(ac.f_start_hz);
+  out += ",\"f_stop_hz\":" + json::number(ac.f_stop_hz);
+  out += ",\"points\":" + json::number(double(ac.points));
+  out += ",\"log_scale\":";
+  out += ac.log_scale ? "true" : "false";
+  out += ",\"probe\":" + json::quoted(ac.probe);
+  if (!ac.probe_ref.empty()) out += ",\"probe_ref\":" + json::quoted(ac.probe_ref);
+  out.push_back('}');
+}
+
+}  // namespace
+
+Schema make_ac_object_schema(AcSpec& (*get)(Request&)) {
+  Schema s("ac");
+  s.number("f_start_hz", [get](double v, Request& r) { get(r).f_start_hz = v; });
+  s.number("f_stop_hz", [get](double v, Request& r) { get(r).f_stop_hz = v; });
+  s.integer("points", [get](double v, Request& r) { get(r).points = int(v); });
+  s.boolean("log_scale", [get](bool v, Request& r) { get(r).log_scale = v; });
+  s.string("probe", [get](const std::string& v, Request& r) { get(r).probe = v; });
+  s.string("probe_ref",
+           [get](const std::string& v, Request& r) { get(r).probe_ref = v; });
+  return s;
+}
+
+void append_ac_params_json(std::string& out, const AcSpec& ac) {
+  serialize_ac_object(out, ac);
+}
+
+void register_netlist_ops(OpRegistry& r) {
+  OpSpec op;
+  op.name = "op";
+  op.analysis = true;
+  op.in_v1 = true;
+  op.kind = RequestKind::kOp;
+  op.params.string("netlist",
+                   [](const std::string& v, Request& req) { req.netlist = v; });
+  op.params.required();
+  op.canonical = [](CanonicalWriter& w, const Request& req) {
+    const spice::Circuit ckt = spice::parse_netlist(req.netlist);
+    append_canonical_circuit(w, ckt);
+    w.begin_record("analysis");
+    w.field("kind", "op");
+    w.end_record();
+  };
+  op.execute = execute_op;
+  op.serialize_params = [](std::string& out, const Request& req) {
+    out += "\"netlist\":" + json::quoted(req.netlist);
+  };
+  r.register_op(std::move(op));
+
+  OpSpec ac;
+  ac.name = "ac";
+  ac.analysis = true;
+  ac.in_v1 = true;
+  ac.kind = RequestKind::kAc;
+  ac.params.string("netlist",
+                   [](const std::string& v, Request& req) { req.netlist = v; });
+  ac.params.required();
+  {
+    const Schema sub = make_ac_object_schema(+[](Request& r) -> AcSpec& { return r.ac; });
+    ac.params.object("ac", [sub](const JsonValue& v, Request& req) {
+      sub.apply(v, req, /*strict=*/true);
+    });
+    ac.params.required("ac request requires an 'ac' object");
+  }
+  ac.canonical = [](CanonicalWriter& w, const Request& req) {
+    const spice::Circuit ckt = spice::parse_netlist(req.netlist);
+    append_canonical_circuit(w, ckt);
+    w.begin_record("analysis");
+    w.field("kind", "ac");
+    w.field("f_start_hz", req.ac.f_start_hz);
+    w.field("f_stop_hz", req.ac.f_stop_hz);
+    w.field("points", req.ac.points);
+    w.field("scale", req.ac.log_scale ? "log" : "lin");
+    w.field("probe", req.ac.probe);
+    w.field("probe_ref", req.ac.probe_ref);
+    w.end_record();
+  };
+  ac.execute = execute_ac;
+  ac.serialize_params = [](std::string& out, const Request& req) {
+    out += "\"netlist\":" + json::quoted(req.netlist);
+    out.push_back(',');
+    serialize_ac_object(out, req.ac);
+  };
+  r.register_op(std::move(ac));
+}
+
+}  // namespace rfmix::svc

@@ -1,0 +1,18 @@
+// Internal: the built-in op registration functions, one per ops/*.cpp
+// translation unit, called by OpRegistry's constructor in the canonical
+// (wire-visible, append-only) order. Explicit calls instead of static
+// registrar objects: rfmix_svc is a static library, and a self-registering
+// global in an otherwise-unreferenced object file would be dead-stripped.
+#pragma once
+
+namespace rfmix::svc {
+
+class OpRegistry;
+
+void register_control_ops(OpRegistry& r);      // ping, stats, cancel
+void register_netlist_ops(OpRegistry& r);      // op, ac
+void register_mixer_metric_op(OpRegistry& r);  // mixer_metric
+void register_npath_zin_op(OpRegistry& r);     // npath_zin
+void register_gen_op(OpRegistry& r);           // gen
+
+}  // namespace rfmix::svc

@@ -1,0 +1,21 @@
+// Internal: schema/serialization pieces shared between op registrations
+// (the `ac` parameter object is used by both the ac op and the gen op's
+// piped-ac analysis).
+#pragma once
+
+#include <string>
+
+#include "svc/op_registry.hpp"
+
+namespace rfmix::svc {
+
+/// The `ac` parameter-object schema (f_start_hz, f_stop_hz, points,
+/// log_scale, probe, probe_ref; strict), bound onto whichever AcSpec `get`
+/// selects out of the request being built.
+Schema make_ac_object_schema(AcSpec& (*get)(Request&));
+
+/// Append `"ac":{...}` (no leading comma) serializing every field the
+/// schema reads.
+void append_ac_params_json(std::string& out, const AcSpec& ac);
+
+}  // namespace rfmix::svc

@@ -1,19 +1,20 @@
+// Protocol framing + op-agnostic dispatch. Everything kind-specific —
+// parameter schemas, canonical cache records, execution, router
+// re-serialization — lives in the OpRegistry (src/svc/ops/*); this file
+// only knows the envelope: id echoing, version detection, the v2 strict
+// envelope scan, and how to hand the params object to whichever OpSpec the
+// "kind" names. The v1 (version-less) layout is the same table applied
+// leniently to the whole document.
 #include "svc/request.hpp"
 
-#include <algorithm>
 #include <climits>
 #include <cmath>
-#include <map>
 #include <stdexcept>
-#include <vector>
 
 #include "obs/json_writer.hpp"
-#include "spice/ac.hpp"
-#include "spice/circuit.hpp"
-#include "spice/op.hpp"
-#include "spice/parser.hpp"
 #include "svc/canonical.hpp"
 #include "svc/json_parse.hpp"
+#include "svc/op_registry.hpp"
 
 namespace rfmix::svc {
 
@@ -21,345 +22,10 @@ namespace {
 
 namespace json = obs::json;
 
-/// Every MixerConfig field, in declaration order. The record is
-/// append-only: new fields go at the end; renaming or reordering requires
-/// a kCanonicalEpoch bump.
-void append_mixer_config(CanonicalWriter& w, const core::MixerConfig& c) {
-  w.begin_record("mixerconfig");
-  w.field("mode", std::string_view(frontend::mode_name(c.mode)));
-  w.field("temperature_k", c.temperature_k);
-  w.field("vdd", c.vdd);
-  w.field("f_lo_hz", c.f_lo_hz);
-  w.field("lo_amplitude", c.lo_amplitude);
-  w.field("lo_common_mode", c.lo_common_mode);
-  w.field("lo_rise_fraction", c.lo_rise_fraction);
-  w.field("lo_phase_frac", c.lo_phase_frac);
-  w.field("rf_series_r", c.rf_series_r);
-  w.field("tca_gm", c.tca_gm);
-  w.field("tca_rout", c.tca_rout);
-  w.field("tca_cpar", c.tca_cpar);
-  w.field("tca_bias_ma", c.tca_bias_ma);
-  w.field("tca_nf_gamma", c.tca_nf_gamma);
-  w.field("tca_flicker_corner_hz", c.tca_flicker_corner_hz);
-  w.field("quad_w", c.quad_w);
-  w.field("quad_ron", c.quad_ron);
-  w.field("quad_l", c.quad_l);
-  w.field("sw12_w", c.sw12_w);
-  w.field("rdeg", c.rdeg);
-  w.field("rdeg_ideal_extra", c.rdeg_ideal_extra);
-  w.field("tg_resistance", c.tg_resistance);
-  w.field("cc_load", c.cc_load);
-  w.field("tia_rf", c.tia_rf);
-  w.field("tia_cf", c.tia_cf);
-  w.field("tia_ota_gm", c.tia_ota_gm);
-  w.field("tia_ota_rout", c.tia_ota_rout);
-  w.field("tia_ota_gbw_hz", c.tia_ota_gbw_hz);
-  w.field("tia_bias_ma", c.tia_bias_ma);
-  w.field("tia_input_noise_nv", c.tia_input_noise_nv);
-  w.field("tia_flicker_corner_hz", c.tia_flicker_corner_hz);
-  w.field("active_pair_noise_gm", c.active_pair_noise_gm);
-  w.field("active_pair_flicker_corner_hz", c.active_pair_flicker_corner_hz);
-  w.field("lo_buffer_ma", c.lo_buffer_ma);
-  w.field("bias_overhead_ma", c.bias_overhead_ma);
-  w.field("core_bias_ma", c.core_bias_ma);
-  w.end_record();
-}
-
-std::vector<double> ac_freq_grid(const AcSpec& ac) {
-  return ac.log_scale ? spice::log_space(ac.f_start_hz, ac.f_stop_hz, ac.points)
-                      : spice::lin_space(ac.f_start_hz, ac.f_stop_hz, ac.points);
-}
-
-std::string execute_op(const Request& req) {
-  spice::Circuit ckt = spice::parse_netlist(req.netlist);
-  const spice::Solution op = spice::dc_operating_point(ckt);
-  // Node names sorted so the payload bytes are independent of declaration
-  // order, matching the key's normalization.
-  std::map<std::string, double> nodes;
-  for (spice::NodeId n = 1; n < ckt.num_nodes(); ++n) nodes[ckt.node_name(n)] = op.v(n);
-  std::string out = "{\"analysis\":\"op\",\"nodes\":{";
-  bool first = true;
-  for (const auto& [name, v] : nodes) {
-    if (!first) out.push_back(',');
-    first = false;
-    out += json::quoted(name);
-    out.push_back(':');
-    out += json::number(v);
-  }
-  out += "},\"power_w\":";
-  out += json::number(spice::total_dissipated_power(ckt, op));
-  out.push_back('}');
-  return out;
-}
-
-std::string execute_ac(const Request& req) {
-  if (req.ac.probe.empty())
-    throw std::invalid_argument("ac request requires a probe node");
-  if (req.ac.points < 2)
-    throw std::invalid_argument("ac request requires at least 2 points");
-  spice::Circuit ckt = spice::parse_netlist(req.netlist);
-  const spice::NodeId probe = ckt.find_node(req.ac.probe);
-  const spice::NodeId ref =
-      req.ac.probe_ref.empty() ? spice::kGround : ckt.find_node(req.ac.probe_ref);
-  const spice::Solution op = spice::dc_operating_point(ckt);
-  const std::vector<double> freqs = ac_freq_grid(req.ac);
-  const spice::AcResult res = spice::ac_sweep(ckt, op, freqs);
-  std::string out = "{\"analysis\":\"ac\",\"probe\":";
-  out += json::quoted(req.ac.probe);
-  out += ",\"freqs_hz\":[";
-  for (std::size_t i = 0; i < freqs.size(); ++i) {
-    if (i > 0) out.push_back(',');
-    out += json::number(freqs[i]);
-  }
-  out += "],\"real\":[";
-  for (std::size_t i = 0; i < freqs.size(); ++i) {
-    if (i > 0) out.push_back(',');
-    out += json::number(res.vd(i, probe, ref).real());
-  }
-  out += "],\"imag\":[";
-  for (std::size_t i = 0; i < freqs.size(); ++i) {
-    if (i > 0) out.push_back(',');
-    out += json::number(res.vd(i, probe, ref).imag());
-  }
-  out += "]}";
-  return out;
-}
-
-std::vector<double> npath_freq_grid(const NpathSweepSpec& ns) {
-  return ns.log_scale ? spice::log_space(ns.f_start_hz, ns.f_stop_hz, ns.points)
-                      : spice::lin_space(ns.f_start_hz, ns.f_stop_hz, ns.points);
-}
-
-std::string execute_npath_zin(const Request& req) {
-  const NpathSweepSpec& ns = req.npath;
-  const npath::ZinSweep sw = npath::zin_sweep(ns.spec, npath_freq_grid(ns));
-  const auto append_array = [](std::string& out, std::string_view name, auto&& value) {
-    out += ",\"";
-    out += name;
-    out += "\":[";
-    for (std::size_t i = 0; i < value.size(); ++i) {
-      if (i > 0) out.push_back(',');
-      out += json::number(value[i]);
-    }
-    out.push_back(']');
-  };
-  std::vector<double> zin_re, zin_im, s11_db, rerad3;
-  zin_re.reserve(sw.points.size());
-  zin_im.reserve(sw.points.size());
-  s11_db.reserve(sw.points.size());
-  rerad3.reserve(sw.points.size());
-  for (const npath::ZinPoint& pt : sw.points) {
-    zin_re.push_back(pt.zin.real());
-    zin_im.push_back(pt.zin.imag());
-    // |S11| of a passive one-port is > 0; the clamp only guards the exact-
-    // match singularity (log of 0 is not representable in JSON).
-    s11_db.push_back(20.0 * std::log10(std::max(std::abs(pt.s11), 1e-12)));
-    rerad3.push_back(pt.rerad_3lo);
-  }
-  std::string out = "{\"analysis\":\"npath_zin\",\"phases\":";
-  out += json::number(double(ns.spec.lo.phases));
-  out += ",\"f_lo_hz\":";
-  out += json::number(ns.spec.f_lo_hz);
-  append_array(out, "freqs_hz", sw.freqs_hz);
-  append_array(out, "zin_real", zin_re);
-  append_array(out, "zin_imag", zin_im);
-  append_array(out, "s11_db", s11_db);
-  append_array(out, "rerad3_rel", rerad3);
-  out += ",\"summary\":{\"f_peak_hz\":";
-  out += json::number(sw.summary.f_peak_hz);
-  out += ",\"zin_peak_ohm\":";
-  out += json::number(sw.summary.zin_peak_ohm);
-  out += ",\"zin_floor_ohm\":";
-  out += json::number(sw.summary.zin_floor_ohm);
-  out += ",\"bw_3db_hz\":";
-  out += json::number(sw.summary.bw_3db_hz);
-  out += ",\"q\":";
-  out += json::number(sw.summary.q);
-  out += ",\"rerad3_max\":";
-  out += json::number(sw.summary.rerad_3lo_max);
-  out += "}}";
-  return out;
-}
-
-std::string execute_metric(const Request& req) {
-  const double value = core::evaluate_metric(req.metric);
-  std::string out = "{\"analysis\":\"metric\",\"metric\":";
-  out += json::quoted(core::metric_name(req.metric.metric));
-  out += ",\"mode\":";
-  out += json::quoted(frontend::mode_name(req.metric.config.mode));
-  out += ",\"value\":";
-  out += json::number(value);
-  out.push_back('}');
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Protocol parsing
-// ---------------------------------------------------------------------------
-
 double number_field(const JsonValue& obj, std::string_view key, double fallback) {
   const JsonValue* v = obj.find(key);
   if (v == nullptr) return fallback;
   return v->as_number();
-}
-
-/// Client-supplied ints arrive as JSON numbers; casting an out-of-range or
-/// non-finite double to int is UB, so validate before converting.
-int int_field(const JsonValue& obj, std::string_view key, int fallback) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return fallback;
-  const double d = v->as_number();
-  if (!std::isfinite(d) || d != std::floor(d) || d < static_cast<double>(INT_MIN) ||
-      d > static_cast<double>(INT_MAX))
-    throw std::invalid_argument("field '" + std::string(key) +
-                                "' must be an integer in int range");
-  return static_cast<int>(d);
-}
-
-std::string string_field(const JsonValue& obj, std::string_view key,
-                         const std::string& fallback) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr) return fallback;
-  return v->as_string();
-}
-
-const std::string& required_string(const JsonValue& obj, std::string_view key) {
-  const JsonValue* v = obj.find(key);
-  if (v == nullptr)
-    throw std::invalid_argument("missing required field '" + std::string(key) + "'");
-  return v->as_string();
-}
-
-bool set_config_number(core::MixerConfig& c, std::string_view key, double v) {
-  if (key == "temperature_k") { c.temperature_k = v; return true; }
-  if (key == "vdd") { c.vdd = v; return true; }
-  if (key == "f_lo_hz") { c.f_lo_hz = v; return true; }
-  if (key == "lo_amplitude") { c.lo_amplitude = v; return true; }
-  if (key == "lo_common_mode") { c.lo_common_mode = v; return true; }
-  if (key == "lo_rise_fraction") { c.lo_rise_fraction = v; return true; }
-  if (key == "lo_phase_frac") { c.lo_phase_frac = v; return true; }
-  if (key == "rf_series_r") { c.rf_series_r = v; return true; }
-  if (key == "tca_gm") { c.tca_gm = v; return true; }
-  if (key == "tca_rout") { c.tca_rout = v; return true; }
-  if (key == "tca_cpar") { c.tca_cpar = v; return true; }
-  if (key == "tca_bias_ma") { c.tca_bias_ma = v; return true; }
-  if (key == "tca_nf_gamma") { c.tca_nf_gamma = v; return true; }
-  if (key == "tca_flicker_corner_hz") { c.tca_flicker_corner_hz = v; return true; }
-  if (key == "quad_w") { c.quad_w = v; return true; }
-  if (key == "quad_ron") { c.quad_ron = v; return true; }
-  if (key == "quad_l") { c.quad_l = v; return true; }
-  if (key == "sw12_w") { c.sw12_w = v; return true; }
-  if (key == "rdeg") { c.rdeg = v; return true; }
-  if (key == "rdeg_ideal_extra") { c.rdeg_ideal_extra = v; return true; }
-  if (key == "tg_resistance") { c.tg_resistance = v; return true; }
-  if (key == "cc_load") { c.cc_load = v; return true; }
-  if (key == "tia_rf") { c.tia_rf = v; return true; }
-  if (key == "tia_cf") { c.tia_cf = v; return true; }
-  if (key == "tia_ota_gm") { c.tia_ota_gm = v; return true; }
-  if (key == "tia_ota_rout") { c.tia_ota_rout = v; return true; }
-  if (key == "tia_ota_gbw_hz") { c.tia_ota_gbw_hz = v; return true; }
-  if (key == "tia_bias_ma") { c.tia_bias_ma = v; return true; }
-  if (key == "tia_input_noise_nv") { c.tia_input_noise_nv = v; return true; }
-  if (key == "tia_flicker_corner_hz") { c.tia_flicker_corner_hz = v; return true; }
-  if (key == "active_pair_noise_gm") { c.active_pair_noise_gm = v; return true; }
-  if (key == "active_pair_flicker_corner_hz") {
-    c.active_pair_flicker_corner_hz = v;
-    return true;
-  }
-  if (key == "lo_buffer_ma") { c.lo_buffer_ma = v; return true; }
-  if (key == "bias_overhead_ma") { c.bias_overhead_ma = v; return true; }
-  if (key == "core_bias_ma") { c.core_bias_ma = v; return true; }
-  return false;
-}
-
-AcSpec parse_ac_spec(const JsonValue& obj) {
-  AcSpec ac;
-  ac.f_start_hz = number_field(obj, "f_start_hz", ac.f_start_hz);
-  ac.f_stop_hz = number_field(obj, "f_stop_hz", ac.f_stop_hz);
-  ac.points = int_field(obj, "points", ac.points);
-  if (const JsonValue* v = obj.find("log_scale")) ac.log_scale = v->as_bool();
-  ac.probe = string_field(obj, "probe", "");
-  ac.probe_ref = string_field(obj, "probe_ref", "");
-  for (const auto& [key, value] : obj.as_object()) {
-    (void)value;
-    if (key != "f_start_hz" && key != "f_stop_hz" && key != "points" &&
-        key != "log_scale" && key != "probe" && key != "probe_ref")
-      throw std::invalid_argument("unknown ac field '" + key + "'");
-  }
-  return ac;
-}
-
-/// Strict npath_zin parameter object: every NpathSpec knob plus the sweep
-/// grid. Unknown fields are errors (a silently dropped knob would collide
-/// two different front ends on one cache key), and the spec is validated
-/// here so an unrealizable clock set fails as bad_params, not mid-solve.
-NpathSweepSpec parse_npath_params(const JsonValue& obj) {
-  NpathSweepSpec ns;
-  npath::NpathSpec& s = ns.spec;
-  s.lo.phases = int_field(obj, "phases", s.lo.phases);
-  s.lo.duty = number_field(obj, "duty", s.lo.duty);
-  s.lo.rise_frac = number_field(obj, "rise_frac", s.lo.rise_frac);
-  s.lo.overlap_guard = number_field(obj, "overlap_guard", s.lo.overlap_guard);
-  s.lo.samples = int_field(obj, "samples", s.lo.samples);
-  s.f_lo_hz = number_field(obj, "f_lo_hz", s.f_lo_hz);
-  s.r_source = number_field(obj, "r_source", s.r_source);
-  s.switch_ron = number_field(obj, "switch_ron", s.switch_ron);
-  s.zbb_r = number_field(obj, "zbb_r", s.zbb_r);
-  s.zbb_c = number_field(obj, "zbb_c", s.zbb_c);
-  s.c_rf = number_field(obj, "c_rf", s.c_rf);
-  s.harmonics = int_field(obj, "harmonics", s.harmonics);
-  if (const JsonValue* sweep = obj.find("sweep")) {
-    ns.f_start_hz = number_field(*sweep, "f_start_hz", ns.f_start_hz);
-    ns.f_stop_hz = number_field(*sweep, "f_stop_hz", ns.f_stop_hz);
-    ns.points = int_field(*sweep, "points", ns.points);
-    if (const JsonValue* v = sweep->find("log_scale")) ns.log_scale = v->as_bool();
-    for (const auto& [key, value] : sweep->as_object()) {
-      (void)value;
-      if (key != "f_start_hz" && key != "f_stop_hz" && key != "points" &&
-          key != "log_scale")
-        throw std::invalid_argument("unknown sweep field '" + key + "'");
-    }
-  }
-  for (const auto& [key, value] : obj.as_object()) {
-    (void)value;
-    if (key != "phases" && key != "duty" && key != "rise_frac" &&
-        key != "overlap_guard" && key != "samples" && key != "f_lo_hz" &&
-        key != "r_source" && key != "switch_ron" && key != "zbb_r" &&
-        key != "zbb_c" && key != "c_rf" && key != "harmonics" && key != "sweep")
-      throw std::invalid_argument("unknown npath_zin field '" + key + "'");
-  }
-  if (ns.points < 2 || ns.points > 4096)
-    throw std::invalid_argument("npath_zin sweep points must be in [2, 4096]");
-  if (!(ns.f_start_hz > 0.0) || !(ns.f_stop_hz > ns.f_start_hz))
-    throw std::invalid_argument(
-        "npath_zin sweep requires 0 < f_start_hz < f_stop_hz");
-  npath::validate(ns.spec);
-  return ns;
-}
-
-Request parse_analysis_params(const std::string& kind, const JsonValue& params) {
-  Request req;
-  if (kind == "npath_zin") {
-    req.kind = RequestKind::kNpathZin;
-    req.npath = parse_npath_params(params);
-    return req;
-  }
-  if (kind == "op" || kind == "ac") {
-    req.kind = kind == "op" ? RequestKind::kOp : RequestKind::kAc;
-    req.netlist = required_string(params, "netlist");
-    if (req.kind == RequestKind::kAc) {
-      const JsonValue* ac = params.find("ac");
-      if (ac == nullptr) throw std::invalid_argument("ac request requires an 'ac' object");
-      req.ac = parse_ac_spec(*ac);
-    }
-    return req;
-  }
-  req.kind = RequestKind::kMixerMetric;
-  req.metric.metric = core::metric_from_name(required_string(params, "metric"));
-  if (const JsonValue* cfg = params.find("config")) apply_mixer_config(*cfg, req.metric.config);
-  req.metric.f_if_hz = number_field(params, "f_if_hz", req.metric.f_if_hz);
-  req.metric.f_rf_hz = number_field(params, "f_rf_hz", req.metric.f_rf_hz);
-  return req;
 }
 
 /// Re-serialize the request's "id" member for echoing (number, string, or
@@ -379,16 +45,23 @@ std::string id_of(const JsonValue& doc) {
                      "request id must be a number or a string");
 }
 
-std::string serialize_target(const JsonValue& v) {
-  if (v.is_number()) {
-    if (!std::isfinite(v.as_number()))
-      throw RequestError(ErrorCode::kBadParams,
-                         "cancel target must be a finite number or a string");
-    return json::number(v.as_number());
+/// Apply an op's schema + cross-field checks onto a fresh Request, mapping
+/// any schema throw to kBadParams. `strict` is the v2 top-level setting
+/// (v1 is always lenient: the params *are* the whole document, envelope
+/// fields included).
+Request build_analysis_request(const OpSpec& spec, const JsonValue& params,
+                               bool strict) {
+  Request req;
+  req.kind = spec.kind;
+  try {
+    spec.params.apply(params, req, strict);
+    if (spec.finish) spec.finish(req);
+  } catch (const RequestError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw RequestError(ErrorCode::kBadParams, e.what());
   }
-  if (v.is_string()) return json::quoted(v.as_string());
-  throw RequestError(ErrorCode::kBadParams,
-                     "cancel target must be a number or a string");
+  return req;
 }
 
 const JsonValue kEmptyObject = JsonValue::object({});
@@ -410,28 +83,9 @@ std::string_view error_code_name(ErrorCode code) {
   return "internal_error";
 }
 
-void apply_mixer_config(const JsonValue& obj, core::MixerConfig& config) {
-  for (const auto& [key, value] : obj.as_object()) {
-    if (key == "mode") {
-      const std::string& mode = value.as_string();
-      if (mode == "active") {
-        config.mode = core::MixerMode::kActive;
-      } else if (mode == "passive") {
-        config.mode = core::MixerMode::kPassive;
-      } else {
-        throw RequestError(ErrorCode::kBadParams, "unknown mixer mode '" + mode +
-                                                      "' (expected active or passive)");
-      }
-      continue;
-    }
-    if (!set_config_number(config, key, value.as_number()))
-      throw RequestError(ErrorCode::kBadParams, "unknown config field '" + key + "'");
-  }
-}
-
 bool is_analysis_kind(std::string_view kind) {
-  return kind == "op" || kind == "ac" || kind == "mixer_metric" ||
-         kind == "npath_zin";
+  const OpSpec* op = OpRegistry::instance().find(kind);
+  return op != nullptr && op->analysis;
 }
 
 ParsedRequest parse_request(const JsonValue& doc) {
@@ -458,25 +112,25 @@ ParsedRequest parse_request(const JsonValue& doc) {
     throw RequestError(ErrorCode::kInvalidRequest, "field 'kind' must be a string");
   out.kind = kind->as_string();
 
-  // npath_zin (like cancel) postdates the v1 freeze, so v1 rejects it as
+  // Kind resolution against the registry. Ops that postdate the v1 freeze
+  // (cancel, npath_zin, gen, ...) are not in_v1, so v1 rejects them as
   // unknown rather than growing new top-level fields.
-  const bool base_kind = out.kind == "ping" || out.kind == "stats" ||
-                         out.kind == "op" || out.kind == "ac" ||
-                         out.kind == "mixer_metric";
-  const bool known_kind =
-      base_kind ||
-      (out.version == 2 && (out.kind == "cancel" || out.kind == "npath_zin"));
-  if (!known_kind)
-    throw RequestError(
-        ErrorCode::kUnknownKind,
-        "unknown request kind '" + out.kind +
-            (out.version == 2
-                 ? "' (expected ping, stats, cancel, op, ac, mixer_metric, or "
-                   "npath_zin)"
-                 : "' (expected ping, stats, op, ac, or mixer_metric)"));
+  const OpRegistry& registry = OpRegistry::instance();
+  const OpSpec* spec = registry.find(out.kind);
+  if (spec == nullptr || (out.version == 1 && !spec->in_v1))
+    throw RequestError(ErrorCode::kUnknownKind,
+                       "unknown request kind '" + out.kind + "' (expected " +
+                           registry.kinds_list(out.version) + ")");
 
   try {
-    out.priority = int_field(doc, "priority", 0);
+    const JsonValue* v = doc.find("priority");
+    if (v != nullptr) {
+      const double d = v->as_number();
+      if (!std::isfinite(d) || d != std::floor(d) ||
+          d < static_cast<double>(INT_MIN) || d > static_cast<double>(INT_MAX))
+        throw std::invalid_argument("field 'priority' must be an integer in int range");
+      out.priority = static_cast<int>(d);
+    }
   } catch (const std::exception& e) {
     throw RequestError(ErrorCode::kBadParams, e.what());
   }
@@ -484,15 +138,8 @@ ParsedRequest parse_request(const JsonValue& doc) {
   // v1: analysis fields live at the top level; unknown extras are ignored
   // for back-compat. Parsed here and frozen — new capability goes to v2.
   if (out.version == 1) {
-    if (is_analysis_kind(out.kind)) {
-      try {
-        out.request = parse_analysis_params(out.kind, doc);
-      } catch (const RequestError&) {
-        throw;
-      } catch (const std::exception& e) {
-        throw RequestError(ErrorCode::kBadParams, e.what());
-      }
-    }
+    if (spec->analysis)
+      out.request = build_analysis_request(*spec, doc, /*strict=*/false);
     return out;
   }
 
@@ -520,149 +167,26 @@ ParsedRequest parse_request(const JsonValue& doc) {
     throw RequestError(ErrorCode::kInvalidRequest, e.what());
   }
 
-  if (out.kind == "cancel") {
-    const JsonValue* target = p.find("target");
-    if (target == nullptr)
-      throw RequestError(ErrorCode::kBadParams,
-                         "cancel requires params.target (the id to cancel)");
-    out.cancel_target = serialize_target(*target);
+  if (spec->parse_control) {
+    spec->parse_control(p, out);
     return out;
   }
-  if (is_analysis_kind(out.kind)) {
-    try {
-      out.request = parse_analysis_params(out.kind, p);
-    } catch (const RequestError&) {
-      throw;
-    } catch (const std::exception& e) {
-      throw RequestError(ErrorCode::kBadParams, e.what());
-    }
-  }
+  if (spec->analysis)
+    out.request = build_analysis_request(*spec, p, spec->strict_params);
   return out;
 }
 
 std::string request_canonical(const Request& req) {
+  const OpSpec* spec = OpRegistry::instance().find(req.kind);
+  if (spec == nullptr || !spec->canonical)
+    throw std::invalid_argument("unhandled request kind");
   CanonicalWriter w;
   append_version_record(w);
-  switch (req.kind) {
-    case RequestKind::kOp: {
-      const spice::Circuit ckt = spice::parse_netlist(req.netlist);
-      append_canonical_circuit(w, ckt);
-      w.begin_record("analysis");
-      w.field("kind", "op");
-      w.end_record();
-      break;
-    }
-    case RequestKind::kAc: {
-      const spice::Circuit ckt = spice::parse_netlist(req.netlist);
-      append_canonical_circuit(w, ckt);
-      w.begin_record("analysis");
-      w.field("kind", "ac");
-      w.field("f_start_hz", req.ac.f_start_hz);
-      w.field("f_stop_hz", req.ac.f_stop_hz);
-      w.field("points", req.ac.points);
-      w.field("scale", req.ac.log_scale ? "log" : "lin");
-      w.field("probe", req.ac.probe);
-      w.field("probe_ref", req.ac.probe_ref);
-      w.end_record();
-      break;
-    }
-    case RequestKind::kMixerMetric: {
-      append_mixer_config(w, req.metric.config);
-      w.begin_record("analysis");
-      w.field("kind", "metric");
-      w.field("metric", core::metric_name(req.metric.metric));
-      w.field("f_if_hz", req.metric.f_if_hz);
-      w.field("f_rf_hz", req.metric.f_rf_hz);
-      w.end_record();
-      break;
-    }
-    case RequestKind::kNpathZin: {
-      // New record tags under the kCanonicalEpoch append-only rule: npath
-      // requests hash over every front-end knob plus the sweep grid, so
-      // two sweeps collide iff they describe the same physics.
-      const npath::NpathSpec& s = req.npath.spec;
-      w.begin_record("npath");
-      w.field("phases", s.lo.phases);
-      w.field("duty", s.lo.duty);
-      w.field("rise_frac", s.lo.rise_frac);
-      w.field("overlap_guard", s.lo.overlap_guard);
-      w.field("samples", s.lo.samples);
-      w.field("f_lo_hz", s.f_lo_hz);
-      w.field("r_source", s.r_source);
-      w.field("switch_ron", s.switch_ron);
-      w.field("zbb_r", s.zbb_r);
-      w.field("zbb_c", s.zbb_c);
-      w.field("c_rf", s.c_rf);
-      w.field("harmonics", s.harmonics);
-      w.end_record();
-      w.begin_record("analysis");
-      w.field("kind", "npath_zin");
-      w.field("f_start_hz", req.npath.f_start_hz);
-      w.field("f_stop_hz", req.npath.f_stop_hz);
-      w.field("points", req.npath.points);
-      w.field("scale", req.npath.log_scale ? "log" : "lin");
-      w.end_record();
-      break;
-    }
-  }
+  spec->canonical(w, req);
   return w.str();
 }
 
 Hash128 request_key(const Request& req) { return hash128(request_canonical(req)); }
-
-namespace {
-
-/// Every MixerConfig field, spelled exactly the way set_config_number
-/// accepts it (the worker parses strictly: an unknown field is an error,
-/// a missing one silently keeps its default — so serialize all of them).
-void serialize_mixer_config(std::string& out, const core::MixerConfig& c) {
-  out += "{\"mode\":";
-  out += json::quoted(frontend::mode_name(c.mode));
-  const auto field = [&out](std::string_view name, double v) {
-    out += ",\"";
-    out += name;
-    out += "\":";
-    out += json::number(v);
-  };
-  field("temperature_k", c.temperature_k);
-  field("vdd", c.vdd);
-  field("f_lo_hz", c.f_lo_hz);
-  field("lo_amplitude", c.lo_amplitude);
-  field("lo_common_mode", c.lo_common_mode);
-  field("lo_rise_fraction", c.lo_rise_fraction);
-  field("lo_phase_frac", c.lo_phase_frac);
-  field("rf_series_r", c.rf_series_r);
-  field("tca_gm", c.tca_gm);
-  field("tca_rout", c.tca_rout);
-  field("tca_cpar", c.tca_cpar);
-  field("tca_bias_ma", c.tca_bias_ma);
-  field("tca_nf_gamma", c.tca_nf_gamma);
-  field("tca_flicker_corner_hz", c.tca_flicker_corner_hz);
-  field("quad_w", c.quad_w);
-  field("quad_ron", c.quad_ron);
-  field("quad_l", c.quad_l);
-  field("sw12_w", c.sw12_w);
-  field("rdeg", c.rdeg);
-  field("rdeg_ideal_extra", c.rdeg_ideal_extra);
-  field("tg_resistance", c.tg_resistance);
-  field("cc_load", c.cc_load);
-  field("tia_rf", c.tia_rf);
-  field("tia_cf", c.tia_cf);
-  field("tia_ota_gm", c.tia_ota_gm);
-  field("tia_ota_rout", c.tia_ota_rout);
-  field("tia_ota_gbw_hz", c.tia_ota_gbw_hz);
-  field("tia_bias_ma", c.tia_bias_ma);
-  field("tia_input_noise_nv", c.tia_input_noise_nv);
-  field("tia_flicker_corner_hz", c.tia_flicker_corner_hz);
-  field("active_pair_noise_gm", c.active_pair_noise_gm);
-  field("active_pair_flicker_corner_hz", c.active_pair_flicker_corner_hz);
-  field("lo_buffer_ma", c.lo_buffer_ma);
-  field("bias_overhead_ma", c.bias_overhead_ma);
-  field("core_bias_ma", c.core_bias_ma);
-  out.push_back('}');
-}
-
-}  // namespace
 
 std::string serialize_v2_request(const ParsedRequest& req, const std::string& id_json) {
   std::string out = "{\"v\":2,\"id\":" + id_json + ",\"kind\":" + json::quoted(req.kind);
@@ -672,72 +196,22 @@ std::string serialize_v2_request(const ParsedRequest& req, const std::string& id
     out += ",\"params\":{\"target\":" + req.cancel_target + "}}";
     return out;
   }
-  if (!is_analysis_kind(req.kind)) {  // ping / stats: no params
+  const OpSpec* spec = OpRegistry::instance().find(req.kind);
+  if (spec == nullptr || !spec->serialize_params) {  // ping / stats: no params
     out.push_back('}');
     return out;
   }
   out += ",\"params\":{";
-  const Request& r = req.request;
-  switch (r.kind) {
-    case RequestKind::kOp:
-      out += "\"netlist\":" + json::quoted(r.netlist);
-      break;
-    case RequestKind::kAc:
-      out += "\"netlist\":" + json::quoted(r.netlist);
-      out += ",\"ac\":{\"f_start_hz\":" + json::number(r.ac.f_start_hz);
-      out += ",\"f_stop_hz\":" + json::number(r.ac.f_stop_hz);
-      out += ",\"points\":" + json::number(double(r.ac.points));
-      out += ",\"log_scale\":";
-      out += r.ac.log_scale ? "true" : "false";
-      out += ",\"probe\":" + json::quoted(r.ac.probe);
-      if (!r.ac.probe_ref.empty()) out += ",\"probe_ref\":" + json::quoted(r.ac.probe_ref);
-      out.push_back('}');
-      break;
-    case RequestKind::kMixerMetric:
-      out += "\"metric\":" + json::quoted(core::metric_name(r.metric.metric));
-      out += ",\"f_if_hz\":" + json::number(r.metric.f_if_hz);
-      out += ",\"f_rf_hz\":" + json::number(r.metric.f_rf_hz);
-      out += ",\"config\":";
-      serialize_mixer_config(out, r.metric.config);
-      break;
-    case RequestKind::kNpathZin: {
-      // Serialize every knob (the parser is strict on unknowns but quiet
-      // on missing ones) so the replayed line parses to the same Request,
-      // same canonical bytes, same key.
-      const npath::NpathSpec& s = r.npath.spec;
-      out += "\"phases\":" + json::number(double(s.lo.phases));
-      out += ",\"duty\":" + json::number(s.lo.duty);
-      out += ",\"rise_frac\":" + json::number(s.lo.rise_frac);
-      out += ",\"overlap_guard\":" + json::number(s.lo.overlap_guard);
-      out += ",\"samples\":" + json::number(double(s.lo.samples));
-      out += ",\"f_lo_hz\":" + json::number(s.f_lo_hz);
-      out += ",\"r_source\":" + json::number(s.r_source);
-      out += ",\"switch_ron\":" + json::number(s.switch_ron);
-      out += ",\"zbb_r\":" + json::number(s.zbb_r);
-      out += ",\"zbb_c\":" + json::number(s.zbb_c);
-      out += ",\"c_rf\":" + json::number(s.c_rf);
-      out += ",\"harmonics\":" + json::number(double(s.harmonics));
-      out += ",\"sweep\":{\"f_start_hz\":" + json::number(r.npath.f_start_hz);
-      out += ",\"f_stop_hz\":" + json::number(r.npath.f_stop_hz);
-      out += ",\"points\":" + json::number(double(r.npath.points));
-      out += ",\"log_scale\":";
-      out += r.npath.log_scale ? "true" : "false";
-      out += "}";
-      break;
-    }
-  }
+  spec->serialize_params(out, req.request);
   out += "}}";
   return out;
 }
 
 std::string execute_request(const Request& req) {
-  switch (req.kind) {
-    case RequestKind::kOp: return execute_op(req);
-    case RequestKind::kAc: return execute_ac(req);
-    case RequestKind::kMixerMetric: return execute_metric(req);
-    case RequestKind::kNpathZin: return execute_npath_zin(req);
-  }
-  throw std::invalid_argument("unhandled request kind");
+  const OpSpec* spec = OpRegistry::instance().find(req.kind);
+  if (spec == nullptr || !spec->execute)
+    throw std::invalid_argument("unhandled request kind");
+  return spec->execute(req);
 }
 
 }  // namespace rfmix::svc

@@ -22,6 +22,7 @@
 #include <string_view>
 
 #include "core/metrics.hpp"
+#include "gen/templates.hpp"
 #include "npath/zin.hpp"
 #include "svc/hash.hpp"
 
@@ -34,6 +35,8 @@ enum class RequestKind {
   kAc,           // AC sweep of a netlist, probed at one node (pair)
   kMixerMetric,  // core::evaluate_metric over a MixerConfig
   kNpathZin,     // N-path mixer-first Zin/S11 sweep (v2 only)
+  kGen,          // generated netlist (template + params), optionally piped
+                 // into an op/ac/npath_zin analysis (v2 only)
 };
 
 struct AcSpec {
@@ -55,12 +58,28 @@ struct NpathSweepSpec {
   bool log_scale = false;
 };
 
+/// The gen op: a template spec plus the analysis the generated circuit is
+/// piped into. The cache key is derived from these parameters — never from
+/// the expanded deck — so a 100k-device array request hashes in
+/// microseconds and hits the same entry however it was rendered.
+struct GenRequestSpec {
+  gen::GenSpec spec;
+  std::string analysis = "netlist";  // netlist | op | ac | npath_zin
+  AcSpec ac;              // grid + probe for analysis == "ac" (probe
+                          // defaults to the template's first probe node)
+  double f_start_hz = 5e8;   // npath_zin sweep grid
+  double f_stop_hz = 1.5e9;
+  int points = 21;
+  bool log_scale = false;
+};
+
 struct Request {
   RequestKind kind = RequestKind::kOp;
   std::string netlist;        // kOp / kAc
   AcSpec ac;                  // kAc
   core::MetricQuery metric;   // kMixerMetric
   NpathSweepSpec npath;       // kNpathZin
+  GenRequestSpec gen;         // kGen
 };
 
 /// Full canonical byte string (version record included). Exposed so tests

@@ -1,0 +1,74 @@
+// NetlistBuilder: the emitted deck must parse back through
+// spice::parse_netlist with bit-identical values, and name/type discipline
+// must fail fast on template bugs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/netlist_builder.hpp"
+#include "spice/circuit.hpp"
+#include "spice/parser.hpp"
+
+namespace rfmix::gen {
+namespace {
+
+TEST(NetlistBuilderTest, EmitsParsableDeck) {
+  NetlistBuilder b;
+  b.comment("two-element divider");
+  b.vsource_dc("vin", "in", "0", 1.5);
+  b.resistor("r1", "in", "mid", 1e3);
+  b.resistor("r2", "mid", "0", 2e3);
+  b.capacitor("c1", "mid", "0", 1e-12);
+  EXPECT_EQ(b.cards(), 4u);
+  const spice::Circuit ckt = spice::parse_netlist(std::move(b).str());
+  EXPECT_EQ(ckt.devices().size(), 4u);
+  EXPECT_NE(ckt.find_node("mid"), spice::kGround);
+}
+
+TEST(NetlistBuilderTest, ValueTokenRoundTrips) {
+  // Shortest-round-trip printing: an "ugly" double must survive
+  // print -> parse exactly, or flat/hier solves could diverge in the
+  // last ulp.
+  const double ugly = 1.0 / 3.0 * 1e-12;
+  NetlistBuilder b;
+  b.vsource_dc("v1", "a", "0", 1.0);
+  b.capacitor("c1", "a", "0", ugly);
+  const spice::Circuit ckt = spice::parse_netlist(std::move(b).str());
+  bool found = false;
+  for (const auto& d : ckt.devices()) {
+    if (d->name() == "c1") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NetlistBuilderTest, SubcktBlocksAndInstances) {
+  NetlistBuilder b;
+  b.begin_subckt("cell", {"p", "q"});
+  b.resistor("r1", "p", "q", 50.0);
+  b.end_subckt();
+  b.vsource_dc("vin", "top", "0", 1.0);
+  b.instance("x0", {"top", "0"}, "cell");
+  const spice::Circuit ckt = spice::parse_netlist(std::move(b).str());
+  // One elaborated resistor under the instance prefix + the source.
+  EXPECT_EQ(ckt.devices().size(), 2u);
+}
+
+TEST(NetlistBuilderTest, LeafTypeMismatchThrows) {
+  NetlistBuilder b;
+  EXPECT_THROW(b.resistor("c1", "a", "0", 1.0), std::invalid_argument);
+  // Leaf-segment rule: a flat elaboration-style name types by the segment
+  // after the last dot, so "xe0.rsw0" is a valid *resistor* name.
+  EXPECT_NO_THROW(b.resistor("xe0.rsw0", "a", "0", 1.0));
+  EXPECT_THROW(b.capacitor("xe0.rsw0", "a", "0", 1.0), std::invalid_argument);
+}
+
+TEST(NetlistBuilderTest, NestedSubcktDefinitionRejected) {
+  NetlistBuilder b;
+  b.begin_subckt("outer", {"a"});
+  EXPECT_THROW(b.begin_subckt("inner", {"b"}), std::invalid_argument);
+  b.end_subckt();
+  EXPECT_THROW(b.end_subckt(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfmix::gen

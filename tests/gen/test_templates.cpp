@@ -1,0 +1,135 @@
+// GenSpec templates: closed-form device counts must match what the parser
+// elaborates, probe nodes must exist, mismatch draws must be deterministic
+// per (seed, element), and validation must reject out-of-range specs
+// before any rendering happens.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gen/templates.hpp"
+#include "spice/circuit.hpp"
+#include "spice/parser.hpp"
+
+namespace rfmix::gen {
+namespace {
+
+spice::Circuit elaborate(GenSpec spec, bool hierarchical) {
+  spec.hierarchical = hierarchical;
+  return spice::parse_netlist(render_netlist(spec));
+}
+
+TEST(GenTemplatesTest, DeviceCountMatchesElaboration) {
+  for (const char* id : {"rx_array", "mixer_slice", "ladder"}) {
+    GenSpec spec;
+    spec.template_id = id;
+    spec.elements = 3;
+    spec.paths = 4;
+    spec.sections = 5;
+    spec.depth = 3;
+    for (const bool hier : {false, true}) {
+      const spice::Circuit ckt = elaborate(spec, hier);
+      EXPECT_EQ(ckt.devices().size(), device_count(spec))
+          << id << (hier ? " hierarchical" : " flat");
+    }
+  }
+}
+
+TEST(GenTemplatesTest, DeviceCountWithBasebandCaps) {
+  GenSpec spec;
+  spec.zbb_c = 2e-12;  // adds one cap per ladder section
+  spec.elements = 2;
+  for (const bool hier : {false, true}) {
+    const spice::Circuit ckt = elaborate(spec, hier);
+    EXPECT_EQ(ckt.devices().size(), device_count(spec));
+  }
+}
+
+TEST(GenTemplatesTest, ProbeNodesExistInBothRenderings) {
+  for (const char* id : {"rx_array", "mixer_slice", "ladder"}) {
+    GenSpec spec;
+    spec.template_id = id;
+    for (const bool hier : {false, true}) {
+      const spice::Circuit ckt = elaborate(spec, hier);
+      for (const std::string& node : probe_nodes(spec))
+        EXPECT_TRUE(ckt.has_node(node))
+            << id << (hier ? " hierarchical" : " flat") << " missing " << node;
+    }
+  }
+}
+
+TEST(GenTemplatesTest, MismatchDrawsAreDeterministic) {
+  GenSpec spec;
+  spec.mismatch = 0.05;
+  spec.seed = 42;
+  for (int e = 0; e < 8; ++e) {
+    const ElementDraw a = element_draw(spec, e);
+    const ElementDraw b = element_draw(spec, e);
+    // Bitwise: the draw is fork(element) off the seed, no shared stream.
+    EXPECT_EQ(a.switch_ron, b.switch_ron);
+    EXPECT_EQ(a.zbb_r, b.zbb_r);
+  }
+  // Different elements (and different seeds) draw different values.
+  EXPECT_NE(element_draw(spec, 0).switch_ron, element_draw(spec, 1).switch_ron);
+  GenSpec other = spec;
+  other.seed = 43;
+  EXPECT_NE(element_draw(spec, 0).switch_ron, element_draw(other, 0).switch_ron);
+}
+
+TEST(GenTemplatesTest, MismatchedRenderingIsSeedStable) {
+  GenSpec spec;
+  spec.elements = 3;
+  spec.mismatch = 0.1;
+  spec.seed = 7;
+  EXPECT_EQ(render_netlist(spec), render_netlist(spec));
+  GenSpec other = spec;
+  other.seed = 8;
+  EXPECT_NE(render_netlist(spec), render_netlist(other));
+}
+
+TEST(GenTemplatesTest, NominalDrawsAreExact) {
+  GenSpec spec;  // mismatch = 0
+  const ElementDraw d = element_draw(spec, 3);
+  EXPECT_EQ(d.switch_ron, spec.switch_ron);
+  EXPECT_EQ(d.zbb_r, spec.zbb_r);
+}
+
+TEST(GenTemplatesTest, ElementNpathSpecCarriesMismatch) {
+  GenSpec spec;
+  spec.mismatch = 0.1;
+  spec.seed = 5;
+  const npath::NpathSpec s0 = element_npath_spec(spec, 0);
+  const npath::NpathSpec s1 = element_npath_spec(spec, 1);
+  EXPECT_EQ(s0.lo.phases, spec.paths);
+  EXPECT_NE(s0.switch_ron, s1.switch_ron);
+  EXPECT_EQ(s0.switch_ron, element_draw(spec, 0).switch_ron);
+
+  GenSpec ladder;
+  ladder.template_id = "ladder";
+  EXPECT_THROW(element_npath_spec(ladder, 0), std::invalid_argument);
+}
+
+TEST(GenTemplatesTest, ValidateRejectsBadSpecs) {
+  GenSpec spec;
+  spec.template_id = "nonsense";
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  GenSpec range;
+  range.paths = 0;
+  EXPECT_THROW(validate(range), std::invalid_argument);
+
+  GenSpec ladder_mm;
+  ladder_mm.template_id = "ladder";
+  ladder_mm.mismatch = 0.1;
+  EXPECT_THROW(validate(ladder_mm), std::invalid_argument);
+
+  GenSpec huge;
+  huge.elements = 65536;
+  huge.paths = 32;
+  huge.sections = 64;
+  EXPECT_THROW(validate(huge), std::invalid_argument);  // device cap
+
+  EXPECT_NO_THROW(validate(GenSpec{}));
+}
+
+}  // namespace
+}  // namespace rfmix::gen

@@ -295,5 +295,40 @@ X1 a load
   EXPECT_NEAR(v1->current(op), -1e-3, 1e-8);  // 1 V across 1k inside the sub
 }
 
+TEST(Parser, DuplicateInsideSubcktBodyCitesSubcktName) {
+  const std::string net = R"(
+.subckt cell a b
+R1 a b 1k
+R1 b 0 2k
+.ends
+V1 x 0 DC 1
+X1 x y cell
+)";
+  try {
+    parse_netlist(net);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate device name 'r1' in .subckt 'cell'"),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(Parser, LeafSegmentTypesHierarchicalNames) {
+  // A flat deck can carry elaboration-style names: the card is typed by
+  // the first letter of the last '.'-separated segment, so "xe0.rsw0" is
+  // a resistor even though the name starts with 'x'.
+  const std::string net = R"(
+V1 in 0 DC 1
+xe0.rsw0 in xe0.mid 1k
+xe0.rterm0 xe0.mid 0 1k
+)";
+  Circuit ckt = parse_netlist(net);
+  EXPECT_EQ(ckt.devices().size(), 3u);
+  const Solution op = dc_operating_point(ckt);
+  EXPECT_NEAR(op.v(ckt.find_node("xe0.mid")), 0.5, 1e-9);
+}
+
 }  // namespace
 }  // namespace rfmix::spice

@@ -25,8 +25,8 @@ endif()
 string(REGEX REPLACE "\n$" "" TRIMMED "${STDOUT}")
 string(REPLACE "\n" ";" LINES "${TRIMMED}")
 list(LENGTH LINES NLINES)
-if(NOT NLINES EQUAL 10)
-  message(FATAL_ERROR "expected 10 response lines, got ${NLINES}:\n${STDOUT}")
+if(NOT NLINES EQUAL 13)
+  message(FATAL_ERROR "expected 13 response lines, got ${NLINES}:\n${STDOUT}")
 endif()
 
 macro(expect_contains idx needle)
@@ -122,6 +122,45 @@ string(REGEX MATCH "\"result\":.*$" RES9 "${LINE9}")
 string(REGEX MATCH "\"result\":.*$" RES10 "${LINE10}")
 if(NOT RES9 STREQUAL RES10)
   message(FATAL_ERROR "cached npath_zin result differs from cold run:\n${RES9}\n${RES10}")
+endif()
+
+# 11: gen (v2-only op): a generated mismatched rx_array piped into a DC
+# op, cold. The key is derived from the GenSpec, never the rendered deck.
+expect_contains(10 "\"id\":11")
+expect_contains(10 "\"ok\":true")
+expect_contains(10 "\"cached\":false")
+expect_contains(10 "\"analysis\":\"gen\"")
+expect_contains(10 "\"probes\"")
+
+# 12: identical gen request -> cache hit, same key, byte-identical result.
+expect_contains(11 "\"id\":12")
+expect_contains(11 "\"cached\":true")
+list(GET LINES 10 LINE11)
+list(GET LINES 11 LINE12)
+string(REGEX MATCH "\"key\":\"[0-9a-f]+\"" KEY11 "${LINE11}")
+string(REGEX MATCH "\"key\":\"[0-9a-f]+\"" KEY12 "${LINE12}")
+if(NOT KEY11 STREQUAL KEY12 OR KEY11 STREQUAL "")
+  message(FATAL_ERROR "repeated gen changed the key: '${KEY11}' vs '${KEY12}'")
+endif()
+string(REGEX MATCH "\"result\":.*$" RES11 "${LINE11}")
+string(REGEX MATCH "\"result\":.*$" RES12 "${LINE12}")
+if(NOT RES11 STREQUAL RES12)
+  message(FATAL_ERROR "cached gen result differs from cold run:\n${RES11}\n${RES12}")
+endif()
+
+# 13: same spec rendered flat -> different key (hierarchical is part of
+# the canonical record; the netlist payload differs between renderings)
+# but a bit-identical solved result.
+expect_contains(12 "\"id\":13")
+expect_contains(12 "\"cached\":false")
+list(GET LINES 12 LINE13)
+string(REGEX MATCH "\"key\":\"[0-9a-f]+\"" KEY13 "${LINE13}")
+if(KEY13 STREQUAL KEY11 OR KEY13 STREQUAL "")
+  message(FATAL_ERROR "flat rendering shares the hierarchical key: '${KEY13}'")
+endif()
+string(REGEX MATCH "\"result\":.*$" RES13 "${LINE13}")
+if(NOT RES13 STREQUAL RES11)
+  message(FATAL_ERROR "flat gen solve differs from hierarchical:\n${RES11}\n${RES13}")
 endif()
 
 message(STATUS "rfmixd e2e OK")

@@ -88,7 +88,7 @@ TEST_F(ProtocolGoldenTest, UnsupportedVersion) {
 TEST_F(ProtocolGoldenTest, UnknownKind) {
   EXPECT_EQ(reply(R"json({"v":2,"id":3,"kind":"explode"})json"),
             R"json({"v":2,"id":3,"ok":false,"error":{"code":"unknown_kind",)json"
-            R"json("message":"unknown request kind 'explode' (expected ping, stats, cancel, op, ac, mixer_metric, or npath_zin)json" R"x()"}})x");
+            R"json("message":"unknown request kind 'explode' (expected ping, stats, cancel, op, ac, mixer_metric, npath_zin, or gen)json" R"x()"}})x");
   EXPECT_EQ(reply(R"json({"id":3,"kind":"explode"})json"),
             R"json({"id":3,"ok":false,"deprecated":true,)json"
             R"json("error":"unknown request kind 'explode' (expected ping, stats, op, ac, or mixer_metric)json" R"x()"})x");
@@ -168,6 +168,72 @@ TEST_F(ProtocolGoldenTest, NpathZinStrictParams) {
                    R"json("message":"unknown npath_zin field 'phasez'")json"),
             0u)
       << r;
+}
+
+TEST_F(ProtocolGoldenTest, GenEnvelopeV2) {
+  // gen requests ride the same envelope: cold run carries cached:false
+  // plus the content key (derived from the GenSpec, not the rendered
+  // deck); the identical request replays as a cache hit with only the
+  // cached flag flipped.
+  const std::string line =
+      R"json({"v":2,"id":"g-1","kind":"gen","params":{"template":"ladder",)json"
+      R"json("depth":3,"analysis":"op"}})json";
+  const ParsedRequest req = parse_request(json_parse(line));
+  const std::string expected = std::string(R"json({"v":2,"id":"g-1","ok":true,)json") +
+                               R"json("cached":false,"deduped":false,"key":")json" +
+                               request_key(req.request).hex() + R"json(","result":)json" +
+                               execute_request(req.request) + "}";
+  EXPECT_EQ(reply(line), expected);
+  std::string cached_expected = expected;
+  cached_expected.replace(cached_expected.find(R"json("cached":false)json"),
+                          std::string(R"json("cached":false)json").size(),
+                          R"json("cached":true)json");
+  EXPECT_EQ(reply(line), cached_expected);
+}
+
+TEST_F(ProtocolGoldenTest, GenFlatAndHierarchicalKeysDiffer) {
+  // hierarchical is part of the canonical record: the solved results are
+  // bit-identical, but the netlist payload differs, so the two renderings
+  // must not collide on one cache entry.
+  const std::string hier = reply(
+      R"json({"v":2,"id":1,"kind":"gen","params":{"template":"ladder","depth":2,)json"
+      R"json("hierarchical":true}})json");
+  const std::string flat = reply(
+      R"json({"v":2,"id":1,"kind":"gen","params":{"template":"ladder","depth":2,)json"
+      R"json("hierarchical":false}})json");
+  const auto key = [](const std::string& s) {
+    const std::size_t at = s.find(R"json("key":)json");
+    return s.substr(at, s.find(',', at) - at);
+  };
+  EXPECT_NE(key(hier), key(flat));
+}
+
+TEST_F(ProtocolGoldenTest, GenRejectedInV1) {
+  // gen postdates the v1 freeze: a version-less request gets the
+  // unchanged v1 unknown-kind message, which does not advertise it.
+  EXPECT_EQ(reply(R"json({"id":8,"kind":"gen"})json"),
+            R"json({"id":8,"ok":false,"deprecated":true,)json"
+            R"json("error":"unknown request kind 'gen' (expected ping, stats, op, ac, or mixer_metric)json" R"x()"})x");
+}
+
+TEST_F(ProtocolGoldenTest, GenBadParams) {
+  EXPECT_EQ(reply(R"json({"v":2,"id":9,"kind":"gen","params":{}})json"),
+            R"json({"v":2,"id":9,"ok":false,"error":{"code":"bad_params",)json"
+            R"json("message":"missing required field 'template'"}})json");
+  const std::string unknown = reply(
+      R"json({"v":2,"id":9,"kind":"gen","params":{"template":"ladder","depthh":3}})json");
+  EXPECT_EQ(unknown.find(R"json({"v":2,"id":9,"ok":false,"error":{"code":"bad_params",)json"
+                         R"json("message":"unknown gen field 'depthh'")json"),
+            0u)
+      << unknown;
+  const std::string bad_template = reply(
+      R"json({"v":2,"id":9,"kind":"gen","params":{"template":"nonsense"}})json");
+  EXPECT_EQ(
+      bad_template.find(
+          R"json({"v":2,"id":9,"ok":false,"error":{"code":"bad_params",)json"
+          R"json("message":"unknown gen template 'nonsense' (expected rx_array, mixer_slice, or ladder)json"),
+      0u)
+      << bad_template;
 }
 
 TEST_F(ProtocolGoldenTest, AnalysisEnvelopeV1AndV2ShareKeyAndPayload) {
